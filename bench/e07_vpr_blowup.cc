@@ -1,0 +1,33 @@
+// Experiment E7 — Theorem 4.2 / Lemma 4.1 / Figure 9: the exact
+// probabilistic Voronoi diagram has Theta(N^4) complexity — buildable only
+// for tiny inputs, which is the paper's motivation for the approximation
+// algorithms of Sections 4.2/4.3.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/vpr_diagram.h"
+#include "workload/generators.h"
+
+using namespace unn;
+
+int main() {
+  printf("E7: exact VPr diagram blowup (Theorem 4.2, Lemma 4.1, Figure 9)\n");
+  printf("%6s %6s %12s %12s %12s %12s\n", "n", "N=nk", "bisectors",
+         "crossings", "faces", "build_ms");
+  std::vector<std::pair<double, double>> growth;
+  for (int n : {2, 3, 4, 5, 6}) {
+    auto pts = workload::LowerBoundVprQuartic(n, /*seed=*/3);
+    bench::Timer t;
+    core::VprDiagram vpr(pts);
+    const auto& st = vpr.stats();
+    int big_n = 2 * n;
+    printf("%6d %6d %12d %12lld %12d %12.1f\n", n, big_n, st.num_bisectors,
+           static_cast<long long>(st.crossings), st.bounded_faces, t.Ms());
+    growth.push_back({static_cast<double>(big_n),
+                      static_cast<double>(st.bounded_faces)});
+  }
+  printf("measured face-count growth exponent vs N: %.2f (theory: 4.0)\n",
+         bench::LogLogSlope(growth));
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Experiment E11 — Lemma 2.2 / Figures 2-4: gamma_i is a polar lower
+// envelope with at most 2n breakpoints, computable in O(n log n); the
+// breakpoint bound holds on every instance and the build time fits
+// n log n.
+
+#include <cstdio>
+
+#include <random>
+
+#include "bench_util.h"
+#include "envelope/polar_envelope.h"
+#include "geom/trig.h"
+#include "workload/generators.h"
+
+using namespace unn;
+using geom::FocalConic;
+
+int main() {
+  printf("E11: gamma_i envelope size and build time (Lemma 2.2)\n");
+  printf("%8s %14s %10s %12s %14s\n", "n", "breakpoints", "<=2n", "arcs",
+         "build_ms");
+  // Ring workload: n-1 disks at near-identical distance around disk 0, so
+  // (almost) every gamma_0j contributes an envelope arc — the regime the
+  // 2n bound is about. Random far-spread inputs produce O(1)-size
+  // envelopes instead.
+  std::vector<std::pair<double, double>> growth;
+  std::mt19937_64 rng(21);
+  for (int n : {64, 256, 1024, 4096}) {
+    std::uniform_real_distribution<double> jit(-0.05, 0.05);
+    std::vector<std::optional<FocalConic>> curves(n);
+    geom::Vec2 center{0, 0};
+    for (int j = 1; j < n; ++j) {
+      double ang = geom::kTwoPi * j / (n - 1.0);
+      geom::Vec2 cj = geom::UnitVec(ang) * (10.0 + jit(rng));
+      curves[j] = FocalConic::DistanceDifference(center, cj, 1.0 + jit(rng));
+    }
+    bench::Timer t;
+    auto env = envelope::PolarEnvelope::Compute(curves);
+    double ms = t.Ms();
+    printf("%8d %14d %10s %12d %14.2f\n", n, env.NumBreakpoints(),
+           env.NumBreakpoints() <= 2 * n ? "yes" : "NO", env.NumCurveArcs(),
+           ms);
+    growth.push_back({static_cast<double>(n), ms});
+  }
+  printf("measured time growth exponent: %.2f (theory: ~1 + o(1), n log n)\n",
+         bench::LogLogSlope(growth));
+  return 0;
+}

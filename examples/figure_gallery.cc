@@ -1,0 +1,115 @@
+// Regenerates the paper's figures from the library:
+//   fig1_distance_pdf.svg     — Figure 1(b): g_{q,i} for a uniform disk,
+//                               q=(6,8), R=5 (plus the setup of 1(a));
+//   fig2_gamma_envelope.svg   — Figures 2-4: gamma curves, their envelope
+//                               and the resulting V!=0 cells;
+//   fig5_cubic.svg            — Theorem 2.7 construction (zoomed channel);
+//   fig6_equal_radius.svg     — Theorem 2.8 construction;
+//   fig8_quadratic.svg        — Theorem 2.10 construction;
+//   fig9_vpr.svg              — Lemma 4.1 bisector arrangement inside the
+//                               unit disk.
+//
+//   ./build/examples/figure_gallery [output_dir]
+
+#include <cstdio>
+#include <string>
+
+#include "core/nonzero_voronoi.h"
+#include "core/vpr_diagram.h"
+#include "prob/distance_cdf.h"
+#include "workload/generators.h"
+#include "workload/svg.h"
+
+using namespace unn;
+using core::UncertainPoint;
+using geom::Box;
+using geom::Vec2;
+
+int main(int argc, char** argv) {
+  std::string dir = argc > 1 ? argv[1] : ".";
+
+  {  // Figure 1: distance pdf of a uniform disk.
+    UncertainPoint p = UncertainPoint::Disk({0, 0}, 5.0);
+    Vec2 q{6, 8};
+    workload::SvgWriter svg(Box{{4, -0.02}, {16, 0.20}}, 700);
+    std::vector<Vec2> curve;
+    for (int i = 0; i <= 400; ++i) {
+      double r = 4.0 + 12.0 * i / 400.0;
+      curve.push_back({r, prob::DistancePdf(p, q, r)});
+    }
+    svg.AddPolyline(curve, "#1f77b4", 2.0);
+    svg.AddSegment({4, 0}, {16, 0}, "#888888", 1.0);
+    svg.AddText({5.0, 0.18}, "g_{q,i}(r), disk R=5 at O, q=(6,8)");
+    svg.AddText({4.7, -0.01}, "r=5");
+    svg.AddText({14.7, -0.01}, "r=15");
+    printf("fig1: %s\n",
+           svg.WriteFile(dir + "/fig1_distance_pdf.svg") ? "ok" : "FAILED");
+  }
+
+  {  // Figures 2-4: gamma curves and V!=0 of a small instance.
+    auto pts = workload::RandomDisks(5, /*seed=*/12, 5.0, 0.8, 1.6);
+    core::NonzeroVoronoi vd(pts);
+    workload::SvgWriter svg(vd.window(), 900);
+    svg.AddSubdivision(vd.subdivision());
+    for (const auto& p : pts) {
+      svg.AddCircle(p.center(), p.radius(), "#d62728");
+      svg.AddDot(p.center(), 2, "#d62728");
+    }
+    printf("fig2-4: %s\n",
+           svg.WriteFile(dir + "/fig2_gamma_envelope.svg") ? "ok" : "FAILED");
+  }
+
+  {  // Figure 5: Theorem 2.7 channel (the huge flanking disks are far
+     // off-screen; their gamma curves thread the channel).
+    auto pts = workload::LowerBoundCubic(16, 1);
+    core::NonzeroVoronoiOptions opts;
+    opts.window = Box{{-40, -30}, {40, 30}};
+    core::NonzeroVoronoi vd(pts, opts);
+    workload::SvgWriter svg(opts.window, 900);
+    svg.AddSubdivision(vd.subdivision());
+    for (const auto& p : pts) {
+      if (p.radius() < 2) svg.AddCircle(p.center(), p.radius(), "#d62728");
+    }
+    printf("fig5: %s\n",
+           svg.WriteFile(dir + "/fig5_cubic.svg") ? "ok" : "FAILED");
+  }
+
+  {  // Figure 6: Theorem 2.8, equal radii.
+    auto pts = workload::LowerBoundCubicEqualRadius(12, 1);
+    core::NonzeroVoronoi vd(pts);
+    workload::SvgWriter svg(Box{{-8, -4}, {9, 8}}, 900);
+    svg.AddSubdivision(vd.subdivision());
+    for (const auto& p : pts) {
+      svg.AddCircle(p.center(), p.radius(), "#d62728");
+    }
+    printf("fig6: %s\n",
+           svg.WriteFile(dir + "/fig6_equal_radius.svg") ? "ok" : "FAILED");
+  }
+
+  {  // Figure 8: Theorem 2.10, collinear unit disks.
+    auto pts = workload::LowerBoundQuadratic(12, 1);
+    core::NonzeroVoronoi vd(pts);
+    workload::SvgWriter svg(Box{{-30, -22}, {30, 22}}, 900);
+    svg.AddSubdivision(vd.subdivision());
+    for (const auto& p : pts) {
+      svg.AddCircle(p.center(), p.radius(), "#d62728");
+    }
+    printf("fig8: %s\n",
+           svg.WriteFile(dir + "/fig8_quadratic.svg") ? "ok" : "FAILED");
+  }
+
+  {  // Figure 9: Lemma 4.1 bisector arrangement.
+    auto pts = workload::LowerBoundVprQuartic(6, 3);
+    core::VprDiagramOptions opts;
+    opts.window = Box{{-1.5, -1.5}, {1.5, 1.5}};
+    core::VprDiagram vpr(pts, opts);
+    workload::SvgWriter svg(opts.window, 700);
+    svg.AddSubdivision(vpr.subdivision(), "#2ca02c");
+    svg.AddCircle({0, 0}, 1.0, "#d62728", "none", 1.5);
+    for (const auto& p : pts) svg.AddDot(p.sites()[0], 3, "#d62728");
+    printf("fig9: %s (%d faces inside the window)\n",
+           svg.WriteFile(dir + "/fig9_vpr.svg") ? "ok" : "FAILED",
+           vpr.stats().bounded_faces);
+  }
+  return 0;
+}

@@ -1,0 +1,179 @@
+#include "arrangement/segment_arrangement.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/predicates.h"
+#include "util/check.h"
+
+namespace unn {
+namespace arrangement {
+
+using dcel::EdgeShape;
+using geom::Box;
+using geom::Vec2;
+
+SegmentArrangementBuilder::SegmentArrangementBuilder(const Box& window,
+                                                     double snap_tol)
+    : window_(window),
+      snap_tol_(snap_tol > 0 ? snap_tol : 1e-9 * window.Diagonal()) {}
+
+void SegmentArrangementBuilder::AddSegment(Vec2 a, Vec2 b, int curve_id) {
+  // Liang-Barsky parametric clip to the window.
+  double t0 = 0.0, t1 = 1.0;
+  Vec2 d = b - a;
+  auto clip = [&](double p, double q) {
+    if (p == 0) return q >= 0;
+    double r = q / p;
+    if (p < 0) {
+      if (r > t1) return false;
+      t0 = std::max(t0, r);
+    } else {
+      if (r < t0) return false;
+      t1 = std::min(t1, r);
+    }
+    return t0 <= t1;
+  };
+  if (!clip(-d.x, a.x - window_.lo.x)) return;
+  if (!clip(d.x, window_.hi.x - a.x)) return;
+  if (!clip(-d.y, a.y - window_.lo.y)) return;
+  if (!clip(d.y, window_.hi.y - a.y)) return;
+  Vec2 ca = a + d * t0;
+  Vec2 cb = a + d * t1;
+  // Clipped endpoints must land *exactly* on the window boundary, or the
+  // exact intersection predicate will not see them touching the frame
+  // segments and the curve would dangle just inside the frame (merging the
+  // faces it should separate).
+  auto snap_to_window = [&](Vec2 v) {
+    if (std::abs(v.x - window_.lo.x) <= snap_tol_) v.x = window_.lo.x;
+    if (std::abs(v.x - window_.hi.x) <= snap_tol_) v.x = window_.hi.x;
+    if (std::abs(v.y - window_.lo.y) <= snap_tol_) v.y = window_.lo.y;
+    if (std::abs(v.y - window_.hi.y) <= snap_tol_) v.y = window_.hi.y;
+    return v;
+  };
+  ca = snap_to_window(ca);
+  cb = snap_to_window(cb);
+  if (Dist(ca, cb) <= snap_tol_) return;
+  segs_.push_back({ca, cb, curve_id, {}});
+}
+
+int SegmentArrangementBuilder::SnapVertex(Vec2 p,
+                                          dcel::PlanarSubdivision* sub) {
+  double cell = 4.0 * snap_tol_;
+  auto cx = static_cast<int64_t>(std::floor(p.x / cell));
+  auto cy = static_cast<int64_t>(std::floor(p.y / cell));
+  for (int64_t dx = -1; dx <= 1; ++dx) {
+    for (int64_t dy = -1; dy <= 1; ++dy) {
+      uint64_t key = static_cast<uint64_t>((cx + dx) * 0x9E3779B97F4A7C15ULL) ^
+                     static_cast<uint64_t>(cy + dy);
+      auto it = snap_grid_.find(key);
+      if (it == snap_grid_.end()) continue;
+      for (int vid : it->second) {
+        if (Dist(vertex_pos_[vid], p) <= snap_tol_) return vid;
+      }
+    }
+  }
+  int vid = sub->AddVertex(p);
+  vertex_pos_.push_back(p);
+  uint64_t key = static_cast<uint64_t>(cx * 0x9E3779B97F4A7C15ULL) ^
+                 static_cast<uint64_t>(cy);
+  snap_grid_[key].push_back(vid);
+  return vid;
+}
+
+dcel::PlanarSubdivision SegmentArrangementBuilder::Build() {
+  // Add the frame as four ordinary segments so frame crossings come out of
+  // the same pairwise machinery.
+  Vec2 corners[4] = {window_.lo,
+                     {window_.hi.x, window_.lo.y},
+                     window_.hi,
+                     {window_.lo.x, window_.hi.y}};
+  for (int s = 0; s < 4; ++s) {
+    segs_.push_back({corners[s], corners[(s + 1) % 4], dcel::kFrameCurve, {}});
+  }
+
+  // Pairwise crossings with a uniform-grid prefilter on bounding boxes.
+  int m = static_cast<int>(segs_.size());
+  int grid_n = std::clamp(static_cast<int>(std::sqrt(m / 2.0)) + 1, 1, 256);
+  double cw = window_.Width() / grid_n + 1e-300;
+  double ch = window_.Height() / grid_n + 1e-300;
+  std::vector<std::vector<int>> cells(static_cast<size_t>(grid_n) * grid_n);
+  auto cell_range = [&](const Seg& s, int* x0, int* x1, int* y0, int* y1) {
+    Box b;
+    b.Expand(s.a);
+    b.Expand(s.b);
+    *x0 = std::clamp(static_cast<int>((b.lo.x - window_.lo.x) / cw), 0, grid_n - 1);
+    *x1 = std::clamp(static_cast<int>((b.hi.x - window_.lo.x) / cw), 0, grid_n - 1);
+    *y0 = std::clamp(static_cast<int>((b.lo.y - window_.lo.y) / ch), 0, grid_n - 1);
+    *y1 = std::clamp(static_cast<int>((b.hi.y - window_.lo.y) / ch), 0, grid_n - 1);
+  };
+  for (int i = 0; i < m; ++i) {
+    int x0, x1, y0, y1;
+    cell_range(segs_[i], &x0, &x1, &y0, &y1);
+    for (int x = x0; x <= x1; ++x) {
+      for (int y = y0; y <= y1; ++y) {
+        cells[static_cast<size_t>(x) * grid_n + y].push_back(i);
+      }
+    }
+  }
+  std::vector<int> last_checked(m, -1);
+  for (int i = 0; i < m; ++i) {
+    int x0, x1, y0, y1;
+    cell_range(segs_[i], &x0, &x1, &y0, &y1);
+    for (int x = x0; x <= x1; ++x) {
+      for (int y = y0; y <= y1; ++y) {
+        for (int j : cells[static_cast<size_t>(x) * grid_n + y]) {
+          if (j <= i || last_checked[j] == i) continue;
+          last_checked[j] = i;
+          Seg& s1 = segs_[i];
+          Seg& s2 = segs_[j];
+          if (!geom::SegmentsIntersect(s1.a, s1.b, s2.a, s2.b)) continue;
+          bool ok = false;
+          Vec2 p = geom::LineIntersection(s1.a, s1.b, s2.a, s2.b, &ok);
+          if (!ok) continue;  // Collinear overlap: general-position policy.
+          auto param = [](const Seg& s, Vec2 pt) {
+            Vec2 d = s.b - s.a;
+            double len2 = NormSq(d);
+            return len2 > 0 ? Dot(pt - s.a, d) / len2 : 0.0;
+          };
+          double ti = std::clamp(param(s1, p), 0.0, 1.0);
+          double tj = std::clamp(param(s2, p), 0.0, 1.0);
+          s1.cuts.push_back(ti);
+          s2.cuts.push_back(tj);
+          bool interior = ti > 1e-12 && ti < 1 - 1e-12 && tj > 1e-12 &&
+                          tj < 1 - 1e-12;
+          if (interior) ++num_crossings_;
+        }
+      }
+    }
+  }
+
+  dcel::PlanarSubdivision sub;
+  for (Seg& s : segs_) {
+    s.cuts.push_back(0.0);
+    s.cuts.push_back(1.0);
+    std::sort(s.cuts.begin(), s.cuts.end());
+    double len = Dist(s.a, s.b);
+    double min_dt = len > 0 ? snap_tol_ / len : 1.0;
+    s.cuts.erase(std::unique(s.cuts.begin(), s.cuts.end(),
+                             [&](double a, double b) { return b - a < min_dt; }),
+                 s.cuts.end());
+    // Keep the exact endpoints.
+    s.cuts.front() = 0.0;
+    s.cuts.back() = 1.0;
+    for (size_t c = 0; c + 1 < s.cuts.size(); ++c) {
+      Vec2 pa = Lerp(s.a, s.b, s.cuts[c]);
+      Vec2 pb = Lerp(s.a, s.b, s.cuts[c + 1]);
+      int va = SnapVertex(pa, &sub);
+      int vb = SnapVertex(pb, &sub);
+      if (va == vb) continue;
+      sub.AddEdge(va, vb, EdgeShape::Segment(vertex_pos_[va], vertex_pos_[vb]),
+                  s.curve_id);
+    }
+  }
+  sub.Build();
+  return sub;
+}
+
+}  // namespace arrangement
+}  // namespace unn

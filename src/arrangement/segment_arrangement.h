@@ -1,0 +1,62 @@
+#ifndef UNN_ARRANGEMENT_SEGMENT_ARRANGEMENT_H_
+#define UNN_ARRANGEMENT_SEGMENT_ARRANGEMENT_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dcel/planar_subdivision.h"
+#include "geom/vec2.h"
+
+/// \file segment_arrangement.h
+/// Arrangement of line segments inside a rectangular window. Pairwise
+/// intersections are decided with the exact Orient2d predicate, segments are
+/// split at every crossing (snapped on a tolerance grid), the window frame
+/// is added, and the result is assembled into a PlanarSubdivision. Used by
+/// the discrete-case nonzero Voronoi diagram (the gamma_i are polygonal
+/// there, Section 2.2) and by the exact probabilistic Voronoi diagram VPr
+/// (Section 4.1, an arrangement of O(N^2) bisector lines).
+
+namespace unn {
+namespace arrangement {
+
+class SegmentArrangementBuilder {
+ public:
+  /// `window` clips everything; `snap_tol` merges vertices (default:
+  /// 1e-9 times the window diagonal).
+  explicit SegmentArrangementBuilder(const geom::Box& window,
+                                     double snap_tol = 0.0);
+
+  /// Adds a segment carrying `curve_id` (used for label toggling).
+  /// Segments completely outside the window are dropped; others are clipped.
+  void AddSegment(geom::Vec2 a, geom::Vec2 b, int curve_id);
+
+  /// Splits at all pairwise crossings, adds the frame, and builds the DCEL.
+  /// Call once; the builder is consumed.
+  dcel::PlanarSubdivision Build();
+
+  /// Number of pairwise interior crossing points found (arrangement
+  /// vertices excluding segment endpoints and frame hits).
+  int64_t num_crossings() const { return num_crossings_; }
+
+ private:
+  struct Seg {
+    geom::Vec2 a, b;
+    int curve_id;
+    std::vector<double> cuts;  ///< Split parameters in [0, 1].
+  };
+
+  int SnapVertex(geom::Vec2 p, dcel::PlanarSubdivision* sub);
+
+  geom::Box window_;
+  double snap_tol_;
+  std::vector<Seg> segs_;
+  std::unordered_map<uint64_t, std::vector<int>> snap_grid_;
+  std::vector<geom::Vec2> vertex_pos_;
+  int64_t num_crossings_ = 0;
+};
+
+}  // namespace arrangement
+}  // namespace unn
+
+#endif  // UNN_ARRANGEMENT_SEGMENT_ARRANGEMENT_H_

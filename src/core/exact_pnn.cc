@@ -1,0 +1,60 @@
+#include "core/exact_pnn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/brute_force.h"
+#include "core/pnn_common.h"
+#include "prob/distance_cdf.h"
+#include "prob/quadrature.h"
+#include "util/check.h"
+
+namespace unn {
+namespace core {
+
+using geom::Vec2;
+
+std::vector<std::pair<int, double>> DiscreteQuantification(
+    const std::vector<UncertainPoint>& pts, Vec2 q) {
+  std::vector<double> pi = baselines::QuantificationProbabilities(pts, q);
+  std::vector<std::pair<int, double>> out;
+  for (size_t i = 0; i < pi.size(); ++i) {
+    if (pi[i] > 0) out.push_back({static_cast<int>(i), pi[i]});
+  }
+  return out;
+}
+
+double IntegrateQuantification(const std::vector<UncertainPoint>& pts, int i,
+                               Vec2 q, double tol) {
+  UNN_CHECK(i >= 0 && i < static_cast<int>(pts.size()));
+  for (const auto& p : pts) {
+    UNN_CHECK_MSG(p.is_disk(), "IntegrateQuantification is for disk models");
+  }
+  double lo = pts[i].MinDist(q);
+  double hi = std::min(pts[i].MaxDist(q), GlobalMaxDistLowerEnvelope(pts, q));
+  if (hi <= lo) return 0.0;
+  auto integrand = [&](double r) {
+    double g = prob::DistancePdf(pts[i], q, r);
+    if (g == 0.0) return 0.0;
+    double prod = 1.0;
+    for (size_t j = 0; j < pts.size(); ++j) {
+      if (static_cast<int>(j) == i) continue;
+      prod *= 1.0 - prob::DistanceCdf(pts[j], q, r);
+      if (prod == 0.0) break;
+    }
+    return g * prod;
+  };
+  return prob::AdaptiveSimpson(integrand, lo, hi, tol);
+}
+
+std::vector<std::pair<int, double>> IntegrateAllQuantifications(
+    const std::vector<UncertainPoint>& pts, Vec2 q, double tol) {
+  std::vector<std::pair<int, double>> out;
+  for (int i : baselines::NonzeroNn(pts, q)) {
+    out.push_back({i, IntegrateQuantification(pts, i, q, tol)});
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace unn

@@ -1,0 +1,39 @@
+#ifndef UNN_CORE_EXACT_PNN_H_
+#define UNN_CORE_EXACT_PNN_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/uncertain_point.h"
+#include "geom/vec2.h"
+
+/// \file exact_pnn.h
+/// Per-query quantification probabilities without preprocessing:
+///   * discrete models: Eq. (2) evaluated exactly in O(N log N);
+///   * continuous models: Eq. (1) by adaptive numerical integration with
+///     analytic distance cdfs — the [CKP04] baseline the paper calls
+///     "quite expensive" (experiment E8 measures how expensive).
+
+namespace unn {
+namespace core {
+
+/// Exact pi_i(q) for all-discrete inputs; pairs (id, pi) with pi > 0,
+/// sorted by id.
+std::vector<std::pair<int, double>> DiscreteQuantification(
+    const std::vector<UncertainPoint>& pts, geom::Vec2 q);
+
+/// pi_i(q) for continuous (disk) models by integrating Eq. (1) over
+/// r in [delta_i(q), min(Delta_i(q), Delta(q))]. `tol` is the quadrature
+/// tolerance.
+double IntegrateQuantification(const std::vector<UncertainPoint>& pts, int i,
+                               geom::Vec2 q, double tol = 1e-8);
+
+/// All positive pi_i(q) for continuous models (integrates each candidate in
+/// NN!=0(q)); pairs sorted by id.
+std::vector<std::pair<int, double>> IntegrateAllQuantifications(
+    const std::vector<UncertainPoint>& pts, geom::Vec2 q, double tol = 1e-8);
+
+}  // namespace core
+}  // namespace unn
+
+#endif  // UNN_CORE_EXACT_PNN_H_

@@ -1,0 +1,177 @@
+#include "core/expected_nn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "prob/distance_cdf.h"
+#include "prob/quadrature.h"
+#include "util/check.h"
+
+namespace unn {
+namespace core {
+
+using geom::Vec2;
+
+namespace {
+constexpr int kLeaf = 8;
+
+/// E[|X - c|^2] for the supported disk pdfs (c the disk center).
+double DiskRadialVariance(const UncertainPoint& p) {
+  double radius = p.radius();
+  switch (p.pdf()) {
+    case DiskPdf::kUniform:
+      return radius * radius / 2.0;
+    case DiskPdf::kTruncatedGaussian: {
+      // sigma = R/2; with a = R^2 / (2 sigma^2) = 2:
+      // E[rho^2] = 2 sigma^2 (1 - e^-a (1 + a)) / (1 - e^-a).
+      double s2 = radius * radius / 2.0;  // 2 sigma^2.
+      double a = radius * radius / s2;    // = 2.
+      return s2 * (1.0 - std::exp(-a) * (1.0 + a)) / (1.0 - std::exp(-a));
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+ExpectedNn::ExpectedNn(std::vector<UncertainPoint> points)
+    : points_(std::move(points)) {
+  UNN_CHECK(!points_.empty());
+  for (const auto& p : points_) {
+    if (p.is_disk()) {
+      mean_.push_back(p.center());  // Radially symmetric pdfs.
+      var_.push_back(DiskRadialVariance(p));
+    } else {
+      Vec2 mu{0, 0};
+      for (size_t s = 0; s < p.sites().size(); ++s) {
+        mu = mu + p.sites()[s] * p.weights()[s];
+      }
+      double var = 0;
+      for (size_t s = 0; s < p.sites().size(); ++s) {
+        var += p.weights()[s] * DistSq(p.sites()[s], mu);
+      }
+      mean_.push_back(mu);
+      var_.push_back(var);
+    }
+  }
+  order_.resize(points_.size());
+  std::iota(order_.begin(), order_.end(), 0);
+  root_ = Build(0, static_cast<int>(points_.size()), 0);
+}
+
+int ExpectedNn::Build(int begin, int end, int depth) {
+  Node node;
+  node.var_min = std::numeric_limits<double>::infinity();
+  for (int i = begin; i < end; ++i) {
+    node.box.Expand(mean_[order_[i]]);
+    node.var_min = std::min(node.var_min, var_[order_[i]]);
+  }
+  int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(node);
+  if (end - begin <= kLeaf) {
+    nodes_[id].begin = begin;
+    nodes_[id].end = end;
+    return id;
+  }
+  int mid = (begin + end) / 2;
+  bool by_x = (depth % 2 == 0);
+  std::nth_element(order_.begin() + begin, order_.begin() + mid,
+                   order_.begin() + end, [&](int a, int b) {
+                     return by_x ? mean_[a].x < mean_[b].x
+                                 : mean_[a].y < mean_[b].y;
+                   });
+  int l = Build(begin, mid, depth + 1);
+  int r = Build(mid, end, depth + 1);
+  nodes_[id].left = l;
+  nodes_[id].right = r;
+  return id;
+}
+
+void ExpectedNn::QueryRec(int node, Vec2 q, double* best, int* arg) const {
+  const Node& n = nodes_[node];
+  if (n.box.DistSqTo(q) + n.var_min >= *best) return;
+  if (n.left < 0) {
+    for (int i = n.begin; i < n.end; ++i) {
+      int id = order_[i];
+      double v = DistSq(q, mean_[id]) + var_[id];
+      if (v < *best) {
+        *best = v;
+        *arg = id;
+      }
+    }
+    return;
+  }
+  double dl = nodes_[n.left].box.DistSqTo(q) + nodes_[n.left].var_min;
+  double dr = nodes_[n.right].box.DistSqTo(q) + nodes_[n.right].var_min;
+  if (dl <= dr) {
+    QueryRec(n.left, q, best, arg);
+    QueryRec(n.right, q, best, arg);
+  } else {
+    QueryRec(n.right, q, best, arg);
+    QueryRec(n.left, q, best, arg);
+  }
+}
+
+int ExpectedNn::QuerySquared(Vec2 q) const {
+  double best = std::numeric_limits<double>::infinity();
+  int arg = -1;
+  QueryRec(root_, q, &best, &arg);
+  return arg;
+}
+
+double ExpectedNn::ExpectedSquaredDistance(int i, Vec2 q) const {
+  return DistSq(q, mean_[i]) + var_[i];
+}
+
+double ExpectedNn::ExpectedDistance(int i, Vec2 q, double tol) const {
+  const UncertainPoint& p = points_[i];
+  if (!p.is_disk()) {
+    double e = 0;
+    for (size_t s = 0; s < p.sites().size(); ++s) {
+      e += p.weights()[s] * Dist(q, p.sites()[s]);
+    }
+    return e;
+  }
+  double lo = p.MinDist(q);
+  double hi = p.MaxDist(q);
+  return prob::AdaptiveSimpson(
+      [&](double r) { return r * prob::DistancePdf(p, q, r); }, lo, hi, tol);
+}
+
+std::vector<int> ExpectedNn::RankByExpectedDistance(Vec2 q, int k,
+                                                    double tol) const {
+  int n = static_cast<int>(points_.size());
+  k = std::min(k, n);
+  std::vector<std::pair<double, int>> ranked(n);
+  for (int i = 0; i < n; ++i) ranked[i] = {ExpectedDistance(i, q, tol), i};
+  std::partial_sort(ranked.begin(), ranked.begin() + k, ranked.end());
+  std::vector<int> out(k);
+  for (int i = 0; i < k; ++i) out[i] = ranked[i].second;
+  return out;
+}
+
+int ExpectedNn::QueryExpected(Vec2 q, double tol) const {
+  // Scan with pruning: E[d] >= delta_i(q) and E[d] <= sqrt(E[d^2]).
+  int n = static_cast<int>(points_.size());
+  std::vector<int> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  std::sort(ids.begin(), ids.end(), [&](int a, int b) {
+    return ExpectedSquaredDistance(a, q) < ExpectedSquaredDistance(b, q);
+  });
+  double best = std::numeric_limits<double>::infinity();
+  int arg = -1;
+  for (int i : ids) {
+    if (points_[i].MinDist(q) >= best) continue;
+    double e = ExpectedDistance(i, q, tol);
+    if (e < best) {
+      best = e;
+      arg = i;
+    }
+  }
+  return arg;
+}
+
+}  // namespace core
+}  // namespace unn

@@ -1,0 +1,111 @@
+#include "core/label_propagation.h"
+
+#include <queue>
+#include <unordered_map>
+
+#include "geom/vec2.h"
+
+namespace unn {
+namespace core {
+
+using dcel::EdgeShape;
+using geom::Vec2;
+
+LabelPropagation PropagateLabels(
+    const dcel::PlanarSubdivision& sub, const pointloc::RayShooter& shooter,
+    const geom::Box& window, double scale,
+    const std::function<std::vector<int>(Vec2)>& brute_label,
+    const std::function<double(Vec2)>& label_margin) {
+  LabelPropagation out;
+  int nloops = sub.NumLoops();
+  out.loop_version.assign(nloops, -1);
+
+  // Union-find of loops connected through non-frame edges.
+  std::vector<int> parent(nloops);
+  for (int i = 0; i < nloops; ++i) parent[i] = i;
+  std::function<int(int)> find = [&](int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (int h = 0; h < sub.NumHalfEdges(); ++h) {
+    const auto& he = sub.half_edge(h);
+    if (sub.edge(he.edge).curve_id == dcel::kFrameCurve) continue;
+    int a = find(he.loop);
+    int b = find(sub.half_edge(he.twin).loop);
+    if (a != b) parent[a] = b;
+  }
+
+  // One verified seed per loop-graph component.
+  std::unordered_map<int, int> comp_seed_loop;
+  std::unordered_map<int, Vec2> comp_seed_point;
+  for (int l = 0; l < nloops; ++l) {
+    int root = find(l);
+    if (comp_seed_loop.count(root)) continue;
+    int h0 = sub.loop(l).first_half_edge;
+    int h = h0;
+    do {
+      const auto& he = sub.half_edge(h);
+      const EdgeShape& shape = sub.edge(he.edge).shape;
+      Vec2 mid = shape.Midpoint();
+      Vec2 dir = shape.TravelDirAt(0.5);
+      if (!he.forward) dir = -dir;
+      double edge_len = Dist(shape.a(), shape.b()) + 1e-12;
+      for (double eps : {1e-7 * scale, 3e-7 * scale, 1e-4 * edge_len}) {
+        Vec2 p = mid + geom::Perp(dir) * eps;
+        if (!window.Contains(p)) continue;
+        int lh = shooter.LocateHalfEdgeAbove(p);
+        if (lh < 0) continue;
+        int ll = sub.half_edge(lh).loop;
+        if (find(ll) != root) continue;
+        // The seed label must be numerically unambiguous (a point inside a
+        // zero-width sliver would be a coin flip and poison the component).
+        if (label_margin(p) <= 1e-9 * (1.0 + scale)) continue;
+        comp_seed_loop[root] = ll;
+        comp_seed_point[root] = p;
+        break;
+      }
+      if (comp_seed_loop.count(root)) break;
+      h = he.next;
+    } while (h != h0);
+  }
+
+  // BFS with persistent toggles from every seed.
+  std::queue<int> bfs;
+  for (const auto& [root, seed_loop] : comp_seed_loop) {
+    if (out.loop_version[seed_loop] != -1) continue;
+    std::vector<int> label = brute_label(comp_seed_point.at(root));
+    persist::Version v = 0;
+    for (int id : label) v = out.store.Insert(v, id);
+    out.loop_version[seed_loop] = v;
+    bfs.push(seed_loop);
+  }
+  while (!bfs.empty()) {
+    int l = bfs.front();
+    bfs.pop();
+    int h0 = sub.loop(l).first_half_edge;
+    int h = h0;
+    do {
+      const auto& he = sub.half_edge(h);
+      int curve = sub.edge(he.edge).curve_id;
+      if (curve != dcel::kFrameCurve) {
+        int l2 = sub.half_edge(he.twin).loop;
+        if (out.loop_version[l2] == -1) {
+          out.loop_version[l2] = out.store.Toggle(out.loop_version[l], curve);
+          bfs.push(l2);
+        }
+      }
+      h = he.next;
+    } while (h != h0);
+  }
+
+  for (int l = 0; l < nloops; ++l) {
+    if (out.loop_version[l] == -1) ++out.unlabeled_loops;
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace unn

@@ -1,0 +1,42 @@
+#ifndef UNN_CORE_LABEL_PROPAGATION_H_
+#define UNN_CORE_LABEL_PROPAGATION_H_
+
+#include <functional>
+#include <vector>
+
+#include "dcel/planar_subdivision.h"
+#include "persist/persistent_set.h"
+#include "pointloc/ray_shooter.h"
+
+/// \file label_propagation.h
+/// Face labeling shared by the continuous and discrete nonzero Voronoi
+/// diagrams. Every boundary loop of the subdivision receives the label set
+/// NN!=0 of its region: crossing an edge of curve gamma_i toggles membership
+/// of i, so labels propagate by BFS from one brute-force-labeled seed per
+/// connected component, and all label sets live in a partially persistent
+/// treap ([DSST89]) at O(1) amortized space per face (Theorem 2.11).
+
+namespace unn {
+namespace core {
+
+struct LabelPropagation {
+  persist::PersistentSet store;
+  /// Version per loop; -1 where unlabeled (frame exterior / failed seed).
+  std::vector<persist::Version> loop_version;
+  int unlabeled_loops = 0;
+};
+
+/// Computes loop labels. `brute_label` returns the sorted ground-truth label
+/// at a point; `label_margin` returns how numerically decisive that label is
+/// at a point (seeds require margin > 1e-9 * (1 + typical magnitude), so
+/// pass something like min_i |delta_i - Delta|).
+LabelPropagation PropagateLabels(
+    const dcel::PlanarSubdivision& sub, const pointloc::RayShooter& shooter,
+    const geom::Box& window, double scale,
+    const std::function<std::vector<int>(geom::Vec2)>& brute_label,
+    const std::function<double(geom::Vec2)>& label_margin);
+
+}  // namespace core
+}  // namespace unn
+
+#endif  // UNN_CORE_LABEL_PROPAGATION_H_

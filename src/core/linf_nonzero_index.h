@@ -1,0 +1,76 @@
+#ifndef UNN_CORE_LINF_NONZERO_INDEX_H_
+#define UNN_CORE_LINF_NONZERO_INDEX_H_
+
+#include <vector>
+
+#include "geom/vec2.h"
+
+/// \file linf_nonzero_index.h
+/// Theorem 3.1, Remark (ii): NN!=0 queries under the L_inf metric with
+/// square uncertainty regions (an L_inf "disk" of radius r is an
+/// axis-aligned square of half-side r). Both query stages carry over
+/// verbatim with Chebyshev distances — stage one computes
+/// Delta(q) = min_i (cheb(q, c_i) + r_i), stage two reports the squares
+/// intersecting the L_inf ball of that radius. The paper serves stage two
+/// with square-intersection range structures in O(log^2 n + t) time from
+/// O(n log^2 n) space; here the same branch-and-bound tree pattern as the
+/// L2 index answers both stages output-sensitively from O(n) space.
+/// Lemma 2.1's j != i semantics are handled exactly as in the L2 case.
+
+namespace unn {
+namespace core {
+
+/// An axis-aligned square region: the L_inf ball of radius `half_side`.
+struct SquareRegion {
+  geom::Vec2 center;
+  double half_side = 0.0;
+};
+
+/// Chebyshev (L_inf) distance.
+inline double ChebyshevDist(geom::Vec2 a, geom::Vec2 b) {
+  return std::max(std::abs(a.x - b.x), std::abs(a.y - b.y));
+}
+
+class LinfNonzeroIndex {
+ public:
+  explicit LinfNonzeroIndex(std::vector<SquareRegion> squares);
+
+  /// NN!=0(q) under L_inf: all i with delta_i(q) < Delta_j(q) for every
+  /// j != i (sorted ids). Exact.
+  std::vector<int> Query(geom::Vec2 q) const;
+
+  /// Delta(q) = min_i (cheb(q, c_i) + r_i).
+  double Delta(geom::Vec2 q) const;
+
+  /// delta_i(q) = max(cheb(q, c_i) - r_i, 0).
+  double MinDist(int i, geom::Vec2 q) const;
+
+ private:
+  struct Node {
+    geom::Box box;
+    double r_min = 0.0;
+    double r_max = 0.0;
+    int left = -1, right = -1;
+    int begin = 0, end = 0;
+  };
+  struct Envelope {
+    double best, second;
+    int argbest;
+  };
+
+  int Build(int begin, int end, int depth);
+  void DeltaRec(int node, geom::Vec2 q, Envelope* env) const;
+  void ReportRec(int node, geom::Vec2 q, double bound,
+                 std::vector<int>* out) const;
+  static double ChebToBox(geom::Vec2 q, const geom::Box& b);
+
+  std::vector<SquareRegion> squares_;
+  std::vector<int> order_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace core
+}  // namespace unn
+
+#endif  // UNN_CORE_LINF_NONZERO_INDEX_H_

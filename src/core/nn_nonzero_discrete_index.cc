@@ -1,0 +1,139 @@
+#include "core/nn_nonzero_discrete_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace unn {
+namespace core {
+
+using geom::Vec2;
+
+namespace {
+constexpr int kLeafGroups = 4;
+}
+
+NnNonzeroDiscreteIndex::NnNonzeroDiscreteIndex(
+    std::vector<UncertainPoint> points)
+    : points_(std::move(points)) {
+  UNN_CHECK(!points_.empty());
+  std::vector<Vec2> sites;
+  for (size_t i = 0; i < points_.size(); ++i) {
+    const auto& p = points_[i];
+    UNN_CHECK_MSG(!p.is_disk(), "NnNonzeroDiscreteIndex is for discrete models");
+    group_seb_.push_back(geom::SmallestEnclosingCircle(p.sites()));
+    for (Vec2 s : p.sites()) {
+      sites.push_back(s);
+      site_owner_.push_back(static_cast<int>(i));
+    }
+  }
+  site_tree_ = std::make_unique<range::KdTree>(std::move(sites));
+  group_order_.resize(points_.size());
+  std::iota(group_order_.begin(), group_order_.end(), 0);
+  group_root_ = BuildGroups(0, static_cast<int>(points_.size()), 0);
+}
+
+int NnNonzeroDiscreteIndex::BuildGroups(int begin, int end, int depth) {
+  GroupNode node;
+  node.r_min = std::numeric_limits<double>::infinity();
+  for (int i = begin; i < end; ++i) {
+    node.box.Expand(group_seb_[group_order_[i]].center);
+    node.r_min = std::min(node.r_min, group_seb_[group_order_[i]].radius);
+  }
+  int id = static_cast<int>(group_nodes_.size());
+  group_nodes_.push_back(node);
+  if (end - begin <= kLeafGroups) {
+    group_nodes_[id].begin = begin;
+    group_nodes_[id].end = end;
+    return id;
+  }
+  int mid = (begin + end) / 2;
+  bool by_x = (depth % 2 == 0);
+  std::nth_element(group_order_.begin() + begin, group_order_.begin() + mid,
+                   group_order_.begin() + end, [&](int a, int b) {
+                     return by_x ? group_seb_[a].center.x < group_seb_[b].center.x
+                                 : group_seb_[a].center.y < group_seb_[b].center.y;
+                   });
+  int l = BuildGroups(begin, mid, depth + 1);
+  int r = BuildGroups(mid, end, depth + 1);
+  group_nodes_[id].left = l;
+  group_nodes_[id].right = r;
+  return id;
+}
+
+void NnNonzeroDiscreteIndex::DeltaRec(int node, Vec2 q,
+                                      DeltaEnvelope* env) const {
+  const GroupNode& n = group_nodes_[node];
+  // Lower bound on Delta_i(q) over the subtree: with SEB (c, R),
+  // Delta_i(q) >= sqrt(d(q,c)^2 + R^2) >= sqrt(d(q,box)^2 + r_min^2).
+  // Prune against `second` so both smallest values survive.
+  double d2 = n.box.DistSqTo(q);
+  double lb = std::sqrt(d2 + n.r_min * n.r_min);
+  if (lb >= env->second) return;
+  if (n.left < 0) {
+    for (int i = n.begin; i < n.end; ++i) {
+      int g = group_order_[i];
+      const geom::Circle& seb = group_seb_[g];
+      double group_lb =
+          std::sqrt(DistSq(q, seb.center) + seb.radius * seb.radius);
+      if (group_lb >= env->second) continue;
+      double v = points_[g].MaxDist(q);
+      if (v < env->best) {
+        env->second = env->best;
+        env->best = v;
+        env->argbest = g;
+      } else {
+        env->second = std::min(env->second, v);
+      }
+    }
+    return;
+  }
+  double dl = std::sqrt(group_nodes_[n.left].box.DistSqTo(q));
+  double dr = std::sqrt(group_nodes_[n.right].box.DistSqTo(q));
+  if (dl <= dr) {
+    DeltaRec(n.left, q, env);
+    DeltaRec(n.right, q, env);
+  } else {
+    DeltaRec(n.right, q, env);
+    DeltaRec(n.left, q, env);
+  }
+}
+
+DeltaEnvelope NnNonzeroDiscreteIndex::DeltaPair(Vec2 q) const {
+  DeltaEnvelope env;
+  env.best = std::numeric_limits<double>::infinity();
+  env.second = std::numeric_limits<double>::infinity();
+  DeltaRec(group_root_, q, &env);
+  return env;
+}
+
+double NnNonzeroDiscreteIndex::Delta(Vec2 q) const { return DeltaPair(q).best; }
+
+std::vector<int> NnNonzeroDiscreteIndex::Query(Vec2 q) const {
+  DeltaEnvelope env = DeltaPair(q);
+  if (points_.size() == 1) return {0};
+  // Owners other than the argmin qualify iff delta_i < best (their
+  // j != i threshold); the argmin's threshold is `second`.
+  std::vector<int> hits;
+  site_tree_->RangeCircle(q, env.best, &hits, /*inclusive=*/false);
+  std::vector<int> out;
+  out.reserve(hits.size());
+  for (int h : hits) out.push_back(site_owner_[h]);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  bool arg_in = std::binary_search(out.begin(), out.end(), env.argbest);
+  bool arg_should = points_[env.argbest].MinDist(q) < env.second;
+  if (arg_in && !arg_should) {
+    out.erase(std::find(out.begin(), out.end(), env.argbest));
+  } else if (!arg_in && arg_should) {
+    out.insert(std::upper_bound(out.begin(), out.end(), env.argbest),
+               env.argbest);
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace unn

@@ -1,0 +1,63 @@
+#ifndef UNN_CORE_NN_NONZERO_DISCRETE_INDEX_H_
+#define UNN_CORE_NN_NONZERO_DISCRETE_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/uncertain_point.h"
+#include "geom/seb.h"
+#include "range/kdtree.h"
+
+/// \file nn_nonzero_discrete_index.h
+/// The near-linear NN!=0 structure for discrete distributions (Theorem 3.2).
+/// Stage one computes Delta(q) = min_i max_s d(q, p_is) by branch-and-bound
+/// over groups: a group's smallest enclosing circle (center c, radius R)
+/// yields the lower bound max_s d(q, p_is) >= sqrt(d(q,c)^2 + R^2) (some
+/// defining point lies on the far side of c). Stage two uses the lifting
+/// observation: delta_i(q) < Delta(q) iff some site of P_i lies in the open
+/// disk D(q, Delta(q)) — the paper's lifted halfspace query is exactly a
+/// circular range query — served by a kd-tree over all N sites with owner
+/// dedup. Space O(N); see DESIGN.md section 3 for the substitution notes.
+
+namespace unn {
+namespace core {
+
+class NnNonzeroDiscreteIndex {
+ public:
+  explicit NnNonzeroDiscreteIndex(std::vector<UncertainPoint> points);
+
+  /// NN!=0(q), sorted ids. Exact.
+  std::vector<int> Query(geom::Vec2 q) const;
+
+  /// Delta(q) = min_i Delta_i(q).
+  double Delta(geom::Vec2 q) const;
+
+  /// Two smallest Delta_i(q) plus argmin (needed for the exact j != i
+  /// semantics of Lemma 2.1 on degenerate inputs).
+  DeltaEnvelope DeltaPair(geom::Vec2 q) const;
+
+ private:
+  struct GroupNode {
+    geom::Box box;        ///< Box of group SEB centers.
+    double r_min = 0.0;   ///< Min SEB radius in subtree.
+    int left = -1, right = -1;
+    int begin = 0, end = 0;
+  };
+
+  int BuildGroups(int begin, int end, int depth);
+  void DeltaRec(int node, geom::Vec2 q, DeltaEnvelope* env) const;
+
+  std::vector<UncertainPoint> points_;
+  std::vector<geom::Circle> group_seb_;
+  std::vector<int> group_order_;
+  std::vector<GroupNode> group_nodes_;
+  int group_root_ = -1;
+
+  std::unique_ptr<range::KdTree> site_tree_;
+  std::vector<int> site_owner_;
+};
+
+}  // namespace core
+}  // namespace unn
+
+#endif  // UNN_CORE_NN_NONZERO_DISCRETE_INDEX_H_

@@ -1,0 +1,44 @@
+#include "core/nn_nonzero_index.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace unn {
+namespace core {
+
+using geom::Vec2;
+
+NnNonzeroIndex::NnNonzeroIndex(std::vector<UncertainPoint> points,
+                               Stage1 stage1)
+    : points_(std::move(points)), stage1_(stage1) {
+  std::vector<Vec2> centers;
+  std::vector<double> radii;
+  centers.reserve(points_.size());
+  radii.reserve(points_.size());
+  for (const auto& p : points_) {
+    UNN_CHECK_MSG(p.is_disk(), "NnNonzeroIndex requires disk regions");
+    centers.push_back(p.center());
+    radii.push_back(p.radius());
+  }
+  tree_ = std::make_unique<range::DiskTree>(centers, radii);
+  if (stage1_ == Stage1::kVoronoi) {
+    vor_ = std::make_unique<voronoi::WeightedVoronoi>(centers, radii);
+  }
+}
+
+double NnNonzeroIndex::Delta(Vec2 q) const {
+  if (stage1_ == Stage1::kVoronoi) return vor_->WeightedDistance(q);
+  return tree_->MinMaxDist(q);
+}
+
+std::vector<int> NnNonzeroIndex::Query(Vec2 q) const {
+  double delta = Delta(q);
+  std::vector<int> out;
+  tree_->ReportMinDistLess(q, delta, &out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace core
+}  // namespace unn

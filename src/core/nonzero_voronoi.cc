@@ -1,0 +1,360 @@
+#include "core/nonzero_voronoi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+
+#include "core/label_propagation.h"
+#include "geom/trig.h"
+#include "util/check.h"
+
+namespace unn {
+namespace core {
+
+using dcel::EdgeShape;
+using envelope::kNoCurve;
+using envelope::PolarEnvelope;
+using geom::Box;
+using geom::FocalConic;
+using geom::kTwoPi;
+using geom::Vec2;
+
+namespace {
+
+/// True if circular intervals [a0, a1] and the interval of width `bw`
+/// starting at `b0` (both may wrap) overlap. Conservative (may report
+/// overlap when intervals merely touch).
+bool CircularOverlap(double a0, double a1, double b0, double bw) {
+  double aw = a1 - a0;
+  if (aw >= kTwoPi || bw >= kTwoPi) return true;
+  double start = geom::NormalizeAngle(b0 - a0);  // b relative to a0.
+  return start <= aw || start + bw >= kTwoPi;
+}
+
+}  // namespace
+
+NonzeroVoronoi::NonzeroVoronoi(std::vector<UncertainPoint> points,
+                               const NonzeroVoronoiOptions& opts)
+    : points_(std::move(points)) {
+  for (const auto& p : points_) {
+    UNN_CHECK_MSG(p.is_disk(),
+                  "NonzeroVoronoi requires disk regions; use "
+                  "NonzeroVoronoiDiscrete for discrete distributions");
+  }
+  UNN_CHECK(!points_.empty());
+
+  if (!opts.window.Empty()) {
+    window_ = opts.window;
+  } else {
+    Box b;
+    for (const auto& p : points_) b.Expand(p.Bounds());
+    double margin = opts.auto_window_margin * (b.Diagonal() + 1.0);
+    window_ = b.Inflated(margin);
+  }
+  scale_ = window_.Diagonal();
+  snap_tol_ = 1e-9 * scale_;
+
+  ComputeGammas();
+  EnumerateCrossings();
+  EnumerateBoxCrossings();
+  BuildEdges();
+  BuildFrame();
+  sub_.Build();
+  stats_.dcel_vertices = sub_.NumVertices();
+  stats_.dcel_edges = sub_.NumEdges();
+  stats_.dcel_faces_euler = sub_.NumFacesEuler();
+  stats_.bounded_faces = sub_.NumCcwLoops();
+  stats_.components = sub_.NumComponents();
+  shooter_ = std::make_unique<pointloc::RayShooter>(
+      sub_, opts.locator_cells_per_axis);
+  AssignLabels();
+  stats_.label_nodes = static_cast<int64_t>(labels_.NumNodes());
+}
+
+void NonzeroVoronoi::ComputeGammas() {
+  int n = static_cast<int>(points_.size());
+  gammas_.reserve(n);
+  events_.resize(n);
+  for (int i = 0; i < n; ++i) {
+    std::vector<std::optional<FocalConic>> curves(n);
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      curves[j] = FocalConic::DistanceDifference(
+          points_[i].center(), points_[j].center(),
+          points_[i].radius() + points_[j].radius());
+    }
+    gammas_.push_back(PolarEnvelope::Compute(curves));
+    const PolarEnvelope& env = gammas_.back();
+    stats_.gamma_arcs += env.NumCurveArcs();
+    stats_.gamma_breakpoints += env.NumBreakpoints();
+    events_[i].resize(env.arcs().size());
+  }
+}
+
+void NonzeroVoronoi::EnumerateCrossings() {
+  int n = static_cast<int>(points_.size());
+  // Deduplicate crossing points for the mu statistic (a crossing near an
+  // arc boundary can be reported from two arcs).
+  std::unordered_set<uint64_t> crossing_keys;
+  auto key_of = [&](Vec2 p) {
+    double t = std::max(snap_tol_, 1e-300);
+    auto ix = static_cast<int64_t>(std::floor(p.x / (4 * t)));
+    auto iy = static_cast<int64_t>(std::floor(p.y / (4 * t)));
+    return static_cast<uint64_t>(ix * 0x9E3779B97F4A7C15ULL) ^
+           static_cast<uint64_t>(iy);
+  };
+
+  for (int i = 0; i < n; ++i) {
+    const PolarEnvelope& env_i = gammas_[i];
+    for (int k = i + 1; k < n; ++k) {
+      // Bisector {delta_i = delta_j}: d(x,c_i) - d(x,c_k) = r_i - r_k.
+      auto bis = FocalConic::DistanceDifference(
+          points_[i].center(), points_[k].center(),
+          points_[i].radius() - points_[k].radius());
+      if (!bis.has_value()) continue;
+      double bis_lo = geom::NormalizeAngle(bis->DomainLo());
+      double bis_width = 2.0 * bis->alpha();
+
+      const auto& arcs = env_i.arcs();
+      for (size_t ai = 0; ai < arcs.size(); ++ai) {
+        const envelope::EnvelopeArc& arc = arcs[ai];
+        if (arc.curve == kNoCurve) continue;
+        if (!CircularOverlap(arc.lo, arc.hi, bis_lo, bis_width)) continue;
+        const FocalConic& conic = *env_i.curves()[arc.curve];
+        double roots[2];
+        int nr = FocalConic::Intersect(conic, *bis, roots);
+        for (int r = 0; r < nr; ++r) {
+          double theta = roots[r];
+          // Roots are normalized to [0, 2*pi); arc intervals live there too.
+          if (theta < arc.lo - 1e-12 || theta > arc.hi + 1e-12) continue;
+          theta = std::clamp(theta, arc.lo, arc.hi);
+          Vec2 x = conic.PointAt(theta);
+          // A bisector root on gamma_i's envelope is mathematically on
+          // gamma_k as well (delta_k = delta_i = Delta there), so validation
+          // only guards numerical consistency between the two envelope
+          // representations. Near gamma_k breakpoints the radius comparison
+          // is ill-conditioned; fall back to the definition before giving
+          // up, because silently dropping a true crossing leaves two edges
+          // crossing without a shared vertex (a genus defect in the DCEL).
+          double theta_k = geom::NormalizeAngle(Angle(x - points_[k].center()));
+          auto [rk, idxk] = gammas_[k].Eval(theta_k);
+          double dist_k = Dist(x, points_[k].center());
+          bool ok = std::isfinite(rk) &&
+                    std::abs(rk - dist_k) <= 1e-6 * (1.0 + dist_k);
+          if (!ok) {
+            double delta_k = points_[k].MinDist(x);
+            double big_delta = GlobalMaxDistLowerEnvelope(points_, x);
+            ok = std::abs(delta_k - big_delta) <= 1e-7 * (1.0 + big_delta);
+          }
+          if (!ok) continue;
+          // Register into the gamma_k arc whose curve best matches x
+          // (the binary-search arc, or a neighbor at breakpoints).
+          int arc_k = gammas_[k].ArcIndexAt(theta_k);
+          const auto& karcs = gammas_[k].arcs();
+          int nk = static_cast<int>(karcs.size());
+          double best_err = std::numeric_limits<double>::infinity();
+          int best_arc = -1;
+          // The containing arc is tried first and kept on ties: a neighbor
+          // arc carrying the *same* conic (split only by the artificial
+          // wrap at theta = 0) would otherwise win and the clamp below
+          // would silently collapse the event onto its far boundary.
+          for (int d : {0, -1, 1}) {
+            int cand = (arc_k + d + nk) % nk;
+            if (cand == arc_k && d != 0) continue;  // Tiny envelopes.
+            if (karcs[cand].curve == kNoCurve) continue;
+            const FocalConic& ck = *gammas_[k].curves()[karcs[cand].curve];
+            if (!ck.InDomain(theta_k, -1e-9)) continue;
+            double err = std::abs(ck.RadiusAt(theta_k) - dist_k);
+            if (err < best_err) {
+              best_err = err;
+              best_arc = cand;
+            }
+          }
+          if (best_arc < 0) continue;
+          double tk = std::clamp(theta_k, karcs[best_arc].lo, karcs[best_arc].hi);
+          events_[i][ai].thetas.push_back(theta);
+          events_[k][best_arc].thetas.push_back(tk);
+          if (crossing_keys.insert(key_of(x)).second) {
+            ++stats_.curve_crossings;
+          }
+        }
+      }
+    }
+  }
+  stats_.arrangement_vertices = stats_.curve_crossings + stats_.gamma_breakpoints;
+}
+
+void NonzeroVoronoi::EnumerateBoxCrossings() {
+  frame_hits_.assign(4, {});
+  Vec2 corners[4] = {window_.lo,
+                     {window_.hi.x, window_.lo.y},
+                     window_.hi,
+                     {window_.lo.x, window_.hi.y}};
+  int n = static_cast<int>(points_.size());
+  for (int i = 0; i < n; ++i) {
+    const PolarEnvelope& env = gammas_[i];
+    const auto& arcs = env.arcs();
+    for (size_t ai = 0; ai < arcs.size(); ++ai) {
+      const envelope::EnvelopeArc& arc = arcs[ai];
+      if (arc.curve == kNoCurve) continue;
+      const FocalConic& conic = *env.curves()[arc.curve];
+      for (int s = 0; s < 4; ++s) {
+        Vec2 p = corners[s];
+        Vec2 q = corners[(s + 1) % 4];
+        FocalConic::SegmentHit hits[2];
+        int nh = conic.IntersectSegment(p, q, hits);
+        for (int h = 0; h < nh; ++h) {
+          double theta = hits[h].theta;
+          if (theta < arc.lo - 1e-12 || theta > arc.hi + 1e-12) continue;
+          theta = std::clamp(theta, arc.lo, arc.hi);
+          events_[i][ai].thetas.push_back(theta);
+          int vid = SnapVertex(hits[h].point);
+          frame_hits_[s].push_back({hits[h].t, vid});
+        }
+      }
+    }
+  }
+}
+
+int NonzeroVoronoi::SnapVertex(Vec2 p) {
+  double cell = 4.0 * snap_tol_;
+  auto cx = static_cast<int64_t>(std::floor(p.x / cell));
+  auto cy = static_cast<int64_t>(std::floor(p.y / cell));
+  for (int64_t dx = -1; dx <= 1; ++dx) {
+    for (int64_t dy = -1; dy <= 1; ++dy) {
+      uint64_t key = static_cast<uint64_t>((cx + dx) * 0x9E3779B97F4A7C15ULL) ^
+                     static_cast<uint64_t>(cy + dy);
+      auto it = snap_grid_.find(key);
+      if (it == snap_grid_.end()) continue;
+      for (int vid : it->second) {
+        if (Dist(sub_.vertex(vid).pos, p) <= snap_tol_) return vid;
+      }
+    }
+  }
+  int vid = sub_.AddVertex(p);
+  uint64_t key = static_cast<uint64_t>(cx * 0x9E3779B97F4A7C15ULL) ^
+                 static_cast<uint64_t>(cy);
+  snap_grid_[key].push_back(vid);
+  return vid;
+}
+
+void NonzeroVoronoi::BuildEdges() {
+  int n = static_cast<int>(points_.size());
+  Box accept = window_.Inflated(1e-6 * scale_);
+  for (int i = 0; i < n; ++i) {
+    const PolarEnvelope& env = gammas_[i];
+    const auto& arcs = env.arcs();
+    for (size_t ai = 0; ai < arcs.size(); ++ai) {
+      const envelope::EnvelopeArc& arc = arcs[ai];
+      if (arc.curve == kNoCurve) continue;
+      const FocalConic& conic = *env.curves()[arc.curve];
+      std::vector<double>& ev = events_[i][ai].thetas;
+      ev.push_back(arc.lo);
+      ev.push_back(arc.hi);
+      std::sort(ev.begin(), ev.end());
+      ev.erase(std::unique(ev.begin(), ev.end(),
+                           [](double a, double b) { return b - a < 1e-11; }),
+               ev.end());
+      for (size_t t = 0; t + 1 < ev.size(); ++t) {
+        double t0 = ev[t];
+        double t1 = ev[t + 1];
+        if (t1 - t0 < 1e-11) continue;
+        double tm = 0.5 * (t0 + t1);
+        if (!conic.InDomain(tm) || !window_.Contains(conic.PointAt(tm))) {
+          continue;
+        }
+        Vec2 pa = conic.PointAt(t0);
+        Vec2 pb = conic.PointAt(t1);
+        if (!accept.Contains(pa) || !accept.Contains(pb) ||
+            !std::isfinite(pa.x + pa.y + pb.x + pb.y)) {
+          ++stats_.dropped_subarcs;
+          continue;
+        }
+        int va = SnapVertex(pa);
+        int vb = SnapVertex(pb);
+        if (va == vb && Dist(pa, pb) < snap_tol_) continue;
+        sub_.AddEdge(va, vb, EdgeShape::Arc(conic, t0, t1), i);
+      }
+    }
+  }
+}
+
+void NonzeroVoronoi::BuildFrame() {
+  Vec2 corners[4] = {window_.lo,
+                     {window_.hi.x, window_.lo.y},
+                     window_.hi,
+                     {window_.lo.x, window_.hi.y}};
+  int corner_vid[4];
+  for (int s = 0; s < 4; ++s) corner_vid[s] = SnapVertex(corners[s]);
+  for (int s = 0; s < 4; ++s) {
+    auto& hits = frame_hits_[s];
+    hits.push_back({0.0, corner_vid[s]});
+    hits.push_back({1.0, corner_vid[(s + 1) % 4]});
+    std::sort(hits.begin(), hits.end());
+    for (size_t h = 0; h + 1 < hits.size(); ++h) {
+      int va = hits[h].second;
+      int vb = hits[h + 1].second;
+      if (va == vb) continue;
+      Vec2 pa = sub_.vertex(va).pos;
+      Vec2 pb = sub_.vertex(vb).pos;
+      sub_.AddEdge(va, vb, EdgeShape::Segment(pa, pb), dcel::kFrameCurve);
+    }
+  }
+}
+
+std::vector<int> NonzeroVoronoi::BruteQuery(Vec2 q) const {
+  DeltaEnvelope env = TwoSmallestMaxDist(points_, q);
+  std::vector<int> out;
+  for (size_t i = 0; i < points_.size(); ++i) {
+    double threshold = env.ThresholdFor(static_cast<int>(i));
+    if (!std::isfinite(threshold) || points_[i].MinDist(q) < threshold) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+void NonzeroVoronoi::AssignLabels() {
+  auto brute = [this](Vec2 p) { return BruteQuery(p); };
+  auto margin = [this](Vec2 p) { return NonzeroNnMargin(points_, p); };
+  LabelPropagation lp =
+      PropagateLabels(sub_, *shooter_, window_, scale_, brute, margin);
+  labels_ = std::move(lp.store);
+  loop_version_ = std::move(lp.loop_version);
+  stats_.unlabeled_loops = lp.unlabeled_loops;
+}
+
+std::vector<int> NonzeroVoronoi::Query(Vec2 q) const {
+  if (!window_.Contains(q)) return BruteQuery(q);
+  int h = shooter_->LocateHalfEdgeAbove(q);
+  if (h < 0) return BruteQuery(q);
+  persist::Version v = loop_version_[sub_.half_edge(h).loop];
+  if (v < 0) return BruteQuery(q);
+  return labels_.Items(v);
+}
+
+int NonzeroVoronoi::GuaranteedNn(Vec2 q) const {
+  std::vector<int> ids = Query(q);
+  return ids.size() == 1 ? ids[0] : -1;
+}
+
+int NonzeroVoronoi::NumGuaranteedFaces() const {
+  int count = 0;
+  for (int l = 0; l < sub_.NumLoops(); ++l) {
+    if (!sub_.loop(l).ccw) continue;
+    persist::Version v = loop_version_[l];
+    if (v >= 0 && labels_.Size(v) == 1) ++count;
+  }
+  return count;
+}
+
+bool NonzeroVoronoi::IsFallbackQuery(Vec2 q) const {
+  if (!window_.Contains(q)) return true;
+  int h = shooter_->LocateHalfEdgeAbove(q);
+  return h < 0 || loop_version_[sub_.half_edge(h).loop] < 0;
+}
+
+}  // namespace core
+}  // namespace unn

@@ -1,0 +1,154 @@
+#include "core/nonzero_voronoi_discrete.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "arrangement/segment_arrangement.h"
+#include "baselines/brute_force.h"
+#include "core/label_propagation.h"
+#include "geom/convex.h"
+#include "geom/predicates.h"
+#include "util/check.h"
+
+namespace unn {
+namespace core {
+
+using geom::Box;
+using geom::Halfplane;
+using geom::Vec2;
+
+namespace {
+
+/// K_ij = {x : max_t f(x, p_jt) <= min_s f(x, p_is)} via k_i * k_j
+/// halfplanes 2<x, p_is - p_jt> <= |p_is|^2 - |p_jt|^2, clipped to `bound`.
+std::vector<Vec2> ComputeKij(const UncertainPoint& pi, const UncertainPoint& pj,
+                             const Box& bound) {
+  std::vector<Halfplane> hps;
+  hps.reserve(pi.sites().size() * pj.sites().size());
+  for (Vec2 a : pi.sites()) {
+    for (Vec2 b : pj.sites()) {
+      Vec2 n = (a - b) * 2.0;
+      double c = NormSq(a) - NormSq(b);
+      // Points x with f(x, b) <= f(x, a):  |b|^2 - 2<x,b> <= |a|^2 - 2<x,a>
+      // i.e. 2<x, a - b> <= |a|^2 - |b|^2.
+      hps.push_back({n, c});
+    }
+  }
+  return geom::HalfplaneIntersection(hps, bound);
+}
+
+}  // namespace
+
+NonzeroVoronoiDiscrete::NonzeroVoronoiDiscrete(
+    std::vector<UncertainPoint> points,
+    const NonzeroVoronoiDiscreteOptions& opts)
+    : points_(std::move(points)) {
+  UNN_CHECK(!points_.empty());
+  int n = static_cast<int>(points_.size());
+  for (const auto& p : points_) {
+    UNN_CHECK_MSG(!p.is_disk(),
+                  "NonzeroVoronoiDiscrete requires discrete models");
+  }
+
+  if (!opts.window.Empty()) {
+    window_ = opts.window;
+  } else {
+    Box b;
+    for (const auto& p : points_) b.Expand(p.Bounds());
+    window_ = b.Inflated(opts.auto_window_margin * (b.Diagonal() + 1.0));
+  }
+  double scale = window_.Diagonal();
+  Box kij_bound = window_.Inflated(scale);
+
+  // gamma_i = boundary of union_j K_ij: split each polygon boundary at
+  // crossings with the other polygons of the same i, keep pieces not
+  // strictly interior to any other polygon.
+  gamma_segments_.resize(n);
+  arrangement::SegmentArrangementBuilder builder(window_);
+  for (int i = 0; i < n; ++i) {
+    std::vector<std::vector<Vec2>> polys;
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      auto poly = ComputeKij(points_[i], points_[j], kij_bound);
+      if (poly.size() >= 3) polys.push_back(std::move(poly));
+    }
+    for (size_t a = 0; a < polys.size(); ++a) {
+      const auto& poly = polys[a];
+      int m = static_cast<int>(poly.size());
+      for (int e = 0; e < m; ++e) {
+        Vec2 s0 = poly[e];
+        Vec2 s1 = poly[(e + 1) % m];
+        // Split this boundary segment at crossings with other polygons.
+        std::vector<double> cuts = {0.0, 1.0};
+        for (size_t b = 0; b < polys.size(); ++b) {
+          if (b == a) continue;
+          const auto& other = polys[b];
+          int mo = static_cast<int>(other.size());
+          for (int f = 0; f < mo; ++f) {
+            Vec2 t0 = other[f];
+            Vec2 t1 = other[(f + 1) % mo];
+            if (!geom::SegmentsIntersect(s0, s1, t0, t1)) continue;
+            bool ok = false;
+            Vec2 x = geom::LineIntersection(s0, s1, t0, t1, &ok);
+            if (!ok) continue;
+            double len2 = DistSq(s0, s1);
+            if (len2 == 0) continue;
+            cuts.push_back(std::clamp(Dot(x - s0, s1 - s0) / len2, 0.0, 1.0));
+          }
+        }
+        std::sort(cuts.begin(), cuts.end());
+        for (size_t c = 0; c + 1 < cuts.size(); ++c) {
+          if (cuts[c + 1] - cuts[c] < 1e-12) continue;
+          Vec2 mid = Lerp(s0, s1, 0.5 * (cuts[c] + cuts[c + 1]));
+          bool interior = false;
+          for (size_t b = 0; b < polys.size() && !interior; ++b) {
+            if (b == a) continue;
+            // Strictly inside (negative tolerance keeps shared boundary).
+            if (geom::PointInConvex(polys[b], mid, -1e-9 * scale)) {
+              interior = true;
+            }
+          }
+          if (interior) continue;
+          Vec2 pa = Lerp(s0, s1, cuts[c]);
+          Vec2 pb = Lerp(s0, s1, cuts[c + 1]);
+          gamma_segments_[i].push_back({pa, pb});
+          builder.AddSegment(pa, pb, i);
+          ++stats_.union_segments;
+        }
+      }
+    }
+  }
+
+  sub_ = std::make_unique<dcel::PlanarSubdivision>(builder.Build());
+  stats_.crossings = builder.num_crossings();
+  stats_.dcel_vertices = sub_->NumVertices();
+  stats_.dcel_edges = sub_->NumEdges();
+  stats_.bounded_faces = sub_->NumCcwLoops();
+  shooter_ = std::make_unique<pointloc::RayShooter>(*sub_);
+
+  auto brute = [this](Vec2 p) { return BruteQuery(p); };
+  auto margin = [this](Vec2 p) { return NonzeroNnMargin(points_, p); };
+  LabelPropagation lp =
+      PropagateLabels(*sub_, *shooter_, window_, scale, brute, margin);
+  labels_ = std::move(lp.store);
+  loop_version_ = std::move(lp.loop_version);
+  stats_.unlabeled_loops = lp.unlabeled_loops;
+  stats_.label_nodes = static_cast<int64_t>(labels_.NumNodes());
+}
+
+std::vector<int> NonzeroVoronoiDiscrete::BruteQuery(Vec2 q) const {
+  return baselines::NonzeroNn(points_, q);
+}
+
+std::vector<int> NonzeroVoronoiDiscrete::Query(Vec2 q) const {
+  if (!window_.Contains(q)) return BruteQuery(q);
+  int h = shooter_->LocateHalfEdgeAbove(q);
+  if (h < 0) return BruteQuery(q);
+  persist::Version v = loop_version_[sub_->half_edge(h).loop];
+  if (v < 0) return BruteQuery(q);
+  return labels_.Items(v);
+}
+
+}  // namespace core
+}  // namespace unn

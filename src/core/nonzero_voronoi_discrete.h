@@ -1,0 +1,74 @@
+#ifndef UNN_CORE_NONZERO_VORONOI_DISCRETE_H_
+#define UNN_CORE_NONZERO_VORONOI_DISCRETE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/uncertain_point.h"
+#include "dcel/planar_subdivision.h"
+#include "geom/vec2.h"
+#include "persist/persistent_set.h"
+#include "pointloc/ray_shooter.h"
+
+/// \file nonzero_voronoi_discrete.h
+/// V!=0(P) for discrete uncertain points (Section 2.2, Theorem 2.14). The
+/// linearization f(x, p) = |p|^2 - 2<x, p> turns every comparison
+/// d(x, p) <= d(x, p') into a halfplane, so
+///   K_ij = { Delta_j <= delta_i } = intersection of k^2 halfplanes
+/// is a convex polygon (Lemma 2.13) and gamma_i = boundary of the union of
+/// the K_ij over j != i — a polygonal curve. The arrangement A(Gamma) of
+/// these polylines is assembled with the exact segment-arrangement substrate
+/// and labeled with the shared toggle-BFS + persistent-set machinery.
+
+namespace unn {
+namespace core {
+
+struct NonzeroVoronoiDiscreteOptions {
+  geom::Box window;
+  double auto_window_margin = 1.0;
+};
+
+class NonzeroVoronoiDiscrete {
+ public:
+  struct Stats {
+    int64_t union_segments = 0;      ///< Segments across all gamma_i.
+    int64_t crossings = 0;           ///< Interior crossings in A(Gamma).
+    int dcel_vertices = 0;
+    int dcel_edges = 0;
+    int bounded_faces = 0;
+    int unlabeled_loops = 0;
+    int64_t label_nodes = 0;
+  };
+
+  explicit NonzeroVoronoiDiscrete(std::vector<UncertainPoint> points,
+                                  const NonzeroVoronoiDiscreteOptions& opts = {});
+
+  /// NN!=0(q), sorted ids. Exact (O(N) fallback outside the window).
+  std::vector<int> Query(geom::Vec2 q) const;
+
+  const Stats& stats() const { return stats_; }
+  const geom::Box& window() const { return window_; }
+  const dcel::PlanarSubdivision& subdivision() const { return *sub_; }
+  /// gamma_i as segment lists (for rendering).
+  const std::vector<std::vector<std::pair<geom::Vec2, geom::Vec2>>>& gammas()
+      const {
+    return gamma_segments_;
+  }
+
+ private:
+  std::vector<int> BruteQuery(geom::Vec2 q) const;
+
+  std::vector<UncertainPoint> points_;
+  geom::Box window_;
+  std::vector<std::vector<std::pair<geom::Vec2, geom::Vec2>>> gamma_segments_;
+  std::unique_ptr<dcel::PlanarSubdivision> sub_;
+  std::unique_ptr<pointloc::RayShooter> shooter_;
+  persist::PersistentSet labels_;
+  std::vector<persist::Version> loop_version_;
+  Stats stats_;
+};
+
+}  // namespace core
+}  // namespace unn
+
+#endif  // UNN_CORE_NONZERO_VORONOI_DISCRETE_H_

@@ -1,0 +1,36 @@
+#include "core/pnn_common.h"
+
+#include "util/check.h"
+
+namespace unn {
+namespace core {
+
+void AccumulateQuantification(const std::vector<WeightedSite>& sites, int n,
+                              std::vector<double>* pi) {
+  pi->assign(n, 0.0);
+  std::vector<long double> f(n, 1.0L);
+  long double prod_nonzero = 1.0L;
+  int zero_count = 0;
+  constexpr long double kZeroTol = 1e-13L;
+
+  for (const WeightedSite& s : sites) {
+    UNN_DCHECK(s.owner >= 0 && s.owner < n);
+    if (zero_count == 0) {
+      (*pi)[s.owner] +=
+          static_cast<double>(s.weight * (prod_nonzero / f[s.owner]));
+    }
+    long double old_f = f[s.owner];
+    long double new_f = old_f - static_cast<long double>(s.weight);
+    if (new_f < kZeroTol) new_f = 0.0L;
+    f[s.owner] = new_f;
+    if (new_f == 0.0L) {
+      ++zero_count;
+      prod_nonzero /= old_f;
+    } else {
+      prod_nonzero *= new_f / old_f;
+    }
+  }
+}
+
+}  // namespace core
+}  // namespace unn

@@ -1,0 +1,32 @@
+#ifndef UNN_CORE_PNN_COMMON_H_
+#define UNN_CORE_PNN_COMMON_H_
+
+#include <vector>
+
+/// \file pnn_common.h
+/// Shared single-pass evaluator for Eq. (2)/(10)/(11): given sites sorted by
+/// distance from the query, accumulate each owner's probability of being
+/// the nearest neighbor. Maintains f_j = 1 - G_{q,j}(r^-) per owner and
+/// their running product, with exhausted owners (f_j = 0) tracked separately
+/// so the product stays divisible.
+
+namespace unn {
+namespace core {
+
+struct WeightedSite {
+  double dist;
+  int owner;
+  double weight;
+};
+
+/// `sites` must be sorted by increasing dist; owners in [0, n). Writes the
+/// accumulated probabilities into `pi` (resized to n, zero-filled).
+/// When `sites` covers all locations this is exactly Eq. (2); on a prefix
+/// (spiral search) it is the lower bound hat-pi of Lemma 4.6.
+void AccumulateQuantification(const std::vector<WeightedSite>& sites, int n,
+                              std::vector<double>* pi);
+
+}  // namespace core
+}  // namespace unn
+
+#endif  // UNN_CORE_PNN_COMMON_H_

@@ -1,0 +1,38 @@
+#include "core/pnn_queries.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace unn {
+namespace core {
+
+using geom::Vec2;
+
+std::vector<std::pair<int, double>> ThresholdQuery(const SpiralSearch& ss,
+                                                   Vec2 q, double tau) {
+  UNN_CHECK(tau > 0 && tau < 1);
+  double eps = tau / 2.0;
+  auto est = ss.Query(q, eps);
+  std::vector<std::pair<int, double>> out;
+  for (auto [id, p] : est) {
+    if (p + eps >= tau) out.push_back({id, p});
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second || (a.second == b.second && a.first < b.first);
+  });
+  return out;
+}
+
+std::vector<std::pair<int, double>> TopKQuery(const SpiralSearch& ss, Vec2 q,
+                                              int k, double eps) {
+  auto est = ss.Query(q, eps);
+  std::sort(est.begin(), est.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second || (a.second == b.second && a.first < b.first);
+  });
+  if (static_cast<int>(est.size()) > k) est.resize(k);
+  return est;
+}
+
+}  // namespace core
+}  // namespace unn

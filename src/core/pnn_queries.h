@@ -1,0 +1,35 @@
+#ifndef UNN_CORE_PNN_QUERIES_H_
+#define UNN_CORE_PNN_QUERIES_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/spiral_search.h"
+#include "geom/vec2.h"
+
+/// \file pnn_queries.h
+/// Derived probabilistic-NN query types built on the Section-4 estimators:
+/// threshold queries ([DYM+05]-style, Section 1.2) and top-k most-probable
+/// NN ranking ([BSI08]-style).
+
+namespace unn {
+namespace core {
+
+/// All (i, hat-pi) whose true pi_i(q) may reach `tau`: reports every i with
+/// hat-pi_i + eps >= tau where eps = tau/2, so there are *no false
+/// negatives* (Lemma 4.6 gives pi <= hat-pi + eps), and every reported i
+/// has pi_i >= hat-pi_i >= tau/2 - eps_slack. Sorted by decreasing estimate.
+std::vector<std::pair<int, double>> ThresholdQuery(const SpiralSearch& ss,
+                                                   geom::Vec2 q, double tau);
+
+/// The k ids with the largest estimated pi_i(q) (accuracy eps), sorted by
+/// decreasing estimate. Ties and near-ties (within 2 eps) may permute — the
+/// inherent ambiguity of probabilistic ranking the paper cites [JCLY11].
+std::vector<std::pair<int, double>> TopKQuery(const SpiralSearch& ss,
+                                              geom::Vec2 q, int k,
+                                              double eps = 0.01);
+
+}  // namespace core
+}  // namespace unn
+
+#endif  // UNN_CORE_PNN_QUERIES_H_

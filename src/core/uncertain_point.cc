@@ -1,0 +1,45 @@
+#include "core/uncertain_point.h"
+
+#include <limits>
+
+namespace unn {
+namespace core {
+
+double GlobalMaxDistLowerEnvelope(const std::vector<UncertainPoint>& pts,
+                                  geom::Vec2 q) {
+  double m = std::numeric_limits<double>::infinity();
+  for (const auto& p : pts) m = std::min(m, p.MaxDist(q));
+  return m;
+}
+
+DeltaEnvelope TwoSmallestMaxDist(const std::vector<UncertainPoint>& pts,
+                                 geom::Vec2 q) {
+  DeltaEnvelope out;
+  out.best = std::numeric_limits<double>::infinity();
+  out.second = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < pts.size(); ++i) {
+    double d = pts[i].MaxDist(q);
+    if (d < out.best) {
+      out.second = out.best;
+      out.best = d;
+      out.argbest = static_cast<int>(i);
+    } else {
+      out.second = std::min(out.second, d);
+    }
+  }
+  return out;
+}
+
+double NonzeroNnMargin(const std::vector<UncertainPoint>& pts, geom::Vec2 q) {
+  DeltaEnvelope env = TwoSmallestMaxDist(pts, q);
+  double m = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < pts.size(); ++i) {
+    double threshold = env.ThresholdFor(static_cast<int>(i));
+    if (!std::isfinite(threshold)) continue;  // Single point: never bounded.
+    m = std::min(m, std::abs(pts[i].MinDist(q) - threshold));
+  }
+  return m;
+}
+
+}  // namespace core
+}  // namespace unn

@@ -1,0 +1,102 @@
+#include "core/vpr_diagram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "arrangement/segment_arrangement.h"
+#include "core/exact_pnn.h"
+#include "util/check.h"
+
+namespace unn {
+namespace core {
+
+using geom::Box;
+using geom::Vec2;
+
+VprDiagram::VprDiagram(std::vector<UncertainPoint> points,
+                       const VprDiagramOptions& opts)
+    : points_(std::move(points)) {
+  UNN_CHECK(!points_.empty());
+  std::vector<Vec2> sites;
+  for (const auto& p : points_) {
+    UNN_CHECK_MSG(!p.is_disk(), "VprDiagram requires discrete models");
+    for (Vec2 s : p.sites()) sites.push_back(s);
+  }
+
+  if (!opts.window.Empty()) {
+    window_ = opts.window;
+  } else {
+    Box b;
+    for (Vec2 s : sites) b.Expand(s);
+    window_ = b.Inflated(opts.auto_window_margin * (b.Diagonal() + 1.0));
+  }
+
+  arrangement::SegmentArrangementBuilder builder(window_);
+  double big = 4.0 * window_.Diagonal() + 1.0;
+  int num_sites = static_cast<int>(sites.size());
+  for (int a = 0; a < num_sites; ++a) {
+    for (int b = a + 1; b < num_sites; ++b) {
+      Vec2 mid = (sites[a] + sites[b]) * 0.5;
+      Vec2 d = sites[b] - sites[a];
+      double len = Norm(d);
+      if (len < 1e-12) continue;  // Coincident sites: no bisector.
+      Vec2 dir = geom::Perp(d) / len;
+      builder.AddSegment(mid - dir * big, mid + dir * big, a);
+      ++stats_.num_bisectors;
+    }
+  }
+  sub_ = std::make_unique<dcel::PlanarSubdivision>(builder.Build());
+  stats_.crossings = builder.num_crossings();
+  stats_.dcel_vertices = sub_->NumVertices();
+  stats_.dcel_edges = sub_->NumEdges();
+  stats_.bounded_faces = sub_->NumCcwLoops();
+  shooter_ = std::make_unique<pointloc::RayShooter>(*sub_);
+
+  // Label every loop with the probability vector at a verified interior
+  // sample; within a face of the bisector arrangement the site-distance
+  // order — and with it every pi_i — is constant (Lemma 4.1's argument).
+  double scale = window_.Diagonal();
+  int nloops = sub_->NumLoops();
+  loop_pi_.resize(nloops);
+  loop_labeled_.assign(nloops, 0);
+  for (int l = 0; l < nloops; ++l) {
+    int h0 = sub_->loop(l).first_half_edge;
+    int h = h0;
+    do {
+      const auto& he = sub_->half_edge(h);
+      const auto& shape = sub_->edge(he.edge).shape;
+      Vec2 mid = shape.Midpoint();
+      Vec2 dir = shape.TravelDirAt(0.5);
+      if (!he.forward) dir = -dir;
+      for (double eps : {1e-7 * scale, 1e-5 * scale}) {
+        Vec2 p = mid + geom::Perp(dir) * eps;
+        if (!window_.Contains(p)) continue;
+        int lh = shooter_->LocateHalfEdgeAbove(p);
+        if (lh < 0 || sub_->half_edge(lh).loop != l) continue;
+        loop_pi_[l] = ComputeAt(p);
+        loop_labeled_[l] = 1;
+        break;
+      }
+      if (loop_labeled_[l]) break;
+      h = he.next;
+    } while (h != h0);
+  }
+}
+
+std::vector<std::pair<int, double>> VprDiagram::ComputeAt(Vec2 q) const {
+  return DiscreteQuantification(points_, q);
+}
+
+std::vector<std::pair<int, double>> VprDiagram::Query(Vec2 q) const {
+  if (window_.Contains(q)) {
+    int h = shooter_->LocateHalfEdgeAbove(q);
+    if (h >= 0) {
+      int l = sub_->half_edge(h).loop;
+      if (loop_labeled_[l]) return loop_pi_[l];
+    }
+  }
+  return ComputeAt(q);
+}
+
+}  // namespace core
+}  // namespace unn

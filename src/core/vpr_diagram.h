@@ -1,0 +1,67 @@
+#ifndef UNN_CORE_VPR_DIAGRAM_H_
+#define UNN_CORE_VPR_DIAGRAM_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/uncertain_point.h"
+#include "dcel/planar_subdivision.h"
+#include "geom/vec2.h"
+#include "pointloc/ray_shooter.h"
+
+/// \file vpr_diagram.h
+/// The exact probabilistic Voronoi diagram VPr(P) of Section 4.1 / Theorem
+/// 4.2 for discrete uncertain points: the arrangement of all O(N^2)
+/// perpendicular bisectors of site pairs refines VPr, so every face carries
+/// a constant vector of quantification probabilities, computed once per
+/// face and served in O(location + t) per query. Size is Theta(N^4) in the
+/// worst case (Lemma 4.1) — the diagram is only practical for tiny N, which
+/// is precisely the point the paper makes before turning to approximation;
+/// experiment E7 measures the blowup.
+
+namespace unn {
+namespace core {
+
+struct VprDiagramOptions {
+  geom::Box window;  ///< Empty selects sites' bbox inflated by one diagonal.
+  double auto_window_margin = 1.0;
+};
+
+class VprDiagram {
+ public:
+  explicit VprDiagram(std::vector<UncertainPoint> points,
+                      const VprDiagramOptions& opts = {});
+
+  /// Exact (id, pi) pairs with pi > 0, sorted by id. Falls back to direct
+  /// Eq. (2) evaluation outside the window (still exact).
+  std::vector<std::pair<int, double>> Query(geom::Vec2 q) const;
+
+  struct Stats {
+    int num_bisectors = 0;
+    int64_t crossings = 0;  ///< Interior bisector crossings in the window.
+    int dcel_vertices = 0;
+    int dcel_edges = 0;
+    int bounded_faces = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  const geom::Box& window() const { return window_; }
+  const dcel::PlanarSubdivision& subdivision() const { return *sub_; }
+
+ private:
+  std::vector<std::pair<int, double>> ComputeAt(geom::Vec2 q) const;
+
+  std::vector<UncertainPoint> points_;
+  geom::Box window_;
+  std::unique_ptr<dcel::PlanarSubdivision> sub_;
+  std::unique_ptr<pointloc::RayShooter> shooter_;
+  /// Probability vector per loop (empty for unlabeled loops).
+  std::vector<std::vector<std::pair<int, double>>> loop_pi_;
+  std::vector<char> loop_labeled_;
+  Stats stats_;
+};
+
+}  // namespace core
+}  // namespace unn
+
+#endif  // UNN_CORE_VPR_DIAGRAM_H_

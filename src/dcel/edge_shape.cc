@@ -1,0 +1,137 @@
+#include "dcel/edge_shape.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/trig.h"
+#include "util/check.h"
+
+namespace unn {
+namespace dcel {
+
+using geom::FocalConic;
+using geom::Vec2;
+
+Vec2 ConicTangent(const FocalConic& conic, double theta) {
+  // r(theta) = N / g(theta), g = 2 (D cos(theta - phi) - s), N = D^2 - s^2.
+  // dP/dtheta = r' u(theta) + r u_perp(theta), r' = 2 N D sin(theta-phi)/g^2.
+  double d = conic.D();
+  double s = conic.s();
+  double n = d * d - s * s;
+  double g = 2.0 * (d * std::cos(theta - conic.phi()) - s);
+  double r = n / g;
+  double rp = 2.0 * n * d * std::sin(theta - conic.phi()) / (g * g);
+  Vec2 u = geom::UnitVec(theta);
+  return geom::Normalized(u * rp + geom::Perp(u) * r);
+}
+
+EdgeShape EdgeShape::Segment(Vec2 a, Vec2 b) {
+  EdgeShape e;
+  e.kind_ = Kind::kSegment;
+  e.a_ = a;
+  e.b_ = b;
+  return e;
+}
+
+EdgeShape EdgeShape::Arc(const FocalConic& conic, double t0, double t1) {
+  UNN_CHECK(t0 < t1);
+  EdgeShape e;
+  e.kind_ = Kind::kArc;
+  e.arc_ = ArcData{conic, t0, t1};
+  e.a_ = conic.PointAt(t0);
+  e.b_ = conic.PointAt(t1);
+  return e;
+}
+
+Vec2 EdgeShape::PointAt(double u) const {
+  if (kind_ == Kind::kSegment) return Lerp(a_, b_, u);
+  double t = arc_->t0 + u * (arc_->t1 - arc_->t0);
+  return arc_->conic.PointAt(t);
+}
+
+Vec2 EdgeShape::TangentIntoEdgeAtA() const {
+  if (kind_ == Kind::kSegment) return geom::Normalized(b_ - a_);
+  return ConicTangent(arc_->conic, arc_->t0);
+}
+
+Vec2 EdgeShape::TangentIntoEdgeAtB() const {
+  if (kind_ == Kind::kSegment) return geom::Normalized(a_ - b_);
+  return -ConicTangent(arc_->conic, arc_->t1);
+}
+
+Vec2 EdgeShape::TravelDirAt(double u) const {
+  if (kind_ == Kind::kSegment) return geom::Normalized(b_ - a_);
+  double t = arc_->t0 + u * (arc_->t1 - arc_->t0);
+  return ConicTangent(arc_->conic, t);
+}
+
+geom::Box EdgeShape::Bounds() const {
+  geom::Box box;
+  if (kind_ == Kind::kSegment) {
+    box.Expand(a_);
+    box.Expand(b_);
+    return box;
+  }
+  // Sample densely and inflate by the largest adjacent gap: hyperbola arcs
+  // are convex, so the sagitta between adjacent samples is bounded by the
+  // chord length; doubling the largest gap is a conservative margin.
+  const int kSamples = 65;
+  Vec2 prev = PointAt(0.0);
+  box.Expand(prev);
+  double max_gap = 0.0;
+  for (int i = 1; i < kSamples; ++i) {
+    Vec2 p = PointAt(static_cast<double>(i) / (kSamples - 1));
+    box.Expand(p);
+    max_gap = std::max(max_gap, Dist(prev, p));
+    prev = p;
+  }
+  return box.Inflated(max_gap);
+}
+
+void EdgeShape::VerticalRayHits(Vec2 q, double y_limit,
+                                std::vector<double>* ys,
+                                std::vector<Vec2>* dirs) const {
+  if (kind_ == Kind::kSegment) {
+    double xlo = std::min(a_.x, b_.x);
+    double xhi = std::max(a_.x, b_.x);
+    if (q.x < xlo || q.x > xhi || a_.x == b_.x) return;
+    double t = (q.x - a_.x) / (b_.x - a_.x);
+    double y = a_.y + t * (b_.y - a_.y);
+    if (y > q.y && y <= y_limit) {
+      ys->push_back(y);
+      dirs->push_back(geom::Normalized(b_ - a_));
+    }
+    return;
+  }
+  FocalConic::SegmentHit hits[2];
+  Vec2 top{q.x, y_limit};
+  int n = arc_->conic.IntersectSegment(q, top, hits);
+  for (int i = 0; i < n; ++i) {
+    // Keep hits whose polar angle lies in the arc's theta interval. The
+    // interval never wraps (callers split at 0), so a plain range test with
+    // slack is enough.
+    double th = hits[i].theta;
+    bool inside = th >= arc_->t0 - 1e-9 && th <= arc_->t1 + 1e-9;
+    if (!inside && th + geom::kTwoPi >= arc_->t0 - 1e-9 &&
+        th + geom::kTwoPi <= arc_->t1 + 1e-9) {
+      inside = true;  // t1 may exceed 2*pi marginally after clamping.
+    }
+    if (!inside) continue;
+    if (hits[i].point.y <= q.y) continue;
+    ys->push_back(hits[i].point.y);
+    dirs->push_back(ConicTangent(arc_->conic, th));
+  }
+}
+
+std::vector<Vec2> EdgeShape::Sample(int n) const {
+  std::vector<Vec2> out;
+  n = std::max(n, 2);
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    out.push_back(PointAt(static_cast<double>(i) / (n - 1)));
+  }
+  return out;
+}
+
+}  // namespace dcel
+}  // namespace unn

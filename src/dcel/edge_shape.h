@@ -1,0 +1,82 @@
+#ifndef UNN_DCEL_EDGE_SHAPE_H_
+#define UNN_DCEL_EDGE_SHAPE_H_
+
+#include <optional>
+#include <vector>
+
+#include "geom/conic.h"
+#include "geom/vec2.h"
+
+/// \file edge_shape.h
+/// Geometry carried by a planar-subdivision edge: either a straight segment
+/// or a focal-conic arc (a theta-interval of a FocalConic polar graph).
+/// Everything the topology layer needs — tangents for rotational sorting,
+/// conservative bounding boxes for the ray-shooting grid, and vertical-ray
+/// intersections for point location — is funneled through this type.
+
+namespace unn {
+namespace dcel {
+
+/// A theta-interval [t0, t1] (t0 < t1, both within [0, 2*pi], never wrapping
+/// through 0 — callers split wrapping arcs) of a focal conic.
+struct ArcData {
+  geom::FocalConic conic;
+  double t0 = 0.0;
+  double t1 = 0.0;
+};
+
+class EdgeShape {
+ public:
+  enum class Kind { kSegment, kArc };
+
+  /// Straight segment from `a` to `b`.
+  static EdgeShape Segment(geom::Vec2 a, geom::Vec2 b);
+
+  /// Conic arc; endpoints are computed from the conic.
+  static EdgeShape Arc(const geom::FocalConic& conic, double t0, double t1);
+
+  Kind kind() const { return kind_; }
+  geom::Vec2 a() const { return a_; }
+  geom::Vec2 b() const { return b_; }
+  const std::optional<ArcData>& arc() const { return arc_; }
+
+  /// Point at normalized parameter u in [0, 1] (u=0 -> a, u=1 -> b).
+  geom::Vec2 PointAt(double u) const;
+
+  /// A point strictly inside the edge.
+  geom::Vec2 Midpoint() const { return PointAt(0.5); }
+
+  /// Unit tangent pointing from endpoint `a` into the edge.
+  geom::Vec2 TangentIntoEdgeAtA() const;
+
+  /// Unit tangent pointing from endpoint `b` into the edge.
+  geom::Vec2 TangentIntoEdgeAtB() const;
+
+  /// Unit tangent along increasing parameter at normalized parameter u.
+  geom::Vec2 TravelDirAt(double u) const;
+
+  /// Conservative bounding box (sampled and inflated for arcs).
+  geom::Box Bounds() const;
+
+  /// Intersections with the upward vertical ray from q: y-coordinates of
+  /// hits strictly above q.y at x == q.x, each with the travel direction of
+  /// the edge at the hit. Appends to `ys`/`dirs` in no particular order.
+  void VerticalRayHits(geom::Vec2 q, double y_limit, std::vector<double>* ys,
+                       std::vector<geom::Vec2>* dirs) const;
+
+  /// Approximate polyline (for SVG output and area estimation).
+  std::vector<geom::Vec2> Sample(int n) const;
+
+ private:
+  Kind kind_ = Kind::kSegment;
+  geom::Vec2 a_, b_;
+  std::optional<ArcData> arc_;
+};
+
+/// Unit tangent d/d(theta) of a focal conic's polar graph at angle theta.
+geom::Vec2 ConicTangent(const geom::FocalConic& conic, double theta);
+
+}  // namespace dcel
+}  // namespace unn
+
+#endif  // UNN_DCEL_EDGE_SHAPE_H_

@@ -1,0 +1,212 @@
+#include "dcel/planar_subdivision.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace unn {
+namespace dcel {
+
+using geom::Vec2;
+
+int PlanarSubdivision::AddVertex(Vec2 p) {
+  UNN_CHECK(!built_);
+  vertices_.push_back(Vertex{p, {}});
+  return static_cast<int>(vertices_.size()) - 1;
+}
+
+int PlanarSubdivision::AddEdge(int a, int b, const EdgeShape& shape,
+                               int curve_id) {
+  UNN_CHECK(!built_);
+  UNN_CHECK(a >= 0 && a < NumVertices() && b >= 0 && b < NumVertices());
+  int e = static_cast<int>(edges_.size());
+  edges_.push_back(Edge{a, b, shape, curve_id});
+  HalfEdge fwd;
+  fwd.origin = a;
+  fwd.twin = 2 * e + 1;
+  fwd.edge = e;
+  fwd.forward = true;
+  HalfEdge rev;
+  rev.origin = b;
+  rev.twin = 2 * e;
+  rev.edge = e;
+  rev.forward = false;
+  half_edges_.push_back(fwd);
+  half_edges_.push_back(rev);
+  return e;
+}
+
+Vec2 PlanarSubdivision::DepartureDir(int h) const {
+  const HalfEdge& he = half_edges_[h];
+  const EdgeShape& s = edges_[he.edge].shape;
+  return he.forward ? s.TangentIntoEdgeAtA() : s.TangentIntoEdgeAtB();
+}
+
+Vec2 PlanarSubdivision::ArrivalDir(int h) const {
+  // Direction of travel when arriving at the head: opposite of the twin's
+  // departure direction.
+  return -DepartureDir(half_edges_[h].twin);
+}
+
+int PlanarSubdivision::Head(int h) const {
+  return half_edges_[half_edges_[h].twin].origin;
+}
+
+void PlanarSubdivision::SortStubs() {
+  for (auto& v : vertices_) v.out.clear();
+  for (int h = 0; h < NumHalfEdges(); ++h) {
+    vertices_[half_edges_[h].origin].out.push_back(h);
+  }
+  for (auto& v : vertices_) {
+    std::sort(v.out.begin(), v.out.end(), [&](int h1, int h2) {
+      Vec2 d1 = DepartureDir(h1);
+      Vec2 d2 = DepartureDir(h2);
+      double a1 = std::atan2(d1.y, d1.x);
+      double a2 = std::atan2(d2.y, d2.x);
+      if (a1 != a2) return a1 < a2;
+      // Coincident stubs (parallel identical edges between the same vertex
+      // pair, e.g. duplicated uncertain points): the circular order at the
+      // two endpoints must be reversed for the embedding to stay planar, so
+      // the tie-break key flips sign with the half-edge orientation.
+      auto key = [this](int h) {
+        const HalfEdge& he = half_edges_[h];
+        return he.forward ? he.edge : -he.edge - 1;
+      };
+      return key(h1) < key(h2);
+    });
+  }
+}
+
+void PlanarSubdivision::LinkNextPrev() {
+  // Index of each half-edge within its origin's sorted stub list.
+  std::vector<int> pos(NumHalfEdges(), -1);
+  for (const auto& v : vertices_) {
+    for (size_t i = 0; i < v.out.size(); ++i) pos[v.out[i]] = static_cast<int>(i);
+  }
+  for (int h = 0; h < NumHalfEdges(); ++h) {
+    int t = half_edges_[h].twin;  // Out-edge at Head(h).
+    const Vertex& v = vertices_[half_edges_[t].origin];
+    int m = static_cast<int>(v.out.size());
+    UNN_DCHECK(m > 0);
+    // next(h): the out-edge immediately clockwise from twin(h), which keeps
+    // the face interior on the left while walking.
+    int idx = (pos[t] - 1 + m) % m;
+    int nh = v.out[idx];
+    half_edges_[h].next = nh;
+    half_edges_[nh].prev = h;
+  }
+}
+
+void PlanarSubdivision::ExtractLoops() {
+  loops_.clear();
+  for (int h = 0; h < NumHalfEdges(); ++h) half_edges_[h].loop = -1;
+  for (int h = 0; h < NumHalfEdges(); ++h) {
+    if (half_edges_[h].loop != -1) continue;
+    int l = static_cast<int>(loops_.size());
+    Loop loop;
+    loop.first_half_edge = h;
+    int cur = h;
+    int count = 0;
+    do {
+      half_edges_[cur].loop = l;
+      cur = half_edges_[cur].next;
+      ++count;
+      UNN_CHECK_MSG(count <= NumHalfEdges(), "loop walk did not close");
+    } while (cur != h);
+    loop.num_half_edges = count;
+    loops_.push_back(loop);
+  }
+  for (int l = 0; l < NumLoops(); ++l) loops_[l].ccw = ComputeLoopCcw(l);
+}
+
+bool PlanarSubdivision::ComputeLoopCcw(int l) const {
+  // Primary rule: sign of the sampled signed area (Green's theorem). A
+  // vertex-turn test is NOT sound here: with curved edges the loop's true
+  // leftmost point may lie strictly inside an arc, and the turn at the
+  // leftmost *vertex* (often a mere envelope-breakpoint kink) can have
+  // either sign. For near-zero areas (thin lenses, slivers) fall back to
+  // the tangent at the leftmost sampled point: a CCW loop traverses its
+  // leftmost point moving downward.
+  const Loop& loop = loops_[l];
+  int h = loop.first_half_edge;
+  double area = 0.0;
+  geom::Box bbox;
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_x_dir_y = 0.0;
+  int cur = h;
+  do {
+    const HalfEdge& he = half_edges_[cur];
+    const EdgeShape& s = edges_[he.edge].shape;
+    const int kSamples = 33;
+    for (int i = 0; i < kSamples; ++i) {
+      double u = static_cast<double>(i) / (kSamples - 1);
+      double ue = he.forward ? u : 1.0 - u;
+      Vec2 p = s.PointAt(ue);
+      bbox.Expand(p);
+      Vec2 d = s.TravelDirAt(ue);
+      if (!he.forward) d = -d;
+      // Among samples tied for leftmost (within tolerance decided later),
+      // prefer the one with the steepest vertical motion.
+      if (p.x < min_x - 1e-12 ||
+          (p.x < min_x + 1e-12 && std::abs(d.y) > std::abs(min_x_dir_y))) {
+        min_x = std::min(min_x, p.x);
+        min_x_dir_y = d.y;
+      }
+      if (i + 1 < kSamples) {
+        double un = he.forward ? u + 1.0 / (kSamples - 1)
+                               : 1.0 - u - 1.0 / (kSamples - 1);
+        area += Cross(p, s.PointAt(un));
+      }
+    }
+    cur = he.next;
+  } while (cur != h);
+  area *= 0.5;
+  double area_floor = 1e-9 * bbox.Diagonal() * bbox.Diagonal();
+  if (std::abs(area) > area_floor) return area > 0;
+  return min_x_dir_y < 0;
+}
+
+void PlanarSubdivision::ComputeComponents() {
+  std::vector<int> parent(NumVertices());
+  std::iota(parent.begin(), parent.end(), 0);
+  std::vector<int> rank(NumVertices(), 0);
+  std::function<int(int)> find = [&](int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const Edge& e : edges_) {
+    int ra = find(e.a), rb = find(e.b);
+    if (ra == rb) continue;
+    if (rank[ra] < rank[rb]) std::swap(ra, rb);
+    parent[rb] = ra;
+    if (rank[ra] == rank[rb]) ++rank[ra];
+  }
+  num_components_ = 0;
+  for (int v = 0; v < NumVertices(); ++v) {
+    if (find(v) == v) ++num_components_;
+  }
+}
+
+int PlanarSubdivision::NumCcwLoops() const {
+  int n = 0;
+  for (const Loop& l : loops_) n += l.ccw;
+  return n;
+}
+
+void PlanarSubdivision::Build() {
+  UNN_CHECK(!built_);
+  built_ = true;
+  SortStubs();
+  LinkNextPrev();
+  ExtractLoops();
+  ComputeComponents();
+}
+
+}  // namespace dcel
+}  // namespace unn

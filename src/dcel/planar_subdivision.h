@@ -1,0 +1,122 @@
+#ifndef UNN_DCEL_PLANAR_SUBDIVISION_H_
+#define UNN_DCEL_PLANAR_SUBDIVISION_H_
+
+#include <vector>
+
+#include "dcel/edge_shape.h"
+#include "geom/vec2.h"
+
+/// \file planar_subdivision.h
+/// A doubly-connected edge list built from a "curve soup": vertices plus
+/// non-crossing edges (they may share endpoints only). Build() links
+/// half-edges by rotational order around each vertex and extracts boundary
+/// loops. Faces are not merged across holes; instead each *loop* carries the
+/// face payload. Two loops bounding the same region always receive the same
+/// label from the toggle-BFS in the core layer (labels are pointwise
+/// properties), so queries are unaffected; the number of bounded faces is
+/// recovered exactly as the number of CCW loops, which is cross-checked
+/// against Euler's formula in the tests.
+
+namespace unn {
+namespace dcel {
+
+/// Sentinel for "no curve": frame/window edges.
+inline constexpr int kFrameCurve = -1;
+
+struct Vertex {
+  geom::Vec2 pos;
+  /// Outgoing half-edge ids sorted CCW by departure angle (filled by Build).
+  std::vector<int> out;
+};
+
+struct Edge {
+  int a = -1;      ///< Tail vertex id.
+  int b = -1;      ///< Head vertex id.
+  EdgeShape shape; ///< Geometry; shape.a()/b() match vertices a/b.
+  int curve_id = kFrameCurve;  ///< Which input curve this edge belongs to.
+};
+
+struct HalfEdge {
+  int origin = -1;  ///< Vertex id at the tail.
+  int twin = -1;
+  int next = -1;    ///< Next half-edge along the face on the left.
+  int prev = -1;
+  int loop = -1;    ///< Boundary loop id (filled by Build).
+  int edge = -1;    ///< Underlying edge id.
+  bool forward = true;  ///< True if origin == edge.a.
+};
+
+struct Loop {
+  int first_half_edge = -1;
+  int num_half_edges = 0;
+  bool ccw = false;  ///< CCW loops bound a face from outside (the face's
+                     ///< outer boundary); CW loops are hole boundaries.
+};
+
+class PlanarSubdivision {
+ public:
+  /// Adds a vertex; returns its id. Callers are responsible for snapping
+  /// coincident vertices to a single id.
+  int AddVertex(geom::Vec2 p);
+
+  /// Adds an edge between existing vertices. The shape endpoints must match
+  /// the vertex positions (within tolerance; not checked exactly).
+  /// Returns the edge id.
+  int AddEdge(int a, int b, const EdgeShape& shape, int curve_id);
+
+  /// Links half-edges and extracts loops. Call once after all AddEdge calls.
+  void Build();
+
+  int NumVertices() const { return static_cast<int>(vertices_.size()); }
+  int NumEdges() const { return static_cast<int>(edges_.size()); }
+  int NumHalfEdges() const { return static_cast<int>(half_edges_.size()); }
+  int NumLoops() const { return static_cast<int>(loops_.size()); }
+
+  const Vertex& vertex(int v) const { return vertices_[v]; }
+  const Edge& edge(int e) const { return edges_[e]; }
+  const HalfEdge& half_edge(int h) const { return half_edges_[h]; }
+  const Loop& loop(int l) const { return loops_[l]; }
+
+  /// Half-edge of `e` with origin at `edge.a` (forward) or `edge.b`.
+  int HalfEdgeOf(int e, bool forward) const { return 2 * e + (forward ? 0 : 1); }
+
+  /// Number of connected components of the vertex/edge graph.
+  int NumComponents() const { return num_components_; }
+
+  /// Faces (including the unbounded one) by Euler's formula
+  /// F = E - V + C + 1.
+  int NumFacesEuler() const {
+    return NumEdges() - NumVertices() + num_components_ + 1;
+  }
+
+  /// Number of CCW loops == number of bounded faces.
+  int NumCcwLoops() const;
+
+  /// Direction of travel of half-edge `h` as it leaves its origin.
+  geom::Vec2 DepartureDir(int h) const;
+
+  /// Direction of travel of half-edge `h` as it arrives at its head.
+  geom::Vec2 ArrivalDir(int h) const;
+
+  /// Head (target) vertex of half-edge `h`.
+  int Head(int h) const;
+
+ private:
+  void SortStubs();
+  void LinkNextPrev();
+  void ExtractLoops();
+  void ComputeComponents();
+  bool ComputeLoopCcw(int l) const;
+
+  std::vector<Vertex> vertices_;
+  std::vector<Edge> edges_;
+  std::vector<HalfEdge> half_edges_;
+  std::vector<Loop> loops_;
+  int num_components_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace dcel
+}  // namespace unn
+
+#endif  // UNN_DCEL_PLANAR_SUBDIVISION_H_

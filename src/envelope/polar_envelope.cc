@@ -1,0 +1,212 @@
+#include "envelope/polar_envelope.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geom/trig.h"
+#include "util/check.h"
+
+namespace unn {
+namespace envelope {
+namespace {
+
+using geom::FocalConic;
+using geom::kTwoPi;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Angular tolerance for deduplicating crossing angles and degenerate arcs.
+constexpr double kThetaEps = 1e-12;
+
+using Profile = std::vector<EnvelopeArc>;
+
+/// Radius of curve `idx` at `theta`; +infinity outside its domain or for
+/// kNoCurve.
+double EvalCurve(const std::vector<std::optional<FocalConic>>& curves, int idx,
+                 double theta) {
+  if (idx == kNoCurve) return kInf;
+  const FocalConic& c = *curves[idx];
+  if (!c.InDomain(theta)) return kInf;
+  return c.RadiusAt(theta);
+}
+
+/// Profile of a single curve: its angular domain mapped into [0, 2*pi],
+/// possibly split in two when it wraps through 0.
+Profile SingleCurveProfile(const std::vector<std::optional<FocalConic>>& curves,
+                           int idx) {
+  Profile p;
+  if (idx == kNoCurve || !curves[idx].has_value()) {
+    p.push_back({0.0, kTwoPi, kNoCurve});
+    return p;
+  }
+  const FocalConic& c = *curves[idx];
+  double lo = geom::NormalizeAngle(c.DomainLo());
+  double width = 2.0 * c.alpha();
+  UNN_DCHECK(width < kTwoPi);
+  double hi = lo + width;
+  if (hi <= kTwoPi) {
+    if (lo > 0) p.push_back({0.0, lo, kNoCurve});
+    p.push_back({lo, hi, idx});
+    if (hi < kTwoPi) p.push_back({hi, kTwoPi, kNoCurve});
+  } else {
+    double wrapped = hi - kTwoPi;
+    p.push_back({0.0, wrapped, idx});
+    p.push_back({wrapped, lo, kNoCurve});
+    p.push_back({lo, kTwoPi, idx});
+  }
+  return p;
+}
+
+/// Coalesces zero-length arcs and merges consecutive arcs with one curve.
+void Canonicalize(Profile* p) {
+  Profile out;
+  for (const EnvelopeArc& a : *p) {
+    if (a.hi - a.lo <= kThetaEps) continue;
+    if (!out.empty() && out.back().curve == a.curve &&
+        std::abs(out.back().hi - a.lo) <= kThetaEps) {
+      out.back().hi = a.hi;
+    } else {
+      out.push_back(a);
+    }
+  }
+  if (!out.empty()) {
+    out.front().lo = 0.0;
+    out.back().hi = kTwoPi;
+  } else {
+    out.push_back({0.0, kTwoPi, kNoCurve});
+  }
+  *p = std::move(out);
+}
+
+/// Merges two envelope profiles into the pointwise minimum.
+Profile MergeProfiles(const std::vector<std::optional<FocalConic>>& curves,
+                      const Profile& a, const Profile& b) {
+  Profile out;
+  size_t ia = 0, ib = 0;
+  double cursor = 0.0;
+  while (cursor < kTwoPi - kThetaEps && ia < a.size() && ib < b.size()) {
+    double hi = std::min(a[ia].hi, b[ib].hi);
+    int ca = a[ia].curve;
+    int cb = b[ib].curve;
+    double lo = cursor;
+    if (hi - lo > kThetaEps) {
+      if (ca == kNoCurve || cb == kNoCurve || ca == cb) {
+        int winner = (ca == kNoCurve) ? cb : (cb == kNoCurve ? ca : ca);
+        out.push_back({lo, hi, winner});
+      } else {
+        // Two live curves: split the window at their crossings.
+        double thetas[2];
+        int n = FocalConic::Intersect(*curves[ca], *curves[cb], thetas);
+        double cuts[4];
+        int ncuts = 0;
+        cuts[ncuts++] = lo;
+        // Collect crossings interior to the window, sorted.
+        double interior[2];
+        int ni = 0;
+        for (int i = 0; i < n; ++i) {
+          double t = thetas[i];
+          if (t > lo + kThetaEps && t < hi - kThetaEps) interior[ni++] = t;
+        }
+        if (ni == 2 && interior[0] > interior[1]) {
+          std::swap(interior[0], interior[1]);
+        }
+        for (int i = 0; i < ni; ++i) cuts[ncuts++] = interior[i];
+        cuts[ncuts++] = hi;
+        for (int i = 0; i + 1 < ncuts; ++i) {
+          double mid = 0.5 * (cuts[i] + cuts[i + 1]);
+          double ra = EvalCurve(curves, ca, mid);
+          double rb = EvalCurve(curves, cb, mid);
+          out.push_back({cuts[i], cuts[i + 1], ra <= rb ? ca : cb});
+        }
+      }
+    }
+    cursor = hi;
+    if (a[ia].hi <= hi + kThetaEps) ++ia;
+    if (b[ib].hi <= hi + kThetaEps) ++ib;
+  }
+  Canonicalize(&out);
+  return out;
+}
+
+Profile ComputeRange(const std::vector<std::optional<FocalConic>>& curves,
+                     const std::vector<int>& ids, int lo, int hi) {
+  if (hi - lo == 1) return SingleCurveProfile(curves, ids[lo]);
+  int mid = (lo + hi) / 2;
+  Profile left = ComputeRange(curves, ids, lo, mid);
+  Profile right = ComputeRange(curves, ids, mid, hi);
+  return MergeProfiles(curves, left, right);
+}
+
+}  // namespace
+
+PolarEnvelope PolarEnvelope::Compute(
+    const std::vector<std::optional<FocalConic>>& curves) {
+  PolarEnvelope env;
+  env.curves_ = curves;
+  std::vector<int> ids;
+  for (size_t i = 0; i < curves.size(); ++i) {
+    if (curves[i].has_value()) ids.push_back(static_cast<int>(i));
+  }
+  if (ids.empty()) {
+    env.arcs_.push_back({0.0, kTwoPi, kNoCurve});
+    return env;
+  }
+#ifndef NDEBUG
+  for (size_t i = 1; i < ids.size(); ++i) {
+    UNN_DCHECK(geom::DistSq(curves[ids[0]]->origin(),
+                            curves[ids[i]]->origin()) == 0.0);
+  }
+#endif
+  env.arcs_ =
+      ComputeRange(curves, ids, 0, static_cast<int>(ids.size()));
+  return env;
+}
+
+int PolarEnvelope::ArcIndexAt(double theta) const {
+  theta = geom::NormalizeAngle(theta);
+  // Binary search over the arc partition.
+  size_t lo = 0, hi = arcs_.size();
+  while (hi - lo > 1) {
+    size_t mid = (lo + hi) / 2;
+    if (arcs_[mid].lo <= theta) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return static_cast<int>(lo);
+}
+
+std::pair<double, int> PolarEnvelope::Eval(double theta) const {
+  int idx = arcs_[ArcIndexAt(theta)].curve;
+  return {EvalCurve(curves_, idx, geom::NormalizeAngle(theta)), idx};
+}
+
+int PolarEnvelope::NumCurveArcs() const {
+  int n = 0;
+  for (const EnvelopeArc& a : arcs_) n += (a.curve != kNoCurve);
+  return n;
+}
+
+int PolarEnvelope::NumBreakpoints() const {
+  int n = 0;
+  for (size_t i = 0; i < arcs_.size(); ++i) {
+    const EnvelopeArc& cur = arcs_[i];
+    const EnvelopeArc& next = arcs_[(i + 1) % arcs_.size()];
+    if (cur.curve != kNoCurve && next.curve != kNoCurve &&
+        cur.curve != next.curve) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+bool PolarEnvelope::FullyCovered() const {
+  for (const EnvelopeArc& a : arcs_) {
+    if (a.curve == kNoCurve) return false;
+  }
+  return true;
+}
+
+}  // namespace envelope
+}  // namespace unn

@@ -1,0 +1,80 @@
+#ifndef UNN_ENVELOPE_POLAR_ENVELOPE_H_
+#define UNN_ENVELOPE_POLAR_ENVELOPE_H_
+
+#include <utility>
+#include <vector>
+
+#include "geom/conic.h"
+
+/// \file polar_envelope.h
+/// Lower envelopes of polar function graphs about a common center.
+///
+/// This is the computational heart of Lemma 2.2: the curve gamma_i is the
+/// lower envelope, in polar coordinates about c_i, of the hyperbola branches
+/// gamma_ij (each a FocalConic with origin focus c_i). Any two branches
+/// cross at most twice, so the envelope is a Davenport-Schinzel sequence of
+/// order 2 with at most 2n-1 arcs; we compute it by divide-and-conquer
+/// merging in O(n log n). The same routine builds the cells of the
+/// additively-weighted Voronoi diagram M (whose bisectors are also focal
+/// conics about the cell's site).
+
+namespace unn {
+namespace envelope {
+
+/// Sentinel curve index for angular stretches where no input curve is
+/// defined (the envelope is +infinity there).
+inline constexpr int kNoCurve = -1;
+
+/// One maximal arc of the envelope: on [lo, hi] (a subinterval of [0, 2*pi])
+/// the envelope coincides with input curve `curve`, or is +infinity when
+/// `curve == kNoCurve`.
+struct EnvelopeArc {
+  double lo = 0.0;
+  double hi = 0.0;
+  int curve = kNoCurve;
+};
+
+/// Lower envelope of focal-conic polar graphs sharing one origin focus.
+class PolarEnvelope {
+ public:
+  /// Computes the envelope of `curves` (all must share the same origin
+  /// focus; empty optional entries are allowed and ignored — they keep the
+  /// index space of the caller intact).
+  static PolarEnvelope Compute(
+      const std::vector<std::optional<geom::FocalConic>>& curves);
+
+  /// The arcs, sorted by angle, partitioning [0, 2*pi] exactly.
+  const std::vector<EnvelopeArc>& arcs() const { return arcs_; }
+
+  /// Envelope value at `theta`: (radius, curve index); radius is +infinity
+  /// and index kNoCurve where no curve is defined.
+  std::pair<double, int> Eval(double theta) const;
+
+  /// Index into arcs() of the arc containing `theta` (normalized).
+  int ArcIndexAt(double theta) const;
+
+  /// Number of arcs carrying an actual curve (kNoCurve stretches excluded).
+  int NumCurveArcs() const;
+
+  /// Number of interior breakpoints: shared endpoints of two consecutive
+  /// curve-carrying arcs (this matches Lemma 2.2's breakpoint count).
+  int NumBreakpoints() const;
+
+  /// True if every angle has a defining curve (the envelope is a closed
+  /// star-shaped curve about the center).
+  bool FullyCovered() const;
+
+  /// The input curves (copied), aligned with arc curve indices.
+  const std::vector<std::optional<geom::FocalConic>>& curves() const {
+    return curves_;
+  }
+
+ private:
+  std::vector<EnvelopeArc> arcs_;
+  std::vector<std::optional<geom::FocalConic>> curves_;
+};
+
+}  // namespace envelope
+}  // namespace unn
+
+#endif  // UNN_ENVELOPE_POLAR_ENVELOPE_H_

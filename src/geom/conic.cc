@@ -1,0 +1,133 @@
+#include "geom/conic.h"
+
+#include <cmath>
+
+#include "geom/trig.h"
+#include "util/check.h"
+
+namespace unn {
+namespace geom {
+
+std::optional<FocalConic> FocalConic::DistanceDifference(Vec2 origin,
+                                                         Vec2 other,
+                                                         double s) {
+  double dist = Dist(origin, other);
+  // |d(x, origin) - d(x, other)| < D strictly for points off the focal line,
+  // so |s| >= D yields an empty or degenerate (ray) locus. The library's
+  // general-position policy treats both as empty.
+  if (!(std::abs(s) < dist) || dist == 0.0) return std::nullopt;
+  double phi = NormalizeAngle(Angle(other - origin));
+  double alpha = std::acos(s / dist);
+  return FocalConic(origin, other, s, dist, phi, alpha);
+}
+
+double FocalConic::RadiusAt(double theta) const {
+  double denom = 2.0 * (dist_ * std::cos(theta - phi_) - s_);
+  return (dist_ * dist_ - s_ * s_) / denom;
+}
+
+Vec2 FocalConic::PointAt(double theta) const {
+  return origin_ + UnitVec(theta) * RadiusAt(theta);
+}
+
+bool FocalConic::InDomain(double theta, double slack) const {
+  double d = std::abs(AngleDiff(theta, phi_));
+  return d < alpha_ - slack;
+}
+
+double FocalConic::Implicit(Vec2 x) const {
+  return Dist(x, origin_) - Dist(x, other_) - s_;
+}
+
+int FocalConic::Intersect(const FocalConic& c1, const FocalConic& c2,
+                          double out_thetas[2]) {
+  UNN_DCHECK(DistSq(c1.origin_, c2.origin_) == 0.0);
+  // r1(theta) = N1 / (2 (D1 cos(theta - phi1) - s1)), N1 = D1^2 - s1^2 > 0.
+  // Setting r1 = r2 and clearing denominators gives a linear equation in
+  // (cos theta, sin theta). Roots where a denominator is negative are
+  // artifacts of the clearing and are rejected by the InDomain filter.
+  double n1 = c1.dist_ * c1.dist_ - c1.s_ * c1.s_;
+  double n2 = c2.dist_ * c2.dist_ - c2.s_ * c2.s_;
+  double a = n1 * c2.dist_ * std::cos(c2.phi_) - n2 * c1.dist_ * std::cos(c1.phi_);
+  double b = n1 * c2.dist_ * std::sin(c2.phi_) - n2 * c1.dist_ * std::sin(c1.phi_);
+  double c = n1 * c2.s_ - n2 * c1.s_;
+  double roots[2];
+  int nroots = SolveCosSin(a, b, c, roots);
+  int count = 0;
+  for (int i = 0; i < nroots; ++i) {
+    if (c1.InDomain(roots[i]) && c2.InDomain(roots[i])) {
+      out_thetas[count++] = roots[i];
+    }
+  }
+  return count;
+}
+
+int FocalConic::IntersectSegment(Vec2 p, Vec2 q, SegmentHit out[2]) const {
+  // Cartesian form: L(x) = |x-o|^2 - |x-b|^2 - s^2 is linear in x, and the
+  // branch satisfies L(x) = 2 s d(x, b) with d(x, b) >= 0. Squaring yields
+  // the quadratic L(x)^2 = 4 s^2 |x-b|^2; on the parametric segment
+  // x(t) = p + t u this is a quadratic in t. For s == 0 the branch is the
+  // perpendicular bisector line L(x) = 0.
+  Vec2 u = q - p;
+  Vec2 po = p - origin_;
+  Vec2 pb = p - other_;
+  // L(t) = l0 + l1 t.
+  double l0 = NormSq(po) - NormSq(pb) - s_ * s_;
+  double l1 = 2.0 * (Dot(po, u) - Dot(pb, u));
+  // |x(t)-b|^2 = q0 + q1 t + q2 t^2.
+  double q0 = NormSq(pb);
+  double q1 = 2.0 * Dot(pb, u);
+  double q2 = NormSq(u);
+
+  double ts[2];
+  int nts = 0;
+  double scale = std::max({std::abs(l0), std::abs(l1), q2, 1e-300});
+  if (s_ == 0.0) {
+    if (std::abs(l1) > 1e-15 * scale) {
+      ts[nts++] = -l0 / l1;
+    }
+  } else {
+    double s2 = 4.0 * s_ * s_;
+    double a = l1 * l1 - s2 * q2;
+    double b = 2.0 * l0 * l1 - s2 * q1;
+    double c = l0 * l0 - s2 * q0;
+    double mag = std::max({std::abs(a), std::abs(b), std::abs(c), 1e-300});
+    if (std::abs(a) <= 1e-14 * mag) {
+      if (std::abs(b) > 1e-14 * mag) ts[nts++] = -c / b;
+    } else {
+      double disc = b * b - 4.0 * a * c;
+      if (disc >= 0.0) {
+        double sq = std::sqrt(disc);
+        // Numerically stable quadratic roots.
+        double qq = -0.5 * (b + (b >= 0 ? sq : -sq));
+        ts[nts++] = qq / a;
+        if (qq != 0.0) ts[nts++] = c / qq;
+      }
+    }
+  }
+
+  int count = 0;
+  double seg_len = std::sqrt(q2);
+  for (int i = 0; i < nts && count < 2; ++i) {
+    double t = ts[i];
+    if (t < -1e-12 || t > 1.0 + 1e-12) continue;
+    t = std::clamp(t, 0.0, 1.0);
+    Vec2 x = p + u * t;
+    // Reject the spurious branch introduced by squaring: require that the
+    // signed constraint d(x,o) - d(x,b) = s actually holds.
+    double residual = Implicit(x);
+    double tol = 1e-7 * std::max(1.0, dist_ + seg_len);
+    if (std::abs(residual) > tol) continue;
+    // Deduplicate near-coincident roots (tangency).
+    if (count == 1 && std::abs(out[0].t - t) * seg_len < 1e-9) continue;
+    out[count].t = t;
+    out[count].theta = NormalizeAngle(Angle(x - origin_));
+    out[count].point = x;
+    ++count;
+  }
+  if (count == 2 && out[0].t > out[1].t) std::swap(out[0], out[1]);
+  return count;
+}
+
+}  // namespace geom
+}  // namespace unn

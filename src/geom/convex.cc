@@ -1,0 +1,92 @@
+#include "geom/convex.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/predicates.h"
+
+namespace unn {
+namespace geom {
+
+std::vector<Vec2> ConvexHull(std::vector<Vec2> pts) {
+  std::sort(pts.begin(), pts.end(), [](Vec2 a, Vec2 b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  int n = static_cast<int>(pts.size());
+  if (n < 3) return pts;
+
+  std::vector<Vec2> hull(2 * n);
+  int k = 0;
+  for (int i = 0; i < n; ++i) {  // Lower hull.
+    while (k >= 2 && Orient2dSign(hull[k - 2], hull[k - 1], pts[i]) <= 0) --k;
+    hull[k++] = pts[i];
+  }
+  int lower = k + 1;
+  for (int i = n - 2; i >= 0; --i) {  // Upper hull.
+    while (k >= lower && Orient2dSign(hull[k - 2], hull[k - 1], pts[i]) <= 0) --k;
+    hull[k++] = pts[i];
+  }
+  hull.resize(k - 1);  // Last point equals the first.
+  return hull;
+}
+
+std::vector<Vec2> ClipConvexByHalfplane(const std::vector<Vec2>& poly,
+                                        const Halfplane& hp) {
+  std::vector<Vec2> out;
+  int n = static_cast<int>(poly.size());
+  if (n == 0) return out;
+  out.reserve(n + 1);
+  for (int i = 0; i < n; ++i) {
+    Vec2 a = poly[i];
+    Vec2 b = poly[(i + 1) % n];
+    double va = hp.Violation(a);
+    double vb = hp.Violation(b);
+    if (va <= 0) out.push_back(a);
+    if ((va < 0 && vb > 0) || (va > 0 && vb < 0)) {
+      double t = va / (va - vb);
+      out.push_back(Lerp(a, b, t));
+    }
+  }
+  return out;
+}
+
+std::vector<Vec2> HalfplaneIntersection(const std::vector<Halfplane>& hps,
+                                        const Box& bound) {
+  std::vector<Vec2> poly = {bound.lo,
+                            {bound.hi.x, bound.lo.y},
+                            bound.hi,
+                            {bound.lo.x, bound.hi.y}};
+  for (const Halfplane& hp : hps) {
+    poly = ClipConvexByHalfplane(poly, hp);
+    if (poly.empty()) break;
+  }
+  return poly;
+}
+
+bool PointInConvex(const std::vector<Vec2>& poly, Vec2 p, double eps) {
+  int n = static_cast<int>(poly.size());
+  if (n == 0) return false;
+  if (n == 1) return Dist(poly[0], p) <= eps;
+  for (int i = 0; i < n; ++i) {
+    Vec2 a = poly[i];
+    Vec2 b = poly[(i + 1) % n];
+    Vec2 e = b - a;
+    double len = Norm(e);
+    if (len == 0) continue;
+    // Signed distance of p left of edge a->b; negative means outside (CCW).
+    double sd = Cross(e, p - a) / len;
+    if (sd < -eps) return false;
+  }
+  return true;
+}
+
+double PolygonArea(const std::vector<Vec2>& poly) {
+  double a = 0.0;
+  int n = static_cast<int>(poly.size());
+  for (int i = 0; i < n; ++i) a += Cross(poly[i], poly[(i + 1) % n]);
+  return 0.5 * a;
+}
+
+}  // namespace geom
+}  // namespace unn

@@ -1,0 +1,54 @@
+#ifndef UNN_GEOM_CONVEX_H_
+#define UNN_GEOM_CONVEX_H_
+
+#include <vector>
+
+#include "geom/vec2.h"
+
+/// \file convex.h
+/// Convex-geometry utilities: hulls, halfplane intersection (used to build
+/// the convex polygons K_ij = {Phi_j <= phi_i} of the discrete case, Section
+/// 2.2 of the paper), and polygon helpers.
+
+namespace unn {
+namespace geom {
+
+/// Convex hull (counter-clockwise, no repeated first vertex, strictly convex
+/// corners only — collinear interior points are dropped). Returns all
+/// distinct points if fewer than 3 remain.
+std::vector<Vec2> ConvexHull(std::vector<Vec2> pts);
+
+/// The closed halfplane { x : Dot(n, x) <= c }.
+struct Halfplane {
+  Vec2 n;
+  double c = 0.0;
+
+  /// Halfplane of points x with f(x) <= f(y)-style linear comparisons:
+  /// built from the inequality Dot(n, x) <= c directly.
+  static Halfplane FromInequality(Vec2 n, double c) { return {n, c}; }
+
+  /// Signed violation: positive outside, negative inside.
+  double Violation(Vec2 x) const { return Dot(n, x) - c; }
+};
+
+/// Clips a convex polygon (CCW) against one halfplane (Sutherland–Hodgman
+/// step). Result may be empty.
+std::vector<Vec2> ClipConvexByHalfplane(const std::vector<Vec2>& poly,
+                                        const Halfplane& hp);
+
+/// Intersection of halfplanes, bounded by `bound` (the bound keeps unbounded
+/// intersections finite; choose it generously). Result is a CCW convex
+/// polygon, possibly empty.
+std::vector<Vec2> HalfplaneIntersection(const std::vector<Halfplane>& hps,
+                                        const Box& bound);
+
+/// True if `p` is inside or within distance `eps` of the CCW convex polygon.
+bool PointInConvex(const std::vector<Vec2>& poly, Vec2 p, double eps = 0.0);
+
+/// Signed area (positive for CCW).
+double PolygonArea(const std::vector<Vec2>& poly);
+
+}  // namespace geom
+}  // namespace unn
+
+#endif  // UNN_GEOM_CONVEX_H_

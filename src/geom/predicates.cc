@@ -1,0 +1,262 @@
+#include "geom/predicates.h"
+
+#include <cmath>
+
+namespace unn {
+namespace geom {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Expansion arithmetic (Shewchuk, "Adaptive Precision Floating-Point
+// Arithmetic and Fast Robust Geometric Predicates", 1997). An expansion is a
+// sum of non-overlapping doubles stored least-significant first; the
+// routines below are error-free transformations on such expansions.
+// ---------------------------------------------------------------------------
+
+constexpr double kEpsilon = 1.1102230246251565e-16;  // 2^-53
+constexpr double kSplitter = 134217729.0;            // 2^27 + 1
+constexpr double kResultErrBound = (3.0 + 8.0 * kEpsilon) * kEpsilon;
+constexpr double kCcwErrBoundA = (3.0 + 16.0 * kEpsilon) * kEpsilon;
+constexpr double kCcwErrBoundB = (2.0 + 12.0 * kEpsilon) * kEpsilon;
+constexpr double kCcwErrBoundC = (9.0 + 64.0 * kEpsilon) * kEpsilon * kEpsilon;
+
+inline void FastTwoSum(double a, double b, double& x, double& y) {
+  x = a + b;
+  double bvirt = x - a;
+  y = b - bvirt;
+}
+
+inline void TwoSum(double a, double b, double& x, double& y) {
+  x = a + b;
+  double bvirt = x - a;
+  double avirt = x - bvirt;
+  double bround = b - bvirt;
+  double around = a - avirt;
+  y = around + bround;
+}
+
+inline void TwoDiff(double a, double b, double& x, double& y) {
+  x = a - b;
+  double bvirt = a - x;
+  double avirt = x + bvirt;
+  double bround = bvirt - b;
+  double around = a - avirt;
+  y = around + bround;
+}
+
+inline void Split(double a, double& hi, double& lo) {
+  double c = kSplitter * a;
+  double abig = c - a;
+  hi = c - abig;
+  lo = a - hi;
+}
+
+inline void TwoProduct(double a, double b, double& x, double& y) {
+  x = a * b;
+  double ahi, alo, bhi, blo;
+  Split(a, ahi, alo);
+  Split(b, bhi, blo);
+  double err1 = x - (ahi * bhi);
+  double err2 = err1 - (alo * bhi);
+  double err3 = err2 - (ahi * blo);
+  y = (alo * blo) - err3;
+}
+
+inline void TwoOneDiff(double a1, double a0, double b, double& x2, double& x1,
+                       double& x0) {
+  double i;
+  TwoDiff(a0, b, i, x0);
+  TwoSum(a1, i, x2, x1);
+}
+
+inline void TwoTwoDiff(double a1, double a0, double b1, double b0, double& x3,
+                       double& x2, double& x1, double& x0) {
+  double j, m;
+  TwoOneDiff(a1, a0, b0, j, m, x0);
+  TwoOneDiff(j, m, b1, x3, x2, x1);
+}
+
+// h = e + f, eliminating zero components; returns the length of h.
+int FastExpansionSumZeroElim(int elen, const double* e, int flen,
+                             const double* f, double* h) {
+  double q, qnew, hh;
+  int eindex = 0, findex = 0, hindex = 0;
+  double enow = e[0], fnow = f[0];
+  if ((fnow > enow) == (fnow > -enow)) {
+    q = enow;
+    ++eindex;
+  } else {
+    q = fnow;
+    ++findex;
+  }
+  if (eindex < elen && findex < flen) {
+    enow = e[eindex];
+    fnow = f[findex];
+    if ((fnow > enow) == (fnow > -enow)) {
+      FastTwoSum(enow, q, qnew, hh);
+      ++eindex;
+    } else {
+      FastTwoSum(fnow, q, qnew, hh);
+      ++findex;
+    }
+    q = qnew;
+    if (hh != 0.0) h[hindex++] = hh;
+    while (eindex < elen && findex < flen) {
+      enow = e[eindex];
+      fnow = f[findex];
+      if ((fnow > enow) == (fnow > -enow)) {
+        TwoSum(q, enow, qnew, hh);
+        ++eindex;
+      } else {
+        TwoSum(q, fnow, qnew, hh);
+        ++findex;
+      }
+      q = qnew;
+      if (hh != 0.0) h[hindex++] = hh;
+    }
+  }
+  while (eindex < elen) {
+    TwoSum(q, e[eindex], qnew, hh);
+    ++eindex;
+    q = qnew;
+    if (hh != 0.0) h[hindex++] = hh;
+  }
+  while (findex < flen) {
+    TwoSum(q, f[findex], qnew, hh);
+    ++findex;
+    q = qnew;
+    if (hh != 0.0) h[hindex++] = hh;
+  }
+  if (q != 0.0 || hindex == 0) h[hindex++] = q;
+  return hindex;
+}
+
+double Estimate(int elen, const double* e) {
+  double q = e[0];
+  for (int i = 1; i < elen; ++i) q += e[i];
+  return q;
+}
+
+double Orient2dAdapt(Vec2 a, Vec2 b, Vec2 c, double detsum) {
+  double acx = a.x - c.x;
+  double bcx = b.x - c.x;
+  double acy = a.y - c.y;
+  double bcy = b.y - c.y;
+
+  double detleft, detlefttail, detright, detrighttail;
+  TwoProduct(acx, bcy, detleft, detlefttail);
+  TwoProduct(acy, bcx, detright, detrighttail);
+
+  double B[4];
+  TwoTwoDiff(detleft, detlefttail, detright, detrighttail, B[3], B[2], B[1],
+             B[0]);
+
+  double det = Estimate(4, B);
+  double errbound = kCcwErrBoundB * detsum;
+  if (det >= errbound || -det >= errbound) return det;
+
+  double acxtail, bcxtail, acytail, bcytail;
+  {
+    double t;
+    TwoDiff(a.x, c.x, t, acxtail);
+    TwoDiff(b.x, c.x, t, bcxtail);
+    TwoDiff(a.y, c.y, t, acytail);
+    TwoDiff(b.y, c.y, t, bcytail);
+  }
+  if (acxtail == 0.0 && acytail == 0.0 && bcxtail == 0.0 && bcytail == 0.0) {
+    return det;
+  }
+
+  errbound = kCcwErrBoundC * detsum + kResultErrBound * std::abs(det);
+  det += (acx * bcytail + bcy * acxtail) - (acy * bcxtail + bcx * acytail);
+  if (det >= errbound || -det >= errbound) return det;
+
+  double s1, s0, t1, t0, u[4];
+  double C1[8], C2[12], D[16];
+
+  TwoProduct(acxtail, bcy, s1, s0);
+  TwoProduct(acytail, bcx, t1, t0);
+  TwoTwoDiff(s1, s0, t1, t0, u[3], u[2], u[1], u[0]);
+  int c1length = FastExpansionSumZeroElim(4, B, 4, u, C1);
+
+  TwoProduct(acx, bcytail, s1, s0);
+  TwoProduct(acy, bcxtail, t1, t0);
+  TwoTwoDiff(s1, s0, t1, t0, u[3], u[2], u[1], u[0]);
+  int c2length = FastExpansionSumZeroElim(c1length, C1, 4, u, C2);
+
+  TwoProduct(acxtail, bcytail, s1, s0);
+  TwoProduct(acytail, bcxtail, t1, t0);
+  TwoTwoDiff(s1, s0, t1, t0, u[3], u[2], u[1], u[0]);
+  int dlength = FastExpansionSumZeroElim(c2length, C2, 4, u, D);
+
+  return D[dlength - 1];
+}
+
+}  // namespace
+
+double Orient2d(Vec2 a, Vec2 b, Vec2 c) {
+  double detleft = (a.x - c.x) * (b.y - c.y);
+  double detright = (a.y - c.y) * (b.x - c.x);
+  double det = detleft - detright;
+  double detsum;
+
+  if (detleft > 0.0) {
+    if (detright <= 0.0) return det;
+    detsum = detleft + detright;
+  } else if (detleft < 0.0) {
+    if (detright >= 0.0) return det;
+    detsum = -detleft - detright;
+  } else {
+    return det;
+  }
+
+  double errbound = kCcwErrBoundA * detsum;
+  if (det >= errbound || -det >= errbound) return det;
+  return Orient2dAdapt(a, b, c, detsum);
+}
+
+int Orient2dSign(Vec2 a, Vec2 b, Vec2 c) {
+  double d = Orient2d(a, b, c);
+  if (d > 0) return 1;
+  if (d < 0) return -1;
+  return 0;
+}
+
+bool PointOnSegment(Vec2 p, Vec2 a, Vec2 b) {
+  if (Orient2dSign(a, b, p) != 0) return false;
+  return p.x >= std::min(a.x, b.x) && p.x <= std::max(a.x, b.x) &&
+         p.y >= std::min(a.y, b.y) && p.y <= std::max(a.y, b.y);
+}
+
+bool SegmentsIntersect(Vec2 a, Vec2 b, Vec2 c, Vec2 d) {
+  int d1 = Orient2dSign(c, d, a);
+  int d2 = Orient2dSign(c, d, b);
+  int d3 = Orient2dSign(a, b, c);
+  int d4 = Orient2dSign(a, b, d);
+  if (((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+      ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))) {
+    return true;
+  }
+  if (d1 == 0 && PointOnSegment(a, c, d)) return true;
+  if (d2 == 0 && PointOnSegment(b, c, d)) return true;
+  if (d3 == 0 && PointOnSegment(c, a, b)) return true;
+  if (d4 == 0 && PointOnSegment(d, a, b)) return true;
+  return false;
+}
+
+Vec2 LineIntersection(Vec2 a, Vec2 b, Vec2 c, Vec2 d, bool* ok) {
+  Vec2 u = b - a;
+  Vec2 v = d - c;
+  double denom = Cross(u, v);
+  double scale = Norm(u) * Norm(v);
+  if (std::abs(denom) <= 1e-14 * scale) {
+    if (ok != nullptr) *ok = false;
+    return Vec2{};
+  }
+  double t = Cross(c - a, v) / denom;
+  if (ok != nullptr) *ok = true;
+  return a + u * t;
+}
+
+}  // namespace geom
+}  // namespace unn

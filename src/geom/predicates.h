@@ -1,0 +1,39 @@
+#ifndef UNN_GEOM_PREDICATES_H_
+#define UNN_GEOM_PREDICATES_H_
+
+#include "geom/vec2.h"
+
+/// \file predicates.h
+/// Robust geometric predicates. Orient2d follows Shewchuk's adaptive-precision
+/// scheme: a cheap floating-point filter answers almost all calls, and the
+/// rare near-degenerate ones fall through to exact expansion arithmetic, so
+/// the returned sign is always correct. All segment-based constructions
+/// (discrete-case arrangements, polygon clipping) rely on this.
+
+namespace unn {
+namespace geom {
+
+/// Sign of twice the signed area of triangle (a, b, c).
+/// Positive if a->b->c is counter-clockwise, negative if clockwise, exactly
+/// zero iff the three points are collinear.
+double Orient2d(Vec2 a, Vec2 b, Vec2 c);
+
+/// Convenience: -1, 0, +1 from Orient2d.
+int Orient2dSign(Vec2 a, Vec2 b, Vec2 c);
+
+/// True if segments [a,b] and [c,d] share at least one point (exact, closed
+/// segments, handles all collinear/touching cases).
+bool SegmentsIntersect(Vec2 a, Vec2 b, Vec2 c, Vec2 d);
+
+/// True if point p lies on the closed segment [a,b] (exact).
+bool PointOnSegment(Vec2 p, Vec2 a, Vec2 b);
+
+/// Intersection point of the *lines* through (a,b) and (c,d), if the lines
+/// are not parallel. Computed in double precision (not exact); `ok` is set
+/// false for (near-)parallel lines.
+Vec2 LineIntersection(Vec2 a, Vec2 b, Vec2 c, Vec2 d, bool* ok);
+
+}  // namespace geom
+}  // namespace unn
+
+#endif  // UNN_GEOM_PREDICATES_H_

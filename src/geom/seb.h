@@ -1,0 +1,37 @@
+#ifndef UNN_GEOM_SEB_H_
+#define UNN_GEOM_SEB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/vec2.h"
+
+/// \file seb.h
+/// Smallest enclosing ball (circle) of a planar point set, Welzl's
+/// randomized algorithm. Used by the discrete-case query structures: for a
+/// group P_i with enclosing circle (c, R), the farthest-point distance
+/// satisfies  max_p d(q,p) >= sqrt(d(q,c)^2 + R^2)  (some defining point is
+/// on the far side of c), which gives the branch-and-bound lower bound used
+/// to compute Phi(q) (DESIGN.md section 3).
+
+namespace unn {
+namespace geom {
+
+/// A circle given by center and radius.
+struct Circle {
+  Vec2 center;
+  double radius = 0.0;
+
+  bool Contains(Vec2 p, double slack = 1e-9) const {
+    return Dist(center, p) <= radius * (1.0 + slack) + slack;
+  }
+};
+
+/// Smallest circle enclosing `pts` (empty input yields radius 0 at origin).
+/// Expected linear time; `seed` controls the internal shuffle.
+Circle SmallestEnclosingCircle(std::vector<Vec2> pts, uint64_t seed = 0x9e3779b9);
+
+}  // namespace geom
+}  // namespace unn
+
+#endif  // UNN_GEOM_SEB_H_

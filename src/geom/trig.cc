@@ -1,0 +1,53 @@
+#include "geom/trig.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace unn {
+namespace geom {
+
+double NormalizeAngle(double a) {
+  double r = std::fmod(a, kTwoPi);
+  if (r < 0) r += kTwoPi;
+  // fmod can return exactly kTwoPi after the correction when `a` is a tiny
+  // negative number; fold that back to 0.
+  if (r >= kTwoPi) r -= kTwoPi;
+  return r;
+}
+
+double AngleDiff(double a, double b) {
+  double d = std::fmod(a - b, kTwoPi);
+  if (d > kTwoPi / 2) d -= kTwoPi;
+  if (d <= -kTwoPi / 2) d += kTwoPi;
+  return d;
+}
+
+int SolveCosSin(double a, double b, double c, double roots[2]) {
+  double r = std::hypot(a, b);
+  if (r == 0.0) return 0;  // Degenerate: either no solution or all angles.
+  double u = c / r;
+  if (u > 1.0 || u < -1.0) {
+    // Allow a hair of rounding slack at the tangency boundary.
+    if (std::abs(u) > 1.0 + 1e-12) return 0;
+    u = std::clamp(u, -1.0, 1.0);
+  }
+  double phase = std::atan2(b, a);
+  double d = std::acos(u);
+  double t0 = NormalizeAngle(phase + d);
+  double t1 = NormalizeAngle(phase - d);
+  roots[0] = t0;
+  if (d < 1e-12 || kTwoPi / 2 - d < 1e-12) return 1;  // Double root.
+  roots[1] = t1;
+  return 2;
+}
+
+bool AngleInCcwInterval(double t, double lo, double hi) {
+  t = NormalizeAngle(t);
+  lo = NormalizeAngle(lo);
+  hi = NormalizeAngle(hi);
+  if (lo <= hi) return t >= lo && t <= hi;
+  return t >= lo || t <= hi;  // Interval wraps through 0.
+}
+
+}  // namespace geom
+}  // namespace unn

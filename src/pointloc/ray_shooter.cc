@@ -1,0 +1,139 @@
+#include "pointloc/ray_shooter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace unn {
+namespace pointloc {
+
+using dcel::PlanarSubdivision;
+using geom::Box;
+using geom::Vec2;
+
+RayShooter::RayShooter(const PlanarSubdivision& sub, int cells_per_axis)
+    : sub_(sub) {
+  for (int v = 0; v < sub.NumVertices(); ++v) world_.Expand(sub.vertex(v).pos);
+  if (world_.Empty()) world_ = Box{{0, 0}, {1, 1}};
+  world_ = world_.Inflated(1e-6 * (1.0 + world_.Diagonal()));
+
+  int n = cells_per_axis;
+  if (n <= 0) {
+    n = static_cast<int>(std::sqrt(static_cast<double>(sub.NumEdges()) + 1.0));
+  }
+  n = std::clamp(n, 4, 512);
+  nx_ = ny_ = n;
+  cell_w_ = world_.Width() / nx_;
+  cell_h_ = world_.Height() / ny_;
+  if (cell_w_ <= 0) cell_w_ = 1;
+  if (cell_h_ <= 0) cell_h_ = 1;
+
+  cells_.assign(static_cast<size_t>(nx_) * ny_, {});
+  for (int e = 0; e < sub.NumEdges(); ++e) {
+    Box b = sub.edge(e).shape.Bounds();
+    int x0 = std::clamp(CellOfX(b.lo.x), 0, nx_ - 1);
+    int x1 = std::clamp(CellOfX(b.hi.x), 0, nx_ - 1);
+    int y0 = std::clamp(CellOfY(b.lo.y), 0, ny_ - 1);
+    int y1 = std::clamp(CellOfY(b.hi.y), 0, ny_ - 1);
+    for (int cx = x0; cx <= x1; ++cx) {
+      for (int cy = y0; cy <= y1; ++cy) {
+        cells_[static_cast<size_t>(cx) * ny_ + cy].push_back(e);
+      }
+    }
+  }
+  stamp_.assign(sub.NumEdges(), -1);
+}
+
+int RayShooter::CellOfX(double x) const {
+  return static_cast<int>(std::floor((x - world_.lo.x) / cell_w_));
+}
+
+int RayShooter::CellOfY(double y) const {
+  return static_cast<int>(std::floor((y - world_.lo.y) / cell_h_));
+}
+
+void RayShooter::CollectHits(Vec2 q, bool first_only,
+                             std::vector<Hit>* hits) const {
+  if (q.x < world_.lo.x || q.x > world_.hi.x || q.y > world_.hi.y) return;
+  int cx = std::clamp(CellOfX(q.x), 0, nx_ - 1);
+  int cy0 = std::clamp(CellOfY(std::max(q.y, world_.lo.y)), 0, ny_ - 1);
+  double y_limit = world_.hi.y + 1.0;
+
+  int stamp = ++stamp_counter_;
+  std::vector<double> ys;
+  std::vector<Vec2> dirs;
+  double best_y = y_limit;
+  for (int cy = cy0; cy < ny_; ++cy) {
+    // Early exit: the closest hit so far is below this row of cells.
+    double row_lo = world_.lo.y + cy * cell_h_;
+    if (first_only && best_y < row_lo) break;
+    for (int e : cells_[static_cast<size_t>(cx) * ny_ + cy]) {
+      if (stamp_[e] == stamp) continue;
+      stamp_[e] = stamp;
+      ys.clear();
+      dirs.clear();
+      sub_.edge(e).shape.VerticalRayHits(q, y_limit, &ys, &dirs);
+      for (size_t i = 0; i < ys.size(); ++i) {
+        hits->push_back(Hit{ys[i], e, dirs[i]});
+        best_y = std::min(best_y, ys[i]);
+      }
+    }
+  }
+}
+
+std::vector<std::pair<double, int>> RayShooter::CrossingsAbove(Vec2 q) const {
+  std::vector<Hit> hits;
+  CollectHits(q, /*first_only=*/false, &hits);
+  std::vector<std::pair<double, int>> out;
+  out.reserve(hits.size());
+  for (const Hit& h : hits) out.push_back({h.y, h.edge});
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int RayShooter::LocateHalfEdgeAbove(Vec2 q) const {
+  double scale = 1.0 + world_.Diagonal();
+  // Degeneracy policy: if the ray grazes a vertex or the hit tangent is
+  // vertical, jitter the ray horizontally and retry.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    Vec2 qa = q;
+    if (attempt > 0) {
+      // Jitter enough to escape vertex-grazing rays but far less than any
+      // meaningful feature size: a larger jitter could carry the ray across
+      // a nearby (or coincident) curve and locate the neighboring face.
+      // Callers that probe points at offset eps from a curve rely on the
+      // maximum jitter (~1.3e-11 * scale) staying well below eps.
+      double jitter = scale * 1e-13 * std::pow(2.0, attempt);
+      qa.x += (attempt % 2 == 1 ? jitter : -jitter);
+    }
+    std::vector<Hit> hits;
+    CollectHits(qa, /*first_only=*/true, &hits);
+    if (hits.empty()) return -1;
+    const Hit* best = &hits[0];
+    double second = std::numeric_limits<double>::infinity();
+    for (const Hit& h : hits) {
+      if (h.y < best->y) {
+        second = best->y;
+        best = &h;
+      } else if (&h != best) {
+        second = std::min(second, h.y);
+      }
+    }
+    // Ambiguous: two edges hit at (nearly) the same height means the ray
+    // passes through a shared vertex. Retry with jitter.
+    if (second - best->y < 1e-10 * scale) continue;
+    if (std::abs(best->dir.x) < 1e-10) continue;  // Vertical tangent at hit.
+    // q is below the hit; pick the half-edge whose left side faces down.
+    // Travel direction d at the hit: left of d is ccw; q - hit points down.
+    Vec2 hit_point{qa.x, best->y};
+    double side = Cross(best->dir, q - hit_point);
+    bool forward_contains_q = side > 0;
+    return sub_.HalfEdgeOf(best->edge, forward_contains_q);
+  }
+  // Persistent degeneracy: give up on the fast path; report unbounded face.
+  return -1;
+}
+
+}  // namespace pointloc
+}  // namespace unn

@@ -1,0 +1,191 @@
+#include "pointloc/slab_locator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/predicates.h"
+#include "util/check.h"
+
+namespace unn {
+namespace pointloc {
+
+using geom::Orient2dSign;
+using geom::Vec2;
+
+namespace {
+constexpr int32_t kNil = -1;
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+SlabLocator::SlabLocator(const dcel::PlanarSubdivision& sub) : sub_(sub) {
+  edges_.resize(sub.NumEdges());
+  std::vector<double> xs;
+  struct Event {
+    double x;
+    bool insert;
+    int edge;
+  };
+  std::vector<Event> events;
+  for (int e = 0; e < sub.NumEdges(); ++e) {
+    const auto& ed = sub.edge(e);
+    UNN_CHECK_MSG(ed.shape.kind() == dcel::EdgeShape::Kind::kSegment,
+                  "SlabLocator requires segment-only subdivisions");
+    Vec2 a = ed.shape.a();
+    Vec2 b = ed.shape.b();
+    if (a.x == b.x) {
+      edges_[e].id = -1;  // Vertical: never crossed by an upward ray.
+      continue;
+    }
+    if (a.x > b.x) std::swap(a, b);
+    edges_[e] = {a, b, e};
+    events.push_back({a.x, true, e});
+    events.push_back({b.x, false, e});
+    xs.push_back(a.x);
+    xs.push_back(b.x);
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    // Erase before insert at the same x so slab trees hold exactly the
+    // edges spanning the slab's interior.
+    return a.x < b.x || (a.x == b.x && a.insert < b.insert);
+  });
+
+  int32_t root = kNil;
+  size_t ev = 0;
+  for (double x : xs) {
+    while (ev < events.size() && events[ev].x == x) {
+      if (events[ev].insert) {
+        root = Insert(root, events[ev].edge);
+      } else {
+        root = Erase(root, events[ev].edge);
+      }
+      ++ev;
+    }
+    slab_x_.push_back(x);
+    slab_root_.push_back(root);
+  }
+}
+
+bool SlabLocator::Below(const OrientedEdge& a, const OrientedEdge& b) const {
+  // Compare on the common x-span: test the later-starting segment's left
+  // endpoint against the other's supporting line; fall back to the right
+  // endpoint (shared-endpoint case: order by slope).
+  if (a.lo.x >= b.lo.x) {
+    int s = Orient2dSign(b.lo, b.hi, a.lo);
+    if (s != 0) return s < 0;
+    s = Orient2dSign(b.lo, b.hi, a.hi);
+    if (s != 0) return s < 0;
+    return a.id < b.id;  // Collinear overlap: deterministic tie-break.
+  }
+  int s = Orient2dSign(a.lo, a.hi, b.lo);
+  if (s != 0) return s > 0;
+  s = Orient2dSign(a.lo, a.hi, b.hi);
+  if (s != 0) return s > 0;
+  return a.id < b.id;
+}
+
+bool SlabLocator::PointBelow(Vec2 q, const OrientedEdge& e) const {
+  return Orient2dSign(e.lo, e.hi, q) < 0;
+}
+
+int32_t SlabLocator::CopyNode(int32_t n) {
+  nodes_.push_back(nodes_[n]);
+  return static_cast<int32_t>(nodes_.size()) - 1;
+}
+
+int32_t SlabLocator::Insert(int32_t root, int edge) {
+  if (root == kNil) {
+    nodes_.push_back({edge, static_cast<uint32_t>(SplitMix64(&rng_state_)),
+                      kNil, kNil});
+    return static_cast<int32_t>(nodes_.size()) - 1;
+  }
+  // Treap insert with rotations, path-copying along the way.
+  int32_t c = CopyNode(root);
+  const OrientedEdge& enew = edges_[edge];
+  const OrientedEdge& ecur = edges_[nodes_[c].edge];
+  if (Below(enew, ecur)) {
+    int32_t child = Insert(nodes_[c].left, edge);
+    nodes_[c].left = child;
+    if (nodes_[child].prio > nodes_[c].prio) {  // Rotate right.
+      int32_t l = child;
+      nodes_[c].left = nodes_[l].right;
+      nodes_[l].right = c;
+      return l;
+    }
+  } else {
+    int32_t child = Insert(nodes_[c].right, edge);
+    nodes_[c].right = child;
+    if (nodes_[child].prio > nodes_[c].prio) {  // Rotate left.
+      int32_t r = child;
+      nodes_[c].right = nodes_[r].left;
+      nodes_[r].left = c;
+      return r;
+    }
+  }
+  return c;
+}
+
+int32_t SlabLocator::Merge(int32_t x, int32_t y) {
+  if (x == kNil) return y;
+  if (y == kNil) return x;
+  if (nodes_[x].prio > nodes_[y].prio) {
+    int32_t cx = CopyNode(x);
+    nodes_[cx].right = Merge(nodes_[cx].right, y);
+    return cx;
+  }
+  int32_t cy = CopyNode(y);
+  nodes_[cy].left = Merge(x, nodes_[cy].left);
+  return cy;
+}
+
+int32_t SlabLocator::Erase(int32_t root, int edge) {
+  if (root == kNil) return kNil;  // Not present (defensive).
+  if (nodes_[root].edge == edge) {
+    return Merge(nodes_[root].left, nodes_[root].right);
+  }
+  int32_t c = CopyNode(root);
+  const OrientedEdge& edel = edges_[edge];
+  const OrientedEdge& ecur = edges_[nodes_[c].edge];
+  if (Below(edel, ecur)) {
+    nodes_[c].left = Erase(nodes_[c].left, edge);
+  } else {
+    nodes_[c].right = Erase(nodes_[c].right, edge);
+  }
+  return c;
+}
+
+int SlabLocator::LocateHalfEdgeAbove(Vec2 q) const {
+  if (slab_x_.empty()) return -1;
+  // Slab containing q.x: last boundary <= q.x.
+  auto it = std::upper_bound(slab_x_.begin(), slab_x_.end(), q.x);
+  if (it == slab_x_.begin()) return -1;  // Left of everything.
+  int slab = static_cast<int>(it - slab_x_.begin()) - 1;
+  int32_t n = slab_root_[slab];
+  int best = -1;
+  while (n != kNil) {
+    const OrientedEdge& e = edges_[nodes_[n].edge];
+    if (PointBelow(q, e)) {
+      best = e.id;  // Candidate: q below e; lower edges may exist left.
+      n = nodes_[n].left;
+    } else {
+      n = nodes_[n].right;  // q on/above e: only higher edges qualify.
+    }
+  }
+  if (best < 0) return -1;
+  // q is below the edge; the half-edge whose left face contains q is the
+  // one travelling so that q lies to its left.
+  const auto& ed = sub_.edge(best);
+  Vec2 dir = ed.shape.b() - ed.shape.a();
+  double side = Cross(dir, q - ed.shape.a());
+  return sub_.HalfEdgeOf(best, side > 0);
+}
+
+}  // namespace pointloc
+}  // namespace unn

@@ -1,0 +1,76 @@
+#ifndef UNN_POINTLOC_SLAB_LOCATOR_H_
+#define UNN_POINTLOC_SLAB_LOCATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dcel/planar_subdivision.h"
+#include "geom/vec2.h"
+
+/// \file slab_locator.h
+/// Sarnak–Tarjan persistent-slab point location for subdivisions whose
+/// edges are straight segments (the exact VPr diagram and the discrete
+/// V!=0). This is the classical O(log n)-query structure behind Theorem
+/// 2.11's bound: sweep the vertices left to right, maintain the edges
+/// crossing the sweep line in a *partially persistent* balanced tree
+/// (path-copying treap, the same [DSST89] technique the paper uses for the
+/// label sets), and answer a query by binary-searching the slab of q.x and
+/// descending the tree version of that slab. O(E log E) expected
+/// preprocessing and space, O(log E) query. All below/above decisions use
+/// the exact orientation predicate.
+
+namespace unn {
+namespace pointloc {
+
+class SlabLocator {
+ public:
+  /// Indexes all non-vertical segment edges of `sub` (which must outlive
+  /// this object). Edges with non-segment geometry are rejected
+  /// (UNN_CHECK): use RayShooter for conic subdivisions.
+  explicit SlabLocator(const dcel::PlanarSubdivision& sub);
+
+  /// Half-edge whose left face contains q (the first edge hit by the
+  /// upward vertical ray), or -1 when no edge lies above q. Queries
+  /// exactly on edges or slab boundaries are unspecified (general-position
+  /// policy, as elsewhere).
+  int LocateHalfEdgeAbove(geom::Vec2 q) const;
+
+  /// Total persistent-tree nodes (the O(E log E) space accounting).
+  size_t NumNodes() const { return nodes_.size(); }
+  int NumSlabs() const { return static_cast<int>(slab_x_.size()); }
+
+ private:
+  struct Node {
+    int edge;  ///< Edge id (its oriented left-to-right endpoints cached).
+    uint32_t prio;
+    int32_t left;
+    int32_t right;
+  };
+
+  struct OrientedEdge {
+    geom::Vec2 lo, hi;  ///< Endpoints with lo.x <= hi.x.
+    int id = -1;
+  };
+
+  /// True if edge a lies below edge b on their common x-span (exact).
+  bool Below(const OrientedEdge& a, const OrientedEdge& b) const;
+  /// True if q lies strictly below edge e (exact).
+  bool PointBelow(geom::Vec2 q, const OrientedEdge& e) const;
+
+  int32_t Insert(int32_t root, int edge);
+  int32_t Erase(int32_t root, int edge);
+  int32_t Merge(int32_t x, int32_t y);
+  int32_t CopyNode(int32_t n);
+
+  const dcel::PlanarSubdivision& sub_;
+  std::vector<OrientedEdge> edges_;   ///< Indexed by edge id (id -1 unused).
+  std::vector<Node> nodes_;
+  std::vector<double> slab_x_;        ///< Left boundary of each slab.
+  std::vector<int32_t> slab_root_;    ///< Tree version per slab.
+  uint64_t rng_state_ = 0x1234abcd5678ef01ULL;
+};
+
+}  // namespace pointloc
+}  // namespace unn
+
+#endif  // UNN_POINTLOC_SLAB_LOCATOR_H_

@@ -1,0 +1,32 @@
+#ifndef UNN_PROB_DISTANCE_CDF_H_
+#define UNN_PROB_DISTANCE_CDF_H_
+
+#include "core/uncertain_point.h"
+#include "geom/vec2.h"
+
+/// \file distance_cdf.h
+/// The distance distribution between a fixed query point q and an uncertain
+/// point P (Section 1.1, Figure 1):
+///   G_{q,P}(r) = Pr[d(q, P) <= r]   (cdf),
+///   g_{q,P}(r) = d/dr G_{q,P}(r)    (pdf, continuous models).
+/// For the uniform disk both are closed-form (circle-circle lens area and
+/// its derivative); the truncated Gaussian uses adaptive radial quadrature;
+/// discrete models sum location weights.
+
+namespace unn {
+namespace prob {
+
+/// Area of the intersection of two disks with radii r1, r2 at center
+/// distance d (the circular "lens").
+double CircleIntersectionArea(double d, double r1, double r2);
+
+/// G_{q,P}(r) for any supported model.
+double DistanceCdf(const core::UncertainPoint& p, geom::Vec2 q, double r);
+
+/// g_{q,P}(r); requires a continuous (disk) model.
+double DistancePdf(const core::UncertainPoint& p, geom::Vec2 q, double r);
+
+}  // namespace prob
+}  // namespace unn
+
+#endif  // UNN_PROB_DISTANCE_CDF_H_

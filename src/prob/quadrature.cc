@@ -1,0 +1,40 @@
+#include "prob/quadrature.h"
+
+#include <cmath>
+
+namespace unn {
+namespace prob {
+namespace {
+
+double Recurse(const std::function<double(double)>& f, double a, double b,
+               double fa, double fm, double fb, double whole, double tol,
+               int depth) {
+  double m = 0.5 * (a + b);
+  double lm = 0.5 * (a + m);
+  double rm = 0.5 * (m + b);
+  double flm = f(lm);
+  double frm = f(rm);
+  double left = (m - a) / 6.0 * (fa + 4.0 * flm + fm);
+  double right = (b - m) / 6.0 * (fm + 4.0 * frm + fb);
+  double delta = left + right - whole;
+  if (depth <= 0 || std::abs(delta) <= 15.0 * tol) {
+    return left + right + delta / 15.0;
+  }
+  return Recurse(f, a, m, fa, flm, fm, left, tol * 0.5, depth - 1) +
+         Recurse(f, m, b, fm, frm, fb, right, tol * 0.5, depth - 1);
+}
+
+}  // namespace
+
+double AdaptiveSimpson(const std::function<double(double)>& f, double a,
+                       double b, double tol, int max_depth) {
+  if (!(b > a)) return 0.0;
+  double fa = f(a);
+  double fb = f(b);
+  double fm = f(0.5 * (a + b));
+  double whole = (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+  return Recurse(f, a, b, fa, fm, fb, whole, tol, max_depth);
+}
+
+}  // namespace prob
+}  // namespace unn

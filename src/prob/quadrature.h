@@ -1,0 +1,21 @@
+#ifndef UNN_PROB_QUADRATURE_H_
+#define UNN_PROB_QUADRATURE_H_
+
+#include <functional>
+
+/// \file quadrature.h
+/// Adaptive Simpson quadrature, used by the truncated-Gaussian distance cdf
+/// and by the [CKP04]-style numerical-integration baseline for Eq. (1).
+
+namespace unn {
+namespace prob {
+
+/// Integrates f over [a, b] to absolute tolerance `tol` (adaptive Simpson,
+/// depth-limited).
+double AdaptiveSimpson(const std::function<double(double)>& f, double a,
+                       double b, double tol = 1e-9, int max_depth = 28);
+
+}  // namespace prob
+}  // namespace unn
+
+#endif  // UNN_PROB_QUADRATURE_H_

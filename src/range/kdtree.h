@@ -1,0 +1,82 @@
+#ifndef UNN_RANGE_KDTREE_H_
+#define UNN_RANGE_KDTREE_H_
+
+#include <queue>
+#include <vector>
+
+#include "geom/vec2.h"
+
+/// \file kdtree.h
+/// A static planar kd-tree over points. Provides nearest neighbor, k-NN,
+/// circular range reporting, and incremental ("spiral") nearest-neighbor
+/// enumeration — the quad-tree/branch-and-bound alternative the paper's
+/// Section 4.3 Remark (ii) endorses in place of the impractical [AC09]
+/// structure.
+
+namespace unn {
+namespace range {
+
+class KdTree {
+ public:
+  /// Builds a balanced tree (median splits, alternating axes). Point ids
+  /// are indices into `pts`.
+  explicit KdTree(std::vector<geom::Vec2> pts);
+
+  int size() const { return static_cast<int>(pts_.size()); }
+  geom::Vec2 point(int id) const { return pts_[id]; }
+
+  /// Nearest point id (-1 if empty); optionally its distance.
+  int Nearest(geom::Vec2 q, double* dist = nullptr) const;
+
+  /// Ids of the k nearest points, ordered by increasing distance.
+  std::vector<int> KNearest(geom::Vec2 q, int k) const;
+
+  /// Appends all ids with d(q, p) <= r (or < r when `inclusive` is false).
+  void RangeCircle(geom::Vec2 q, double r, std::vector<int>* out,
+                   bool inclusive = true) const;
+
+  /// Streams points by increasing distance from a fixed query.
+  class Enumerator {
+   public:
+    Enumerator(const KdTree& tree, geom::Vec2 q);
+    /// Next-closest point id, or -1 when exhausted. `dist` optional out.
+    int Next(double* dist = nullptr);
+
+   private:
+    struct Entry {
+      double key;
+      int node;   ///< Internal node id, or -1 when `point` is a leaf point.
+      int point;
+      bool operator<(const Entry& o) const { return key > o.key; }
+    };
+    const KdTree& tree_;
+    geom::Vec2 q_;
+    std::priority_queue<Entry> heap_;
+  };
+
+ private:
+  struct Node {
+    geom::Box box;
+    int left = -1;    ///< Internal children; -1 for leaves.
+    int right = -1;
+    int begin = 0;    ///< Leaf point range [begin, end) into order_.
+    int end = 0;
+  };
+
+  int BuildRange(int begin, int end, int depth);
+  void NearestRec(int node, geom::Vec2 q, int* best, double* best_d) const;
+  void RangeRec(int node, geom::Vec2 q, double r, bool inclusive,
+                std::vector<int>* out) const;
+
+  std::vector<geom::Vec2> pts_;
+  std::vector<int> order_;  ///< Point ids, permuted so leaves are contiguous.
+  std::vector<Node> nodes_;
+  int root_ = -1;
+
+  friend class Enumerator;
+};
+
+}  // namespace range
+}  // namespace unn
+
+#endif  // UNN_RANGE_KDTREE_H_

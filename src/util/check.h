@@ -1,0 +1,37 @@
+#ifndef UNN_UTIL_CHECK_H_
+#define UNN_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file check.h
+/// Invariant-checking macros. The library does not use exceptions (per the
+/// project style); violated invariants are programming errors and abort with
+/// a source location. UNN_CHECK is active in all build types; UNN_DCHECK
+/// only in debug builds.
+
+#define UNN_CHECK(cond)                                                      \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "UNN_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define UNN_CHECK_MSG(cond, msg)                                             \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "UNN_CHECK failed at %s:%d: %s (%s)\n", __FILE__, \
+                   __LINE__, #cond, msg);                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define UNN_DCHECK(cond) ((void)0)
+#else
+#define UNN_DCHECK(cond) UNN_CHECK(cond)
+#endif
+
+#endif  // UNN_UTIL_CHECK_H_

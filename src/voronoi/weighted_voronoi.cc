@@ -1,0 +1,234 @@
+#include "voronoi/weighted_voronoi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geom/trig.h"
+#include "util/check.h"
+
+namespace unn {
+namespace voronoi {
+
+using dcel::EdgeShape;
+using envelope::kNoCurve;
+using envelope::PolarEnvelope;
+using geom::Box;
+using geom::FocalConic;
+using geom::Vec2;
+
+WeightedVoronoi::WeightedVoronoi(std::vector<Vec2> sites,
+                                 std::vector<double> weights,
+                                 const WeightedVoronoiOptions& opts)
+    : sites_(std::move(sites)), weights_(std::move(weights)) {
+  UNN_CHECK(!sites_.empty());
+  UNN_CHECK(sites_.size() == weights_.size());
+  int n = static_cast<int>(sites_.size());
+  dominated_.assign(n, 0);
+
+  if (!opts.window.Empty()) {
+    window_ = opts.window;
+  } else {
+    Box b;
+    for (int i = 0; i < n; ++i) {
+      b.Expand(sites_[i]);
+    }
+    double wspread = 0;
+    for (double w : weights_) wspread = std::max(wspread, std::abs(w));
+    window_ = b.Inflated(opts.auto_window_margin * (b.Diagonal() + wspread + 1.0));
+  }
+  scale_ = window_.Diagonal();
+  snap_tol_ = 1e-9 * scale_;
+
+  // A site is dominated when some other site is closer+cheaper everywhere:
+  // w_i - w_j >= |c_i c_j|.
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n && !dominated_[i]; ++j) {
+      if (j == i) continue;
+      double d = Dist(sites_[i], sites_[j]);
+      if (weights_[i] - weights_[j] >= d && (d > 0 || weights_[i] > weights_[j])) {
+        dominated_[i] = 1;
+      }
+    }
+  }
+
+  // Cell boundary of each live site: polar lower envelope of its bisectors.
+  std::vector<PolarEnvelope> envs(n);
+  for (int i = 0; i < n; ++i) {
+    if (dominated_[i]) continue;
+    std::vector<std::optional<FocalConic>> curves(n);
+    for (int j = 0; j < n; ++j) {
+      if (j == i || dominated_[j]) continue;
+      curves[j] = FocalConic::DistanceDifference(sites_[i], sites_[j],
+                                                 weights_[j] - weights_[i]);
+    }
+    envs[i] = PolarEnvelope::Compute(curves);
+    stats_.envelope_arcs += envs[i].NumCurveArcs();
+    stats_.vertices += envs[i].NumBreakpoints();
+  }
+  // Each vertex is a breakpoint of (generically) three envelopes.
+  stats_.vertices /= 3;
+
+  // Emit each bisector piece once (from the smaller site id), split at
+  // breakpoints and window crossings; collect frame hits.
+  std::vector<std::vector<std::pair<double, int>>> frame_hits(4);
+  Vec2 corners[4] = {window_.lo,
+                     {window_.hi.x, window_.lo.y},
+                     window_.hi,
+                     {window_.lo.x, window_.hi.y}};
+  Box accept = window_.Inflated(1e-6 * scale_);
+  for (int i = 0; i < n; ++i) {
+    if (dominated_[i]) continue;
+    const auto& arcs = envs[i].arcs();
+    for (const auto& arc : arcs) {
+      if (arc.curve == kNoCurve || arc.curve < i) continue;  // Emit once.
+      const FocalConic& conic = *envs[i].curves()[arc.curve];
+      std::vector<double> ev = {arc.lo, arc.hi};
+      for (int s = 0; s < 4; ++s) {
+        FocalConic::SegmentHit hits[2];
+        int nh = conic.IntersectSegment(corners[s], corners[(s + 1) % 4], hits);
+        for (int h = 0; h < nh; ++h) {
+          if (hits[h].theta < arc.lo - 1e-12 || hits[h].theta > arc.hi + 1e-12) {
+            continue;
+          }
+          ev.push_back(std::clamp(hits[h].theta, arc.lo, arc.hi));
+          frame_hits[s].push_back({hits[h].t, SnapVertex(hits[h].point)});
+        }
+      }
+      std::sort(ev.begin(), ev.end());
+      ev.erase(std::unique(ev.begin(), ev.end(),
+                           [](double a, double b) { return b - a < 1e-11; }),
+               ev.end());
+      for (size_t t = 0; t + 1 < ev.size(); ++t) {
+        double t0 = ev[t], t1 = ev[t + 1];
+        if (t1 - t0 < 1e-11) continue;
+        double tm = 0.5 * (t0 + t1);
+        if (!conic.InDomain(tm) || !window_.Contains(conic.PointAt(tm))) continue;
+        Vec2 pa = conic.PointAt(t0);
+        Vec2 pb = conic.PointAt(t1);
+        if (!accept.Contains(pa) || !accept.Contains(pb)) continue;
+        int va = SnapVertex(pa);
+        int vb = SnapVertex(pb);
+        if (va == vb && Dist(pa, pb) < snap_tol_) continue;
+        int e = sub_.AddEdge(va, vb, EdgeShape::Arc(conic, t0, t1), i);
+        edge_sites_.resize(e + 1, {-1, -1});
+        edge_sites_[e] = {i, arc.curve};
+      }
+    }
+  }
+  // Frame.
+  int corner_vid[4];
+  for (int s = 0; s < 4; ++s) corner_vid[s] = SnapVertex(corners[s]);
+  for (int s = 0; s < 4; ++s) {
+    auto& hits = frame_hits[s];
+    hits.push_back({0.0, corner_vid[s]});
+    hits.push_back({1.0, corner_vid[(s + 1) % 4]});
+    std::sort(hits.begin(), hits.end());
+    for (size_t h = 0; h + 1 < hits.size(); ++h) {
+      if (hits[h].second == hits[h + 1].second) continue;
+      Vec2 pa = sub_.vertex(hits[h].second).pos;
+      Vec2 pb = sub_.vertex(hits[h + 1].second).pos;
+      int e = sub_.AddEdge(hits[h].second, hits[h + 1].second,
+                           EdgeShape::Segment(pa, pb), dcel::kFrameCurve);
+      edge_sites_.resize(e + 1, {-1, -1});
+    }
+  }
+  sub_.Build();
+  stats_.dcel_edges = sub_.NumEdges();
+  shooter_ = std::make_unique<pointloc::RayShooter>(sub_);
+  LabelLoops();
+  std::vector<char> seen(n, 0);
+  for (int s : loop_site_) {
+    if (s >= 0 && !seen[s]) {
+      seen[s] = 1;
+      ++stats_.nonempty_cells;
+    }
+  }
+}
+
+int WeightedVoronoi::SnapVertex(Vec2 p) {
+  double cell = 4.0 * snap_tol_;
+  auto cx = static_cast<int64_t>(std::floor(p.x / cell));
+  auto cy = static_cast<int64_t>(std::floor(p.y / cell));
+  for (int64_t dx = -1; dx <= 1; ++dx) {
+    for (int64_t dy = -1; dy <= 1; ++dy) {
+      uint64_t key = static_cast<uint64_t>((cx + dx) * 0x9E3779B97F4A7C15ULL) ^
+                     static_cast<uint64_t>(cy + dy);
+      auto it = snap_grid_.find(key);
+      if (it == snap_grid_.end()) continue;
+      for (int vid : it->second) {
+        if (Dist(sub_.vertex(vid).pos, p) <= snap_tol_) return vid;
+      }
+    }
+  }
+  int vid = sub_.AddVertex(p);
+  uint64_t key = static_cast<uint64_t>(cx * 0x9E3779B97F4A7C15ULL) ^
+                 static_cast<uint64_t>(cy);
+  snap_grid_[key].push_back(vid);
+  return vid;
+}
+
+int WeightedVoronoi::BruteQuery(Vec2 q) const {
+  int best = -1;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < NumSites(); ++i) {
+    double d = Dist(q, sites_[i]) + weights_[i];
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void WeightedVoronoi::LabelLoops() {
+  loop_site_.assign(sub_.NumLoops(), -1);
+  for (int l = 0; l < sub_.NumLoops(); ++l) {
+    // Find a bisector half-edge on this loop and test which side we are on.
+    int h0 = sub_.loop(l).first_half_edge;
+    int h = h0;
+    do {
+      const auto& he = sub_.half_edge(h);
+      auto [si, sj] = edge_sites_[he.edge];
+      if (si >= 0) {
+        const EdgeShape& shape = sub_.edge(he.edge).shape;
+        Vec2 mid = shape.Midpoint();
+        Vec2 dir = shape.TravelDirAt(0.5);
+        if (!he.forward) dir = -dir;
+        Vec2 p = mid + geom::Perp(dir) * (1e-7 * scale_);
+        double di = Dist(p, sites_[si]) + weights_[si];
+        double dj = Dist(p, sites_[sj]) + weights_[sj];
+        loop_site_[l] = di <= dj ? si : sj;
+        break;
+      }
+      h = he.next;
+    } while (h != h0);
+    if (loop_site_[l] < 0) {
+      // Frame-only loop: a single cell covers this part of the window (or
+      // we are outside). Sample any point of the loop's left side.
+      const auto& he = sub_.half_edge(h0);
+      const EdgeShape& shape = sub_.edge(he.edge).shape;
+      Vec2 mid = shape.Midpoint();
+      Vec2 dir = shape.TravelDirAt(0.5);
+      if (!he.forward) dir = -dir;
+      Vec2 p = mid + geom::Perp(dir) * (1e-7 * scale_);
+      if (window_.Contains(p)) loop_site_[l] = BruteQuery(p);
+    }
+  }
+}
+
+int WeightedVoronoi::Query(Vec2 q) const {
+  if (!window_.Contains(q)) return BruteQuery(q);
+  int h = shooter_->LocateHalfEdgeAbove(q);
+  if (h < 0) return BruteQuery(q);
+  int site = loop_site_[sub_.half_edge(h).loop];
+  return site >= 0 ? site : BruteQuery(q);
+}
+
+double WeightedVoronoi::WeightedDistance(Vec2 q) const {
+  int i = Query(q);
+  return Dist(q, sites_[i]) + weights_[i];
+}
+
+}  // namespace voronoi
+}  // namespace unn

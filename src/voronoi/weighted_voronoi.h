@@ -1,0 +1,86 @@
+#ifndef UNN_VORONOI_WEIGHTED_VORONOI_H_
+#define UNN_VORONOI_WEIGHTED_VORONOI_H_
+
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "dcel/planar_subdivision.h"
+#include "envelope/polar_envelope.h"
+#include "geom/vec2.h"
+#include "pointloc/ray_shooter.h"
+
+/// \file weighted_voronoi.h
+/// The additively weighted Voronoi diagram M of sites c_1..c_n with weights
+/// w_1..w_n: the minimization diagram of d(x, c_i) + w_i ([AB86]; the
+/// projection of the paper's lower envelope Delta). Each cell is star-shaped
+/// about its site and its boundary is the polar lower envelope of the
+/// hyperbolic bisectors {d(x,c_i) - d(x,c_j) = w_j - w_i} — the same
+/// machinery as the gamma_i curves of Section 2, so M falls out of the
+/// PolarEnvelope + DCEL substrates. With zero weights this is the standard
+/// Voronoi diagram.
+///
+/// M has linear complexity; its point-location structure answers
+/// Delta(q) = min_i d(q,c_i)+w_i queries in O(log n)-expected time
+/// (stage one of Theorem 3.1).
+
+namespace unn {
+namespace voronoi {
+
+struct WeightedVoronoiOptions {
+  geom::Box window;            ///< Empty selects an automatic window.
+  double auto_window_margin = 1.0;
+};
+
+class WeightedVoronoi {
+ public:
+  WeightedVoronoi(std::vector<geom::Vec2> sites, std::vector<double> weights,
+                  const WeightedVoronoiOptions& opts = {});
+
+  /// Id of the site whose cell contains q (ties broken arbitrarily).
+  /// Exact: falls back to a linear scan outside the window.
+  int Query(geom::Vec2 q) const;
+
+  /// min_i d(q, c_i) + w_i.
+  double WeightedDistance(geom::Vec2 q) const;
+
+  int NumSites() const { return static_cast<int>(sites_.size()); }
+  /// True if the site's cell is empty (dominated by another site).
+  bool IsDominated(int i) const { return dominated_[i]; }
+
+  const dcel::PlanarSubdivision& subdivision() const { return sub_; }
+  const geom::Box& window() const { return window_; }
+
+  struct Stats {
+    int64_t envelope_arcs = 0;
+    int64_t vertices = 0;  ///< Voronoi vertices (envelope breakpoints).
+    int dcel_edges = 0;
+    int nonempty_cells = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  int SnapVertex(geom::Vec2 p);
+  int BruteQuery(geom::Vec2 q) const;
+  void LabelLoops();
+
+  std::vector<geom::Vec2> sites_;
+  std::vector<double> weights_;
+  std::vector<char> dominated_;
+  geom::Box window_;
+  double scale_ = 1.0;
+
+  dcel::PlanarSubdivision sub_;
+  std::vector<std::pair<int, int>> edge_sites_;  ///< Bisector pair per edge.
+  std::vector<int> loop_site_;                   ///< Cell owner per loop.
+  std::unique_ptr<pointloc::RayShooter> shooter_;
+  std::unordered_map<uint64_t, std::vector<int>> snap_grid_;
+  double snap_tol_ = 1e-9;
+  Stats stats_;
+};
+
+}  // namespace voronoi
+}  // namespace unn
+
+#endif  // UNN_VORONOI_WEIGHTED_VORONOI_H_

@@ -1,0 +1,157 @@
+#include "workload/generators.h"
+
+#include <cmath>
+#include <random>
+
+#include "geom/trig.h"
+#include "util/check.h"
+
+namespace unn {
+namespace workload {
+
+using core::UncertainPoint;
+using geom::Vec2;
+
+std::vector<UncertainPoint> RandomDisks(int n, uint64_t seed, double spread,
+                                        double rmin, double rmax) {
+  if (spread <= 0) spread = std::sqrt(static_cast<double>(n)) * 2.5;
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> pos(-spread, spread);
+  std::uniform_real_distribution<double> rad(rmin, rmax);
+  std::vector<UncertainPoint> pts;
+  pts.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    double x = pos(rng), y = pos(rng), r = rad(rng);
+    pts.push_back(UncertainPoint::Disk({x, y}, r));
+  }
+  return pts;
+}
+
+std::vector<UncertainPoint> RandomDiscrete(int n, int k, uint64_t seed,
+                                           double spread, double cluster,
+                                           bool uniform_weights) {
+  if (spread <= 0) spread = std::sqrt(static_cast<double>(n)) * 2.5;
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> pos(-spread, spread);
+  std::uniform_real_distribution<double> off(-cluster, cluster);
+  std::uniform_real_distribution<double> wu(0.2, 1.0);
+  std::vector<UncertainPoint> pts;
+  pts.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    double cx = pos(rng), cy = pos(rng);
+    std::vector<Vec2> sites;
+    std::vector<double> w;
+    double total = 0;
+    for (int s = 0; s < k; ++s) {
+      double ox = off(rng), oy = off(rng);
+      sites.push_back({cx + ox, cy + oy});
+      double ws = uniform_weights ? 1.0 : wu(rng);
+      w.push_back(ws);
+      total += ws;
+    }
+    for (auto& x : w) x /= total;
+    pts.push_back(UncertainPoint::Discrete(std::move(sites), std::move(w)));
+  }
+  return pts;
+}
+
+std::vector<UncertainPoint> LowerBoundCubic(int n, uint64_t seed) {
+  int m = std::max(n / 4, 1);
+  n = 4 * m;
+  double big_r = 8.0 * n * n;
+  double omega = 1.0 / (n * n);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> jit(-omega * 1e-3, omega * 1e-3);
+  std::vector<UncertainPoint> pts;
+  pts.reserve(n);
+  // D-: m disks of radius R on the negative x-axis.
+  for (int i = 1; i <= m; ++i) {
+    Vec2 c{-big_r - 1.5 - (i - 1) * omega + jit(rng), jit(rng)};
+    pts.push_back(UncertainPoint::Disk(c, big_r));
+  }
+  // D+: m disks of radius R on the positive x-axis.
+  for (int j = 1; j <= m; ++j) {
+    Vec2 c{big_r + 1.5 + (j - 1) * omega + jit(rng), jit(rng)};
+    pts.push_back(UncertainPoint::Disk(c, big_r));
+  }
+  // D0: 2m unit disks along the y-axis at spacing 4.
+  for (int k = 1; k <= 2 * m; ++k) {
+    Vec2 c{jit(rng), 4.0 * (k - m) - 2.0 + jit(rng)};
+    pts.push_back(UncertainPoint::Disk(c, 1.0));
+  }
+  return pts;
+}
+
+std::vector<UncertainPoint> LowerBoundCubicEqualRadius(int n, uint64_t seed) {
+  int m = std::max(n / 3, 1);
+  n = 3 * m;
+  double theta = (geom::kTwoPi / 4.0) / (m + 1);
+  double omega = 1e-4 / m;
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> jit(-omega * 1e-3, omega * 1e-3);
+  std::vector<UncertainPoint> pts;
+  pts.reserve(n);
+  for (int i = 1; i <= m; ++i) {
+    pts.push_back(UncertainPoint::Disk(
+        {-2.0 - (i - 1) * omega + jit(rng), jit(rng)}, 1.0));
+  }
+  for (int j = 1; j <= m; ++j) {
+    pts.push_back(UncertainPoint::Disk(
+        {2.0 + (j - 1) * omega + jit(rng), jit(rng)}, 1.0));
+  }
+  for (int k = 1; k <= m; ++k) {
+    pts.push_back(UncertainPoint::Disk({2.0 - 2.0 * std::cos(k * theta) + jit(rng),
+                                        2.0 * std::sin(k * theta) + jit(rng)},
+                                       1.0));
+  }
+  return pts;
+}
+
+std::vector<UncertainPoint> LowerBoundQuadratic(int n, uint64_t seed) {
+  int m = std::max(n / 2, 1);
+  n = 2 * m;
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> jit(-1e-7, 1e-7);
+  std::vector<UncertainPoint> pts;
+  pts.reserve(n);
+  for (int i = 1; i <= n; ++i) {
+    pts.push_back(UncertainPoint::Disk(
+        {4.0 * (i - m) - 2.0 + jit(rng), jit(rng)}, 1.0));
+  }
+  return pts;
+}
+
+std::vector<UncertainPoint> DisjointDisks(int n, double lambda, uint64_t seed) {
+  UNN_CHECK(lambda >= 1.0);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> rad(1.0, lambda);
+  int cols = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n))));
+  double pitch = 2.0 * lambda + 0.5;  // Guarantees disjointness on the grid.
+  std::uniform_real_distribution<double> jit(-0.2, 0.2);
+  std::vector<UncertainPoint> pts;
+  pts.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    int cx = i % cols, cy = i / cols;
+    Vec2 c{cx * pitch + jit(rng), cy * pitch + jit(rng)};
+    pts.push_back(UncertainPoint::Disk(c, rad(rng)));
+  }
+  return pts;
+}
+
+std::vector<UncertainPoint> LowerBoundVprQuartic(int n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(-0.9, 0.9);
+  std::vector<UncertainPoint> pts;
+  pts.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    // One location in the unit disk (generic => all bisector pairs cross),
+    // one far away (slightly spread to stay in general position).
+    Vec2 near{u(rng), u(rng)};
+    Vec2 far{100.0 + 1e-4 * i, 1e-4 * (i % 7)};
+    pts.push_back(UncertainPoint::Discrete({near, far}, {0.5, 0.5}));
+  }
+  return pts;
+}
+
+}  // namespace workload
+}  // namespace unn

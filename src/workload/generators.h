@@ -1,0 +1,59 @@
+#ifndef UNN_WORKLOAD_GENERATORS_H_
+#define UNN_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/uncertain_point.h"
+
+/// \file generators.h
+/// Workload generators for the benchmark harness: random inputs plus the
+/// paper's worst-case constructions (Theorems 2.7, 2.8, 2.10 and Lemma 4.1,
+/// Figures 5, 6, 8, 9). The constructions follow the proofs verbatim, with
+/// the deterministic jitter the proofs themselves invoke ("omega a
+/// sufficiently small positive number", perturbation arguments in Theorem
+/// 2.5) so that the inputs are in general position.
+
+namespace unn {
+namespace workload {
+
+/// n random disks, radii in [rmin, rmax], centers in a square of the given
+/// half-extent. Density is controlled by `spread` relative to n.
+std::vector<core::UncertainPoint> RandomDisks(int n, uint64_t seed,
+                                              double spread = 0.0,
+                                              double rmin = 0.1,
+                                              double rmax = 1.5);
+
+/// n discrete uncertain points with k sites each, clustered with the given
+/// radius; uniform or random location probabilities.
+std::vector<core::UncertainPoint> RandomDiscrete(int n, int k, uint64_t seed,
+                                                 double spread = 0.0,
+                                                 double cluster = 1.0,
+                                                 bool uniform_weights = true);
+
+/// Theorem 2.7 / Figure 5: Omega(n^3) vertices with two families of huge
+/// disks flanking a column of unit disks. n is rounded down to a multiple
+/// of 4; expected vertex count ~ 2 * (n/4)^2 * (n/2) = n^3 / 16.
+std::vector<core::UncertainPoint> LowerBoundCubic(int n, uint64_t seed);
+
+/// Theorem 2.8 / Figure 6: Omega(n^3) with equal-radius disks. n rounded
+/// down to a multiple of 3; at least (n/3)^3 vertices.
+std::vector<core::UncertainPoint> LowerBoundCubicEqualRadius(int n,
+                                                             uint64_t seed);
+
+/// Theorem 2.10 / Figure 8: Omega(n^2) with disjoint equal disks on a line.
+std::vector<core::UncertainPoint> LowerBoundQuadratic(int n, uint64_t seed);
+
+/// Pairwise-disjoint disks with radius ratio at most lambda (for the
+/// O(lambda n^2) upper-bound sweep of Theorem 2.10): jittered grid layout.
+std::vector<core::UncertainPoint> DisjointDisks(int n, double lambda,
+                                                uint64_t seed);
+
+/// Lemma 4.1 / Figure 9: k = 2 discrete points whose VPr diagram has
+/// Omega(n^4) faces: one location in the unit disk, one far away.
+std::vector<core::UncertainPoint> LowerBoundVprQuartic(int n, uint64_t seed);
+
+}  // namespace workload
+}  // namespace unn
+
+#endif  // UNN_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,109 @@
+#include "workload/svg.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <fstream>
+
+namespace unn {
+namespace workload {
+
+using geom::Box;
+using geom::Vec2;
+
+namespace {
+std::string Fmt(const char* format, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, format);
+  vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  return buf;
+}
+}  // namespace
+
+SvgWriter::SvgWriter(const Box& viewport, int width_px)
+    : view_(viewport), width_px_(width_px) {
+  double aspect = viewport.Height() / (viewport.Width() + 1e-300);
+  height_px_ = static_cast<int>(width_px * aspect) + 1;
+}
+
+Vec2 SvgWriter::Map(Vec2 p) const {
+  double sx = (p.x - view_.lo.x) / view_.Width() * width_px_;
+  double sy = (view_.hi.y - p.y) / view_.Height() * height_px_;
+  return {sx, sy};
+}
+
+double SvgWriter::Scale(double w) const {
+  return w / view_.Width() * width_px_;
+}
+
+void SvgWriter::AddCircle(Vec2 center, double radius, const std::string& stroke,
+                          const std::string& fill, double stroke_width) {
+  Vec2 c = Map(center);
+  body_ += Fmt(
+      "<circle cx=\"%.2f\" cy=\"%.2f\" r=\"%.2f\" stroke=\"%s\" fill=\"%s\" "
+      "stroke-width=\"%.2f\"/>\n",
+      c.x, c.y, Scale(radius), stroke.c_str(), fill.c_str(), stroke_width);
+}
+
+void SvgWriter::AddSegment(Vec2 a, Vec2 b, const std::string& stroke,
+                           double stroke_width) {
+  Vec2 ma = Map(a), mb = Map(b);
+  body_ += Fmt(
+      "<line x1=\"%.2f\" y1=\"%.2f\" x2=\"%.2f\" y2=\"%.2f\" stroke=\"%s\" "
+      "stroke-width=\"%.2f\"/>\n",
+      ma.x, ma.y, mb.x, mb.y, stroke.c_str(), stroke_width);
+}
+
+void SvgWriter::AddPolyline(const std::vector<Vec2>& pts,
+                            const std::string& stroke, double stroke_width) {
+  if (pts.size() < 2) return;
+  body_ += "<polyline fill=\"none\" stroke=\"" + stroke + "\" stroke-width=\"" +
+           Fmt("%.2f", stroke_width) + "\" points=\"";
+  for (Vec2 p : pts) {
+    Vec2 m = Map(p);
+    body_ += Fmt("%.2f,%.2f ", m.x, m.y);
+  }
+  body_ += "\"/>\n";
+}
+
+void SvgWriter::AddDot(Vec2 p, double px_radius, const std::string& fill) {
+  Vec2 m = Map(p);
+  body_ += Fmt("<circle cx=\"%.2f\" cy=\"%.2f\" r=\"%.2f\" fill=\"%s\"/>\n",
+               m.x, m.y, px_radius, fill.c_str());
+}
+
+void SvgWriter::AddText(Vec2 p, const std::string& text,
+                        const std::string& fill, int px_size) {
+  Vec2 m = Map(p);
+  body_ += Fmt("<text x=\"%.2f\" y=\"%.2f\" fill=\"%s\" font-size=\"%d\">",
+               m.x, m.y, fill.c_str(), px_size) +
+           text + "</text>\n";
+}
+
+void SvgWriter::AddSubdivision(const dcel::PlanarSubdivision& sub,
+                               const std::string& curve_stroke,
+                               const std::string& frame_stroke) {
+  for (int e = 0; e < sub.NumEdges(); ++e) {
+    const auto& ed = sub.edge(e);
+    bool frame = ed.curve_id == dcel::kFrameCurve;
+    AddPolyline(ed.shape.Sample(frame ? 2 : 33),
+                frame ? frame_stroke : curve_stroke, frame ? 0.7 : 1.2);
+  }
+}
+
+bool SvgWriter::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << Fmt(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" "
+      "viewBox=\"0 0 %d %d\">\n<rect width=\"100%%\" height=\"100%%\" "
+      "fill=\"white\"/>\n",
+      width_px_, height_px_, width_px_, height_px_);
+  out << body_;
+  out << "</svg>\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace workload
+}  // namespace unn

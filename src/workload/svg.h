@@ -1,0 +1,55 @@
+#ifndef UNN_WORKLOAD_SVG_H_
+#define UNN_WORKLOAD_SVG_H_
+
+#include <string>
+#include <vector>
+
+#include "dcel/planar_subdivision.h"
+#include "geom/vec2.h"
+
+/// \file svg.h
+/// Minimal SVG output for the example programs and the figure gallery
+/// (regenerating the paper's illustrative figures as vector images).
+
+namespace unn {
+namespace workload {
+
+class SvgWriter {
+ public:
+  /// World-space viewport mapped onto an image `width_px` wide (height by
+  /// aspect ratio, y-axis flipped so +y is up).
+  SvgWriter(const geom::Box& viewport, int width_px = 800);
+
+  void AddCircle(geom::Vec2 center, double radius, const std::string& stroke,
+                 const std::string& fill = "none", double stroke_width = 1.0);
+  void AddSegment(geom::Vec2 a, geom::Vec2 b, const std::string& stroke,
+                  double stroke_width = 1.0);
+  void AddPolyline(const std::vector<geom::Vec2>& pts,
+                   const std::string& stroke, double stroke_width = 1.0);
+  void AddDot(geom::Vec2 p, double px_radius, const std::string& fill);
+  void AddText(geom::Vec2 p, const std::string& text,
+               const std::string& fill = "#333", int px_size = 12);
+
+  /// Renders every edge of a subdivision (curve edges sampled; frame edges
+  /// in a light style).
+  void AddSubdivision(const dcel::PlanarSubdivision& sub,
+                      const std::string& curve_stroke = "#1f77b4",
+                      const std::string& frame_stroke = "#cccccc");
+
+  /// Writes the file; returns false on I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  geom::Vec2 Map(geom::Vec2 p) const;
+  double Scale(double w) const;
+
+  geom::Box view_;
+  int width_px_;
+  int height_px_;
+  std::string body_;
+};
+
+}  // namespace workload
+}  // namespace unn
+
+#endif  // UNN_WORKLOAD_SVG_H_

@@ -1,0 +1,194 @@
+#include "envelope/polar_envelope.h"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "geom/trig.h"
+
+namespace unn {
+namespace envelope {
+namespace {
+
+using geom::FocalConic;
+using geom::kTwoPi;
+using geom::Vec2;
+
+struct Disk {
+  Vec2 c;
+  double r;
+};
+
+std::vector<Disk> RandomDisks(int n, std::mt19937_64& rng, double spread = 10,
+                              double rmax = 1.5) {
+  std::uniform_real_distribution<double> pos(-spread, spread);
+  std::uniform_real_distribution<double> rad(0.1, rmax);
+  std::vector<Disk> d(n);
+  for (auto& dk : d) dk = {{pos(rng), pos(rng)}, rad(rng)};
+  return d;
+}
+
+/// Builds the gamma_ij curves of uncertain point i against all others:
+/// gamma_ij = { x : d(x,c_i) - d(x,c_j) = r_i + r_j }, polar about c_i.
+std::vector<std::optional<FocalConic>> GammaCurves(const std::vector<Disk>& d,
+                                                   int i) {
+  std::vector<std::optional<FocalConic>> curves(d.size());
+  for (size_t j = 0; j < d.size(); ++j) {
+    if (static_cast<int>(j) == i) continue;
+    curves[j] = FocalConic::DistanceDifference(d[i].c, d[j].c, d[i].r + d[j].r);
+  }
+  return curves;
+}
+
+double BigDelta(const std::vector<Disk>& d, Vec2 x) {
+  double m = std::numeric_limits<double>::infinity();
+  for (const Disk& dk : d) m = std::min(m, Dist(x, dk.c) + dk.r);
+  return m;
+}
+
+TEST(PolarEnvelope, EmptyInput) {
+  PolarEnvelope env = PolarEnvelope::Compute({});
+  ASSERT_EQ(env.arcs().size(), 1u);
+  EXPECT_EQ(env.arcs()[0].curve, kNoCurve);
+  EXPECT_FALSE(env.FullyCovered());
+}
+
+TEST(PolarEnvelope, SingleCurveMatchesItsDomain) {
+  Vec2 o{0, 0}, b{5, 0};
+  std::vector<std::optional<FocalConic>> curves = {
+      FocalConic::DistanceDifference(o, b, 2.0)};
+  PolarEnvelope env = PolarEnvelope::Compute(curves);
+  for (int i = 0; i <= 100; ++i) {
+    double t = kTwoPi * i / 100.0;
+    auto [r, idx] = env.Eval(t);
+    if (curves[0]->InDomain(t, 1e-9)) {
+      EXPECT_EQ(idx, 0);
+      EXPECT_NEAR(r, curves[0]->RadiusAt(t), 1e-9 * (1 + r));
+    } else if (!curves[0]->InDomain(t, -1e-9)) {
+      EXPECT_EQ(idx, kNoCurve);
+      EXPECT_TRUE(std::isinf(r));
+    }
+  }
+}
+
+TEST(PolarEnvelope, ArcsPartitionTheCircle) {
+  std::mt19937_64 rng(5);
+  for (int iter = 0; iter < 50; ++iter) {
+    auto disks = RandomDisks(12, rng);
+    auto curves = GammaCurves(disks, 0);
+    PolarEnvelope env = PolarEnvelope::Compute(curves);
+    const auto& arcs = env.arcs();
+    ASSERT_FALSE(arcs.empty());
+    EXPECT_DOUBLE_EQ(arcs.front().lo, 0.0);
+    EXPECT_DOUBLE_EQ(arcs.back().hi, kTwoPi);
+    for (size_t i = 1; i < arcs.size(); ++i) {
+      EXPECT_DOUBLE_EQ(arcs[i].lo, arcs[i - 1].hi);
+      EXPECT_LT(arcs[i].lo, arcs[i].hi);
+    }
+  }
+}
+
+TEST(PolarEnvelope, MatchesBruteForceMinimum) {
+  std::mt19937_64 rng(17);
+  for (int iter = 0; iter < 30; ++iter) {
+    auto disks = RandomDisks(15, rng);
+    auto curves = GammaCurves(disks, 0);
+    PolarEnvelope env = PolarEnvelope::Compute(curves);
+    std::uniform_real_distribution<double> tu(0, kTwoPi);
+    for (int t = 0; t < 400; ++t) {
+      double theta = tu(rng);
+      double brute = std::numeric_limits<double>::infinity();
+      int brute_idx = kNoCurve;
+      for (size_t j = 0; j < curves.size(); ++j) {
+        if (!curves[j].has_value() || !curves[j]->InDomain(theta)) continue;
+        double r = curves[j]->RadiusAt(theta);
+        if (r < brute) {
+          brute = r;
+          brute_idx = static_cast<int>(j);
+        }
+      }
+      auto [r, idx] = env.Eval(theta);
+      if (std::isinf(brute)) {
+        EXPECT_TRUE(std::isinf(r)) << "iter=" << iter << " theta=" << theta;
+        continue;
+      }
+      EXPECT_NEAR(r, brute, 1e-7 * (1 + std::abs(brute)))
+          << "iter=" << iter << " theta=" << theta;
+      // The winning curve may differ only at (near-)ties.
+      if (idx != brute_idx && idx != kNoCurve) {
+        double r_idx = curves[idx]->RadiusAt(theta);
+        EXPECT_NEAR(r_idx, brute, 1e-6 * (1 + std::abs(brute)));
+      }
+    }
+  }
+}
+
+TEST(PolarEnvelope, GammaEnvelopeMatchesNonzeroNnDefinition) {
+  // On the envelope curve gamma_0, delta_0(x) == Delta(x); inside it
+  // delta_0 < Delta (P_0 is a possible NN), outside delta_0 > Delta.
+  std::mt19937_64 rng(23);
+  for (int iter = 0; iter < 20; ++iter) {
+    auto disks = RandomDisks(10, rng);
+    auto curves = GammaCurves(disks, 0);
+    PolarEnvelope env = PolarEnvelope::Compute(curves);
+    std::uniform_real_distribution<double> tu(0, kTwoPi);
+    for (int t = 0; t < 200; ++t) {
+      double theta = tu(rng);
+      auto [rstar, idx] = env.Eval(theta);
+      if (idx == kNoCurve) {
+        // No boundary in this direction: delta_0 < Delta along the whole ray
+        // (sample far out).
+        Vec2 far = disks[0].c + geom::UnitVec(theta) * 1e4;
+        double delta0 = Dist(far, disks[0].c) - disks[0].r;
+        EXPECT_LT(delta0, BigDelta(disks, far) + 1e-6);
+        continue;
+      }
+      Vec2 on = disks[0].c + geom::UnitVec(theta) * rstar;
+      double delta0_on = Dist(on, disks[0].c) - disks[0].r;
+      EXPECT_NEAR(delta0_on, BigDelta(disks, on), 1e-6 * (1 + rstar));
+      Vec2 inside = disks[0].c + geom::UnitVec(theta) * (rstar * 0.95);
+      double di = std::max(Dist(inside, disks[0].c) - disks[0].r, 0.0);
+      EXPECT_LE(di, BigDelta(disks, inside) + 1e-7);
+      Vec2 outside = disks[0].c + geom::UnitVec(theta) * (rstar * 1.05);
+      double d_out = Dist(outside, disks[0].c) - disks[0].r;
+      EXPECT_GE(d_out, BigDelta(disks, outside) - 1e-7 * (1 + rstar));
+    }
+  }
+}
+
+TEST(PolarEnvelope, BreakpointBoundLemma22) {
+  // Lemma 2.2: gamma_i has at most 2n breakpoints. Sweep many random
+  // configurations, including dense ones.
+  std::mt19937_64 rng(31);
+  for (int n : {4, 8, 16, 32, 64}) {
+    for (int iter = 0; iter < 10; ++iter) {
+      auto disks = RandomDisks(n, rng, /*spread=*/n / 2.0, /*rmax=*/2.0);
+      auto curves = GammaCurves(disks, 0);
+      PolarEnvelope env = PolarEnvelope::Compute(curves);
+      EXPECT_LE(env.NumBreakpoints(), 2 * n) << "n=" << n << " iter=" << iter;
+    }
+  }
+}
+
+TEST(PolarEnvelope, DominatedCurveNeverAppears) {
+  // A curve strictly above another everywhere must not appear.
+  Vec2 o{0, 0};
+  std::vector<std::optional<FocalConic>> curves;
+  curves.push_back(FocalConic::DistanceDifference(o, Vec2{4, 0}, 1.0));
+  // Same direction, same s, but much farther: strictly larger radius on the
+  // shared (smaller) domain.
+  curves.push_back(FocalConic::DistanceDifference(o, Vec2{40, 0}, 1.0));
+  PolarEnvelope env = PolarEnvelope::Compute(curves);
+  for (const auto& arc : env.arcs()) {
+    if (arc.curve == kNoCurve) continue;
+    double mid = 0.5 * (arc.lo + arc.hi);
+    if (curves[0]->InDomain(mid)) {
+      EXPECT_EQ(arc.curve, 0) << "dominated curve won at theta=" << mid;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace envelope
+}  // namespace unn

@@ -1,0 +1,184 @@
+#include "geom/conic.h"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "geom/trig.h"
+
+namespace unn {
+namespace geom {
+namespace {
+
+std::mt19937_64& Rng() {
+  static std::mt19937_64 rng(42);
+  return rng;
+}
+
+Vec2 RandPoint(double lo = -10, double hi = 10) {
+  std::uniform_real_distribution<double> u(lo, hi);
+  return {u(Rng()), u(Rng())};
+}
+
+TEST(FocalConic, EmptyWhenDistanceDifferenceUnreachable) {
+  Vec2 a{0, 0}, b{3, 0};
+  EXPECT_FALSE(FocalConic::DistanceDifference(a, b, 3.0).has_value());
+  EXPECT_FALSE(FocalConic::DistanceDifference(a, b, 4.0).has_value());
+  EXPECT_FALSE(FocalConic::DistanceDifference(a, b, -3.5).has_value());
+  EXPECT_TRUE(FocalConic::DistanceDifference(a, b, 2.9).has_value());
+  EXPECT_TRUE(FocalConic::DistanceDifference(a, b, -2.9).has_value());
+  EXPECT_TRUE(FocalConic::DistanceDifference(a, b, 0.0).has_value());
+}
+
+TEST(FocalConic, PointsSatisfyDefiningEquation) {
+  for (int iter = 0; iter < 300; ++iter) {
+    Vec2 a = RandPoint(), b = RandPoint();
+    double d = Dist(a, b);
+    if (d < 0.1) continue;
+    std::uniform_real_distribution<double> su(-0.95, 0.95);
+    double s = su(Rng()) * d;
+    auto conic = FocalConic::DistanceDifference(a, b, s);
+    ASSERT_TRUE(conic.has_value());
+    // Sample across the domain, excluding the blow-up fringe.
+    for (int i = 1; i <= 20; ++i) {
+      double frac = i / 21.0;
+      double theta =
+          conic->DomainLo() + frac * (conic->DomainHi() - conic->DomainLo());
+      if (!conic->InDomain(theta, 1e-6)) continue;
+      Vec2 x = conic->PointAt(theta);
+      double lhs = Dist(x, a) - Dist(x, b);
+      EXPECT_NEAR(lhs, s, 1e-7 * (1 + Norm(x - a)))
+          << "iter=" << iter << " theta=" << theta;
+      EXPECT_NEAR(conic->Implicit(x), 0.0, 1e-7 * (1 + Norm(x - a)));
+    }
+  }
+}
+
+TEST(FocalConic, ZeroDifferenceIsPerpendicularBisector) {
+  Vec2 a{-1, 0}, b{1, 0};
+  auto conic = FocalConic::DistanceDifference(a, b, 0.0);
+  ASSERT_TRUE(conic.has_value());
+  // At theta = pi/2 (straight up from a) ... the bisector is x = 0, so the
+  // point of the branch on the upward ray from a=(-1,0) at angle t satisfies
+  // a.x + r cos t = 0.
+  for (double t : {0.3, 0.7, 1.2, -0.4, -1.1}) {
+    if (!conic->InDomain(t)) continue;
+    Vec2 x = conic->PointAt(t);
+    EXPECT_NEAR(x.x, 0.0, 1e-9);
+  }
+}
+
+TEST(FocalConic, DomainBoundaryRadiusDiverges) {
+  Vec2 a{0, 0}, b{4, 0};
+  auto conic = FocalConic::DistanceDifference(a, b, 2.0);
+  ASSERT_TRUE(conic.has_value());
+  double near_edge = conic->DomainHi() - 1e-9;
+  EXPECT_GT(conic->RadiusAt(near_edge), 1e6);
+  double mid = conic->phi();
+  // Minimum radius at the axis: r = (D + s) / 2.
+  EXPECT_NEAR(conic->RadiusAt(mid), (4.0 + 2.0) / 2.0, 1e-12);
+}
+
+TEST(FocalConic, IntersectSharedFocusAgainstDenseScan) {
+  int checked = 0;
+  for (int iter = 0; iter < 200; ++iter) {
+    Vec2 o = RandPoint();
+    Vec2 b1 = RandPoint(), b2 = RandPoint();
+    double d1 = Dist(o, b1), d2 = Dist(o, b2);
+    if (d1 < 0.5 || d2 < 0.5) continue;
+    std::uniform_real_distribution<double> su(-0.9, 0.9);
+    auto c1 = FocalConic::DistanceDifference(o, b1, su(Rng()) * d1);
+    auto c2 = FocalConic::DistanceDifference(o, b2, su(Rng()) * d2);
+    ASSERT_TRUE(c1 && c2);
+    double thetas[2];
+    int n = FocalConic::Intersect(*c1, *c2, thetas);
+    for (int i = 0; i < n; ++i) {
+      double r1 = c1->RadiusAt(thetas[i]);
+      double r2 = c2->RadiusAt(thetas[i]);
+      EXPECT_NEAR(r1, r2, 1e-6 * (1 + std::abs(r1)));
+      Vec2 x = c1->PointAt(thetas[i]);
+      EXPECT_NEAR(c2->Implicit(x), 0.0, 1e-6 * (1 + Norm(x - o)));
+      ++checked;
+    }
+    // Dense scan for sign changes of r1 - r2 on the common domain; every
+    // sign change must be matched by a reported root.
+    const int kSteps = 2000;
+    double prev_diff = 0;
+    bool have_prev = false;
+    int sign_changes = 0;
+    for (int i = 0; i <= kSteps; ++i) {
+      double t = kTwoPi * i / kSteps;
+      if (!c1->InDomain(t, 1e-9) || !c2->InDomain(t, 1e-9)) {
+        have_prev = false;
+        continue;
+      }
+      double diff = c1->RadiusAt(t) - c2->RadiusAt(t);
+      if (have_prev && ((diff > 0) != (prev_diff > 0))) ++sign_changes;
+      prev_diff = diff;
+      have_prev = true;
+    }
+    EXPECT_LE(sign_changes, n)
+        << "scan found more crossings than Intersect reported, iter=" << iter;
+  }
+  EXPECT_GT(checked, 20);
+}
+
+TEST(FocalConic, IntersectSegmentResidualsAndCompleteness) {
+  int hits_total = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    Vec2 a = RandPoint(), b = RandPoint();
+    double d = Dist(a, b);
+    if (d < 0.5) continue;
+    std::uniform_real_distribution<double> su(-0.9, 0.9);
+    auto conic = FocalConic::DistanceDifference(a, b, su(Rng()) * d);
+    ASSERT_TRUE(conic.has_value());
+    Vec2 p = RandPoint(-15, 15), q = RandPoint(-15, 15);
+    FocalConic::SegmentHit hits[2];
+    int n = conic->IntersectSegment(p, q, hits);
+    hits_total += n;
+    for (int i = 0; i < n; ++i) {
+      EXPECT_NEAR(conic->Implicit(hits[i].point), 0.0, 1e-6 * (1 + d));
+      EXPECT_GE(hits[i].t, 0.0);
+      EXPECT_LE(hits[i].t, 1.0);
+      Vec2 expect = Lerp(p, q, hits[i].t);
+      EXPECT_NEAR(expect.x, hits[i].point.x, 1e-9);
+      EXPECT_NEAR(expect.y, hits[i].point.y, 1e-9);
+    }
+    // Completeness: sign changes of the implicit function along the segment
+    // must be covered by reported hits.
+    const int kSteps = 400;
+    double prev = conic->Implicit(p);
+    int sign_changes = 0;
+    for (int i = 1; i <= kSteps; ++i) {
+      double cur = conic->Implicit(Lerp(p, q, static_cast<double>(i) / kSteps));
+      if ((cur > 0) != (prev > 0)) ++sign_changes;
+      prev = cur;
+    }
+    EXPECT_GE(n, sign_changes) << "missed a crossing, iter=" << iter;
+  }
+  EXPECT_GT(hits_total, 50);
+}
+
+TEST(FocalConic, GammaCurveSemantics) {
+  // gamma_ij = {delta_i = Delta_j} for disks D_i(c_i, r_i), D_j(c_j, r_j):
+  // distance difference s = r_i + r_j. Verify points on it have
+  // d(x, c_i) - r_i == d(x, c_j) + r_j.
+  Vec2 ci{0, 0}, cj{10, 0};
+  double ri = 1.5, rj = 2.0;
+  auto gamma = FocalConic::DistanceDifference(ci, cj, ri + rj);
+  ASSERT_TRUE(gamma.has_value());
+  for (double f : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    double theta =
+        gamma->DomainLo() + f * (gamma->DomainHi() - gamma->DomainLo());
+    Vec2 x = gamma->PointAt(theta);
+    double delta_i = Dist(x, ci) - ri;
+    double big_delta_j = Dist(x, cj) + rj;
+    EXPECT_NEAR(delta_i, big_delta_j, 1e-8);
+    EXPECT_GT(delta_i, 0.0);  // Curve lies outside D_i.
+  }
+}
+
+}  // namespace
+}  // namespace geom
+}  // namespace unn

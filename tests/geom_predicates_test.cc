@@ -1,0 +1,111 @@
+#include "geom/predicates.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace unn {
+namespace geom {
+namespace {
+
+TEST(Orient2d, BasicOrientations) {
+  EXPECT_GT(Orient2d({0, 0}, {1, 0}, {0, 1}), 0);  // CCW.
+  EXPECT_LT(Orient2d({0, 0}, {0, 1}, {1, 0}), 0);  // CW.
+  EXPECT_EQ(Orient2d({0, 0}, {1, 1}, {2, 2}), 0);  // Collinear.
+}
+
+TEST(Orient2d, ExactOnNearDegenerateInputs) {
+  // Classic adversarial family: points nearly collinear along y = x with
+  // perturbations far below the double-rounding threshold of the naive
+  // determinant. The adaptive predicate must still give the exact sign.
+  Vec2 a{0.5, 0.5};
+  Vec2 b{12.0, 12.0};
+  for (int i = 1; i <= 64; ++i) {
+    double ulp = std::ldexp(1.0, -52) * i;
+    Vec2 above{0.5 + ulp, 0.5};
+    Vec2 below{0.5, 0.5 + ulp};
+    // (above - a) x (b - a) = ulp * 11.5 > 0; symmetric for `below`.
+    EXPECT_GT(Orient2d(above, b, a), 0) << "i=" << i;
+    EXPECT_LT(Orient2d(below, b, a), 0) << "i=" << i;
+  }
+}
+
+TEST(Orient2d, AntisymmetricUnderSwap) {
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  for (int i = 0; i < 500; ++i) {
+    Vec2 a{u(rng), u(rng)}, b{u(rng), u(rng)}, c{u(rng), u(rng)};
+    EXPECT_EQ(Orient2dSign(a, b, c), -Orient2dSign(b, a, c));
+    EXPECT_EQ(Orient2dSign(a, b, c), Orient2dSign(b, c, a));
+  }
+}
+
+TEST(Orient2d, ExactZeroOnGridCollinear) {
+  // Points on an exact line with representable coordinates.
+  for (int i = 0; i < 100; ++i) {
+    Vec2 a{static_cast<double>(i), static_cast<double>(2 * i)};
+    Vec2 b{static_cast<double>(i + 7), static_cast<double>(2 * (i + 7))};
+    Vec2 c{static_cast<double>(i - 5), static_cast<double>(2 * (i - 5))};
+    EXPECT_EQ(Orient2d(a, b, c), 0.0);
+  }
+}
+
+TEST(PointOnSegment, EndpointsAndMidpoints) {
+  Vec2 a{0, 0}, b{4, 2};
+  EXPECT_TRUE(PointOnSegment(a, a, b));
+  EXPECT_TRUE(PointOnSegment(b, a, b));
+  EXPECT_TRUE(PointOnSegment({2, 1}, a, b));
+  EXPECT_FALSE(PointOnSegment({2, 1.0000001}, a, b));
+  EXPECT_FALSE(PointOnSegment({6, 3}, a, b));  // Collinear but outside.
+}
+
+TEST(SegmentsIntersect, ProperCrossing) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 2}, {0, 2}, {2, 0}));
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {1, 1}, {2, 2}, {3, 3}));
+}
+
+TEST(SegmentsIntersect, TouchingAtEndpoint) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {1, 1}, {1, 1}, {2, 0}));
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 0}, {1, 0}, {1, 5}));
+}
+
+TEST(SegmentsIntersect, CollinearOverlap) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {3, 0}, {2, 0}, {5, 0}));
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {1, 0}, {2, 0}, {3, 0}));
+}
+
+TEST(LineIntersection, BasicAndParallel) {
+  bool ok = false;
+  Vec2 p = LineIntersection({0, 0}, {2, 2}, {0, 2}, {2, 0}, &ok);
+  ASSERT_TRUE(ok);
+  EXPECT_NEAR(p.x, 1.0, 1e-12);
+  EXPECT_NEAR(p.y, 1.0, 1e-12);
+  LineIntersection({0, 0}, {1, 0}, {0, 1}, {1, 1}, &ok);
+  EXPECT_FALSE(ok);
+}
+
+TEST(SegmentsIntersect, RandomizedAgainstParametricOracle) {
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> u(-5.0, 5.0);
+  for (int i = 0; i < 2000; ++i) {
+    Vec2 a{u(rng), u(rng)}, b{u(rng), u(rng)}, c{u(rng), u(rng)},
+        d{u(rng), u(rng)};
+    // Parametric oracle valid away from degeneracies.
+    Vec2 r = b - a, s = d - c;
+    double denom = Cross(r, s);
+    if (std::abs(denom) < 1e-9) continue;
+    double t = Cross(c - a, s) / denom;
+    double v = Cross(c - a, r) / denom;
+    bool expect = t >= 0 && t <= 1 && v >= 0 && v <= 1;
+    // Skip borderline cases where the oracle itself is fragile.
+    if (std::min({std::abs(t), std::abs(1 - t), std::abs(v),
+                  std::abs(1 - v)}) < 1e-9) {
+      continue;
+    }
+    EXPECT_EQ(SegmentsIntersect(a, b, c, d), expect) << "case " << i;
+  }
+}
+
+}  // namespace
+}  // namespace geom
+}  // namespace unn

@@ -1,0 +1,100 @@
+#include "geom/trig.h"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace unn {
+namespace geom {
+namespace {
+
+TEST(NormalizeAngle, MapsIntoRange) {
+  EXPECT_DOUBLE_EQ(NormalizeAngle(0.0), 0.0);
+  EXPECT_NEAR(NormalizeAngle(kTwoPi), 0.0, 1e-15);
+  EXPECT_NEAR(NormalizeAngle(-1.0), kTwoPi - 1.0, 1e-12);
+  EXPECT_NEAR(NormalizeAngle(3 * kTwoPi + 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(NormalizeAngle(-5 * kTwoPi - 0.25), kTwoPi - 0.25, 1e-10);
+}
+
+TEST(NormalizeAngle, TinyNegativeDoesNotReturnTwoPi) {
+  double r = NormalizeAngle(-1e-18);
+  EXPECT_GE(r, 0.0);
+  EXPECT_LT(r, kTwoPi);
+}
+
+TEST(AngleDiff, SignedShortestArc) {
+  EXPECT_NEAR(AngleDiff(0.5, 0.25), 0.25, 1e-15);
+  EXPECT_NEAR(AngleDiff(0.25, 0.5), -0.25, 1e-15);
+  EXPECT_NEAR(AngleDiff(0.1, kTwoPi - 0.1), 0.2, 1e-12);
+  EXPECT_NEAR(AngleDiff(kTwoPi - 0.1, 0.1), -0.2, 1e-12);
+}
+
+TEST(AngleDiff, AntipodalIsHalfTurn) {
+  double d = AngleDiff(0.0, kTwoPi / 2);
+  EXPECT_NEAR(std::abs(d), kTwoPi / 2, 1e-12);
+}
+
+TEST(SolveCosSin, KnownSolutions) {
+  double roots[2];
+  // cos(t) = 1/2 -> t = +-pi/3.
+  int n = SolveCosSin(1.0, 0.0, 0.5, roots);
+  ASSERT_EQ(n, 2);
+  double lo = std::min(roots[0], roots[1]);
+  double hi = std::max(roots[0], roots[1]);
+  EXPECT_NEAR(lo, M_PI / 3, 1e-12);
+  EXPECT_NEAR(hi, kTwoPi - M_PI / 3, 1e-12);
+}
+
+TEST(SolveCosSin, NoSolutionWhenOutOfReach) {
+  double roots[2];
+  EXPECT_EQ(SolveCosSin(1.0, 1.0, 3.0, roots), 0);
+  EXPECT_EQ(SolveCosSin(0.0, 0.0, 1.0, roots), 0);
+}
+
+TEST(SolveCosSin, TangencyReportsSingleRoot) {
+  double roots[2];
+  int n = SolveCosSin(2.0, 0.0, 2.0, roots);  // cos(t) = 1 exactly.
+  ASSERT_EQ(n, 1);
+  EXPECT_NEAR(roots[0], 0.0, 1e-6);
+}
+
+TEST(SolveCosSin, RandomizedRootsSatisfyEquation) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> coef(-10.0, 10.0);
+  int solved = 0;
+  for (int iter = 0; iter < 2000; ++iter) {
+    double a = coef(rng), b = coef(rng), c = coef(rng);
+    double roots[2];
+    int n = SolveCosSin(a, b, c, roots);
+    for (int i = 0; i < n; ++i) {
+      double lhs = a * std::cos(roots[i]) + b * std::sin(roots[i]);
+      EXPECT_NEAR(lhs, c, 1e-9 * (std::abs(a) + std::abs(b) + 1.0));
+      EXPECT_GE(roots[i], 0.0);
+      EXPECT_LT(roots[i], kTwoPi);
+      ++solved;
+    }
+    if (n == 0 && std::hypot(a, b) > 0) {
+      // No roots should only happen when |c| exceeds the amplitude.
+      EXPECT_GT(std::abs(c), std::hypot(a, b) * (1 - 1e-12));
+    }
+  }
+  EXPECT_GT(solved, 100);  // Sanity: the sweep actually exercised roots.
+}
+
+TEST(AngleInCcwInterval, NonWrapping) {
+  EXPECT_TRUE(AngleInCcwInterval(1.0, 0.5, 2.0));
+  EXPECT_FALSE(AngleInCcwInterval(2.5, 0.5, 2.0));
+  EXPECT_TRUE(AngleInCcwInterval(0.5, 0.5, 2.0));  // Closed endpoints.
+  EXPECT_TRUE(AngleInCcwInterval(2.0, 0.5, 2.0));
+}
+
+TEST(AngleInCcwInterval, Wrapping) {
+  EXPECT_TRUE(AngleInCcwInterval(0.1, 6.0, 0.5));
+  EXPECT_TRUE(AngleInCcwInterval(6.2, 6.0, 0.5));
+  EXPECT_FALSE(AngleInCcwInterval(3.0, 6.0, 0.5));
+}
+
+}  // namespace
+}  // namespace geom
+}  // namespace unn

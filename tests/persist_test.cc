@@ -1,0 +1,117 @@
+#include "persist/persistent_set.h"
+
+#include <map>
+#include <random>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace unn {
+namespace persist {
+namespace {
+
+TEST(PersistentSet, EmptyVersionZero) {
+  PersistentSet ps;
+  EXPECT_EQ(ps.Size(0), 0);
+  EXPECT_FALSE(ps.Contains(0, 5));
+  EXPECT_TRUE(ps.Items(0).empty());
+}
+
+TEST(PersistentSet, InsertCreatesNewVersionOldUnchanged) {
+  PersistentSet ps;
+  Version v1 = ps.Insert(0, 7);
+  EXPECT_NE(v1, 0);
+  EXPECT_TRUE(ps.Contains(v1, 7));
+  EXPECT_FALSE(ps.Contains(0, 7));
+  Version v2 = ps.Insert(v1, 3);
+  EXPECT_EQ(ps.Items(v2), (std::vector<int>{3, 7}));
+  EXPECT_EQ(ps.Items(v1), (std::vector<int>{7}));
+}
+
+TEST(PersistentSet, InsertExistingReturnsSameVersion) {
+  PersistentSet ps;
+  Version v1 = ps.Insert(0, 7);
+  EXPECT_EQ(ps.Insert(v1, 7), v1);
+  EXPECT_EQ(ps.Erase(v1, 99), v1);
+}
+
+TEST(PersistentSet, ToggleRoundTrips) {
+  PersistentSet ps;
+  Version v1 = ps.Toggle(0, 4);
+  EXPECT_TRUE(ps.Contains(v1, 4));
+  Version v2 = ps.Toggle(v1, 4);
+  EXPECT_FALSE(ps.Contains(v2, 4));
+  EXPECT_EQ(ps.Size(v2), 0);
+}
+
+TEST(PersistentSet, BranchingVersionsStayIndependent) {
+  PersistentSet ps;
+  Version base = 0;
+  for (int k : {1, 2, 3, 4, 5}) base = ps.Insert(base, k);
+  Version left = ps.Erase(base, 3);
+  Version right = ps.Insert(base, 10);
+  EXPECT_EQ(ps.Items(base), (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(ps.Items(left), (std::vector<int>{1, 2, 4, 5}));
+  EXPECT_EQ(ps.Items(right), (std::vector<int>{1, 2, 3, 4, 5, 10}));
+}
+
+TEST(PersistentSet, RandomizedAgainstStdSetModel) {
+  std::mt19937_64 rng(77);
+  PersistentSet ps;
+  std::map<Version, std::set<int>> model;
+  model[0] = {};
+  std::vector<Version> versions = {0};
+  std::uniform_int_distribution<int> key(0, 40);
+  for (int step = 0; step < 3000; ++step) {
+    Version v = versions[rng() % versions.size()];
+    int k = key(rng);
+    int op = rng() % 3;
+    Version nv;
+    std::set<int> expect = model[v];
+    if (op == 0) {
+      nv = ps.Insert(v, k);
+      expect.insert(k);
+    } else if (op == 1) {
+      nv = ps.Erase(v, k);
+      expect.erase(k);
+    } else {
+      nv = ps.Toggle(v, k);
+      if (expect.count(k)) {
+        expect.erase(k);
+      } else {
+        expect.insert(k);
+      }
+    }
+    model[nv] = expect;
+    versions.push_back(nv);
+    // Spot-check the new version and a random old one.
+    std::vector<int> items = ps.Items(nv);
+    std::vector<int> want(expect.begin(), expect.end());
+    ASSERT_EQ(items, want) << "step " << step;
+    Version old = versions[rng() % versions.size()];
+    std::vector<int> old_items = ps.Items(old);
+    std::vector<int> old_want(model[old].begin(), model[old].end());
+    ASSERT_EQ(old_items, old_want) << "old check at step " << step;
+    ASSERT_EQ(ps.Size(old), static_cast<int>(old_want.size()));
+  }
+}
+
+TEST(PersistentSet, SpaceIsLogarithmicPerToggleChain) {
+  // The DSST89 argument: a chain of single-element toggles on a set of size
+  // n costs O(log n) nodes per version, not O(n).
+  PersistentSet ps;
+  Version v = 0;
+  const int kN = 1024;
+  for (int i = 0; i < kN; ++i) v = ps.Insert(v, i);
+  size_t nodes_before = ps.NumNodes();
+  const int kToggles = 1000;
+  for (int i = 0; i < kToggles; ++i) v = ps.Toggle(v, static_cast<int>(i * 37 % kN));
+  size_t per_toggle = (ps.NumNodes() - nodes_before) / kToggles;
+  // log2(1024) = 10; treap expected depth ~ 2.5 log2. Allow generous slack
+  // but reject linear behaviour (which would be ~1024).
+  EXPECT_LE(per_toggle, 80u);
+}
+
+}  // namespace
+}  // namespace persist
+}  // namespace unn

@@ -1,0 +1,159 @@
+#include "range/disk_tree.h"
+#include "range/kdtree.h"
+
+#include <algorithm>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace unn {
+namespace range {
+namespace {
+
+using geom::Vec2;
+
+std::mt19937_64& Rng() {
+  static std::mt19937_64 rng(1234);
+  return rng;
+}
+
+std::vector<Vec2> RandomPoints(int n, double spread = 10) {
+  std::uniform_real_distribution<double> u(-spread, spread);
+  std::vector<Vec2> pts(n);
+  for (auto& p : pts) p = {u(Rng()), u(Rng())};
+  return pts;
+}
+
+TEST(KdTree, NearestMatchesBruteForce) {
+  for (int n : {1, 2, 7, 50, 300}) {
+    auto pts = RandomPoints(n);
+    KdTree tree(pts);
+    std::uniform_real_distribution<double> u(-12, 12);
+    for (int t = 0; t < 100; ++t) {
+      Vec2 q{u(Rng()), u(Rng())};
+      double got_d;
+      int got = tree.Nearest(q, &got_d);
+      int want = 0;
+      for (int i = 1; i < n; ++i) {
+        if (DistSq(q, pts[i]) < DistSq(q, pts[want])) want = i;
+      }
+      ASSERT_EQ(Dist(q, pts[got]), Dist(q, pts[want]));
+      EXPECT_DOUBLE_EQ(got_d, Dist(q, pts[got]));
+    }
+  }
+}
+
+TEST(KdTree, KNearestSortedAndComplete) {
+  auto pts = RandomPoints(200);
+  KdTree tree(pts);
+  std::uniform_real_distribution<double> u(-12, 12);
+  for (int t = 0; t < 50; ++t) {
+    Vec2 q{u(Rng()), u(Rng())};
+    int k = 1 + static_cast<int>(Rng()() % 30);
+    auto got = tree.KNearest(q, k);
+    ASSERT_EQ(static_cast<int>(got.size()), k);
+    for (size_t i = 1; i < got.size(); ++i) {
+      EXPECT_LE(Dist(q, pts[got[i - 1]]), Dist(q, pts[got[i]]) + 1e-12);
+    }
+    // Compare against a sorted brute-force prefix (by distance value).
+    std::vector<double> dists;
+    for (const auto& p : pts) dists.push_back(Dist(q, p));
+    std::sort(dists.begin(), dists.end());
+    EXPECT_NEAR(Dist(q, pts[got.back()]), dists[k - 1], 1e-12);
+  }
+}
+
+TEST(KdTree, KNearestExhaustsAtN) {
+  auto pts = RandomPoints(5);
+  KdTree tree(pts);
+  auto got = tree.KNearest({0, 0}, 50);
+  EXPECT_EQ(got.size(), 5u);
+}
+
+TEST(KdTree, RangeCircleMatchesBruteForce) {
+  auto pts = RandomPoints(300);
+  KdTree tree(pts);
+  std::uniform_real_distribution<double> u(-12, 12);
+  std::uniform_real_distribution<double> ru(0.1, 8);
+  for (int t = 0; t < 50; ++t) {
+    Vec2 q{u(Rng()), u(Rng())};
+    double r = ru(Rng());
+    std::vector<int> got;
+    tree.RangeCircle(q, r, &got);
+    std::sort(got.begin(), got.end());
+    std::vector<int> want;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      if (Dist(q, pts[i]) <= r) want.push_back(static_cast<int>(i));
+    }
+    ASSERT_EQ(got, want);
+  }
+}
+
+TEST(KdTree, EnumeratorYieldsNondecreasingDistances) {
+  auto pts = RandomPoints(150);
+  KdTree tree(pts);
+  KdTree::Enumerator en(tree, {1, 2});
+  double prev = -1;
+  int count = 0;
+  std::vector<bool> seen(pts.size(), false);
+  double d;
+  for (int id = en.Next(&d); id >= 0; id = en.Next(&d)) {
+    EXPECT_GE(d, prev - 1e-12);
+    EXPECT_FALSE(seen[id]);
+    seen[id] = true;
+    prev = d;
+    ++count;
+  }
+  EXPECT_EQ(count, 150);
+}
+
+TEST(DiskTree, MinMaxDistMatchesBruteForce) {
+  std::uniform_real_distribution<double> ru(0.05, 3);
+  for (int n : {1, 3, 20, 200}) {
+    auto centers = RandomPoints(n);
+    std::vector<double> radii(n);
+    for (auto& r : radii) r = ru(Rng());
+    DiskTree tree(centers, radii);
+    std::uniform_real_distribution<double> u(-15, 15);
+    for (int t = 0; t < 100; ++t) {
+      Vec2 q{u(Rng()), u(Rng())};
+      int arg = -1;
+      double got = tree.MinMaxDist(q, &arg);
+      double want = 1e18;
+      for (int i = 0; i < n; ++i) {
+        want = std::min(want, Dist(q, centers[i]) + radii[i]);
+      }
+      ASSERT_NEAR(got, want, 1e-12);
+      ASSERT_GE(arg, 0);
+      EXPECT_NEAR(Dist(q, centers[arg]) + radii[arg], want, 1e-12);
+    }
+  }
+}
+
+TEST(DiskTree, ReportMinDistLessMatchesBruteForce) {
+  std::uniform_real_distribution<double> ru(0.05, 3);
+  auto centers = RandomPoints(250);
+  std::vector<double> radii(250);
+  for (auto& r : radii) r = ru(Rng());
+  DiskTree tree(centers, radii);
+  std::uniform_real_distribution<double> u(-15, 15);
+  std::uniform_real_distribution<double> bu(0.1, 10);
+  for (int t = 0; t < 100; ++t) {
+    Vec2 q{u(Rng()), u(Rng())};
+    double bound = bu(Rng());
+    std::vector<int> got;
+    tree.ReportMinDistLess(q, bound, &got);
+    std::sort(got.begin(), got.end());
+    std::vector<int> want;
+    for (size_t i = 0; i < centers.size(); ++i) {
+      if (std::max(Dist(q, centers[i]) - radii[i], 0.0) < bound) {
+        want.push_back(static_cast<int>(i));
+      }
+    }
+    ASSERT_EQ(got, want) << "t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace range
+}  // namespace unn

@@ -1,0 +1,125 @@
+#include "pointloc/slab_locator.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "arrangement/segment_arrangement.h"
+#include "pointloc/ray_shooter.h"
+
+namespace unn {
+namespace pointloc {
+namespace {
+
+using geom::Box;
+using geom::Vec2;
+
+dcel::PlanarSubdivision RandomSegmentArrangement(int nsegs, uint64_t seed,
+                                                 const Box& window) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(window.lo.x - 2, window.hi.x + 2);
+  arrangement::SegmentArrangementBuilder builder(window);
+  for (int i = 0; i < nsegs; ++i) {
+    builder.AddSegment({u(rng), u(rng)}, {u(rng), u(rng)}, i);
+  }
+  return builder.Build();
+}
+
+TEST(SlabLocator, SingleSegment) {
+  dcel::PlanarSubdivision sub;
+  int a = sub.AddVertex({0, 0});
+  int b = sub.AddVertex({4, 2});
+  sub.AddEdge(a, b, dcel::EdgeShape::Segment({0, 0}, {4, 2}), 0);
+  sub.Build();
+  SlabLocator loc(sub);
+  // Below the segment: the half-edge facing down.
+  int h = loc.LocateHalfEdgeAbove({2, 0});
+  ASSERT_GE(h, 0);
+  EXPECT_EQ(sub.half_edge(h).edge, 0);
+  // Above the segment, or outside the x-span: nothing.
+  EXPECT_EQ(loc.LocateHalfEdgeAbove({2, 3}), -1);
+  EXPECT_EQ(loc.LocateHalfEdgeAbove({-1, 0}), -1);
+  EXPECT_EQ(loc.LocateHalfEdgeAbove({5, 0}), -1);
+}
+
+TEST(SlabLocator, MatchesRayShooterOnRandomArrangements) {
+  Box window{{-10, -10}, {10, 10}};
+  std::mt19937_64 rng(77);
+  std::uniform_real_distribution<double> qu(-9.5, 9.5);
+  for (int iter = 0; iter < 10; ++iter) {
+    auto sub = RandomSegmentArrangement(12 + iter, 100 + iter, window);
+    SlabLocator slab(sub);
+    RayShooter shooter(sub);
+    int checked = 0;
+    for (int t = 0; t < 400; ++t) {
+      Vec2 q{qu(rng), qu(rng)};
+      int h1 = slab.LocateHalfEdgeAbove(q);
+      int h2 = shooter.LocateHalfEdgeAbove(q);
+      if (h1 < 0 || h2 < 0) {
+        // Both must agree that nothing is above (the shooter may bail on
+        // ambiguity; skip those).
+        if (h1 < 0 && h2 < 0) ++checked;
+        continue;
+      }
+      // Same first edge above, or at least the same face (loop).
+      EXPECT_EQ(sub.half_edge(h1).loop, sub.half_edge(h2).loop)
+          << "iter=" << iter << " q=(" << q.x << "," << q.y << ")";
+      ++checked;
+    }
+    EXPECT_GT(checked, 350);
+  }
+}
+
+TEST(SlabLocator, SharedEndpointsOrderedBySlope) {
+  // Fan of three segments out of one vertex: queries between them must
+  // find the correct one.
+  dcel::PlanarSubdivision sub;
+  int o = sub.AddVertex({0, 0});
+  int a = sub.AddVertex({4, -2});
+  int b = sub.AddVertex({4, 0.5});
+  int c = sub.AddVertex({4, 3});
+  sub.AddEdge(o, a, dcel::EdgeShape::Segment({0, 0}, {4, -2}), 0);
+  sub.AddEdge(o, b, dcel::EdgeShape::Segment({0, 0}, {4, 0.5}), 1);
+  sub.AddEdge(o, c, dcel::EdgeShape::Segment({0, 0}, {4, 3}), 2);
+  sub.Build();
+  SlabLocator loc(sub);
+  int h = loc.LocateHalfEdgeAbove({2, -1.5});  // Below all: finds edge 0.
+  ASSERT_GE(h, 0);
+  EXPECT_EQ(sub.half_edge(h).edge, 0);
+  h = loc.LocateHalfEdgeAbove({2, -0.5});  // Between 0 and 1: finds 1.
+  ASSERT_GE(h, 0);
+  EXPECT_EQ(sub.half_edge(h).edge, 1);
+  h = loc.LocateHalfEdgeAbove({2, 1});  // Between 1 and 2: finds 2.
+  ASSERT_GE(h, 0);
+  EXPECT_EQ(sub.half_edge(h).edge, 2);
+  EXPECT_EQ(loc.LocateHalfEdgeAbove({2, 4}), -1);  // Above the fan.
+}
+
+TEST(SlabLocator, SpacePerEdgeIsLogarithmic) {
+  Box window{{-10, -10}, {10, 10}};
+  auto sub = RandomSegmentArrangement(60, 9, window);
+  SlabLocator loc(sub);
+  // Path copying: O(log E) nodes per event, far below quadratic.
+  EXPECT_LE(loc.NumNodes(),
+            static_cast<size_t>(sub.NumEdges()) * 64u);
+  EXPECT_GE(loc.NumSlabs(), 2);
+}
+
+TEST(SlabLocator, VerticalEdgesAreIgnoredGracefully) {
+  dcel::PlanarSubdivision sub;
+  int a = sub.AddVertex({0, 0});
+  int b = sub.AddVertex({0, 5});
+  int c = sub.AddVertex({-3, 2});
+  int d = sub.AddVertex({3, 2});
+  sub.AddEdge(a, b, dcel::EdgeShape::Segment({0, 0}, {0, 5}), 0);
+  sub.AddEdge(c, d, dcel::EdgeShape::Segment({-3, 2}, {3, 2}), 1);
+  sub.Build();
+  SlabLocator loc(sub);
+  int h = loc.LocateHalfEdgeAbove({1, 0});
+  ASSERT_GE(h, 0);
+  EXPECT_EQ(sub.half_edge(h).edge, 1);
+}
+
+}  // namespace
+}  // namespace pointloc
+}  // namespace unn

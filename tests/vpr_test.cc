@@ -1,0 +1,102 @@
+#include "core/vpr_diagram.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "baselines/brute_force.h"
+#include "core/exact_pnn.h"
+
+namespace unn {
+namespace core {
+namespace {
+
+using geom::Vec2;
+
+std::vector<UncertainPoint> RandomDiscrete(int n, int k, std::mt19937_64& rng,
+                                           double spread = 5.0) {
+  std::uniform_real_distribution<double> pos(-spread, spread);
+  std::vector<UncertainPoint> pts;
+  for (int i = 0; i < n; ++i) {
+    std::vector<Vec2> sites;
+    for (int s = 0; s < k; ++s) sites.push_back({pos(rng), pos(rng)});
+    pts.push_back(UncertainPoint::DiscreteUniform(sites));
+  }
+  return pts;
+}
+
+/// Distance of q to the nearest bisector of any two sites: the margin within
+/// which a VPr face sample and the direct evaluation could disagree.
+double BisectorMargin(const std::vector<UncertainPoint>& pts, Vec2 q) {
+  std::vector<Vec2> sites;
+  for (const auto& p : pts) {
+    for (Vec2 s : p.sites()) sites.push_back(s);
+  }
+  double margin = 1e18;
+  for (size_t a = 0; a < sites.size(); ++a) {
+    for (size_t b = a + 1; b < sites.size(); ++b) {
+      margin = std::min(margin,
+                        std::abs(Dist(q, sites[a]) - Dist(q, sites[b])));
+    }
+  }
+  return margin;
+}
+
+TEST(VprDiagram, MatchesDirectEvaluationAtRandomPoints) {
+  std::mt19937_64 rng(31);
+  for (int iter = 0; iter < 6; ++iter) {
+    auto pts = RandomDiscrete(3 + iter % 2, 2, rng);
+    VprDiagram vpr(pts);
+    std::uniform_real_distribution<double> qu(-6, 6);
+    int checked = 0;
+    for (int t = 0; t < 150; ++t) {
+      Vec2 q{qu(rng), qu(rng)};
+      if (BisectorMargin(pts, q) < 1e-5) continue;
+      auto got = vpr.Query(q);
+      auto want = DiscreteQuantification(pts, q);
+      ASSERT_EQ(got.size(), want.size()) << "iter=" << iter << " t=" << t;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].first, want[i].first);
+        EXPECT_NEAR(got[i].second, want[i].second, 1e-9);
+      }
+      ++checked;
+    }
+    EXPECT_GT(checked, 100);
+  }
+}
+
+TEST(VprDiagram, StatsReflectQuarticBlowup) {
+  std::mt19937_64 rng(33);
+  // Crossings should grow steeply (~N^4) with the number of sites.
+  int64_t last = 0;
+  for (int n : {2, 3, 4, 5}) {
+    auto pts = RandomDiscrete(n, 2, rng);
+    VprDiagram vpr(pts);
+    int64_t faces = vpr.stats().bounded_faces;
+    EXPECT_GT(faces, last);
+    last = faces;
+    // Upper bound: an arrangement of B lines has <= B(B-1)/2 + B + 1 faces.
+    int64_t b = vpr.stats().num_bisectors;
+    EXPECT_LE(vpr.stats().crossings, b * (b - 1) / 2);
+  }
+}
+
+TEST(VprDiagram, OutsideWindowFallsBackExactly) {
+  std::mt19937_64 rng(35);
+  auto pts = RandomDiscrete(3, 2, rng);
+  VprDiagramOptions opts;
+  opts.window = geom::Box{{-2, -2}, {2, 2}};
+  VprDiagram vpr(pts, opts);
+  Vec2 q{40, 40};
+  auto got = vpr.Query(q);
+  auto want = DiscreteQuantification(pts, q);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].first, want[i].first);
+    EXPECT_NEAR(got[i].second, want[i].second, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace unn
