@@ -5,6 +5,8 @@
 #include <cmath>
 #include <cstdio>
 #include <random>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "geom/vec2.h"
@@ -12,10 +14,96 @@
 /// \file bench_util.h
 /// Shared helpers for the experiment drivers (E1..E12). Each driver prints
 /// a self-contained table; EXPERIMENTS.md records the paper's expectation
-/// next to these measurements.
+/// next to these measurements. Every driver also understands two flags:
+///   --tiny          shrink the input sweep (the CI bench-smoke job);
+///   --json <path>   additionally write the measurements as JSON — the
+///                   BENCH_pr.json artifact that seeds the perf trajectory.
 
 namespace unn {
 namespace bench {
+
+/// Picks the --tiny sweep or the full sweep.
+template <class T>
+std::vector<T> Sweep(bool tiny, std::vector<T> small, std::vector<T> full) {
+  return tiny ? std::move(small) : std::move(full);
+}
+
+/// Shared driver command line (see file comment).
+struct Args {
+  bool tiny = false;
+  std::string json_path;
+};
+
+inline Args ParseArgs(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    std::string s = argv[i];
+    if (s == "--tiny") {
+      a.tiny = true;
+    } else if (s == "--json" && i + 1 < argc) {
+      a.json_path = argv[++i];
+    } else if (s.rfind("--json=", 0) == 0) {
+      a.json_path = s.substr(7);
+    }
+  }
+  return a;
+}
+
+/// Collects named measurements row by row and serializes them as
+///   {"experiment": "e01", "rows": [{"n": 8, "build_ms": 1.5}, ...]}
+/// so CI can diff benchmark runs across PRs.
+class JsonEmitter {
+ public:
+  explicit JsonEmitter(std::string experiment)
+      : experiment_(std::move(experiment)) {}
+
+  void StartRow() { rows_.emplace_back(); }
+
+  void Metric(const std::string& key, double value) {
+    if (rows_.empty()) rows_.emplace_back();
+    rows_.back().push_back({key, value});
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\"experiment\": \"" + experiment_ + "\", \"rows\": [";
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      out += r == 0 ? "\n" : ",\n";
+      out += "  {";
+      for (size_t m = 0; m < rows_[r].size(); ++m) {
+        if (m > 0) out += ", ";
+        char buf[64];
+        if (std::isfinite(rows_[r][m].second)) {
+          std::snprintf(buf, sizeof buf, "%.17g", rows_[r][m].second);
+        } else {
+          std::snprintf(buf, sizeof buf, "null");
+        }
+        out += "\"" + rows_[r][m].first + "\": " + buf;
+      }
+      out += "}";
+    }
+    out += "\n]}\n";
+    return out;
+  }
+
+  /// Writes the JSON to `path`; no-op when `path` is empty. Returns false
+  /// (after warning on stderr) when the file cannot be written.
+  bool Write(const std::string& path) const {
+    if (path.empty()) return true;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "JsonEmitter: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::string json = ToJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::string experiment_;
+  std::vector<std::vector<std::pair<std::string, double>>> rows_;
+};
 
 class Timer {
  public:

@@ -11,14 +11,18 @@
 
 using namespace unn;
 
-int main() {
+int main(int argc, char** argv) {
+  auto args = bench::ParseArgs(argc, argv);
+  bench::JsonEmitter json("e01");
   printf("E1: V!=0 complexity on random disks (Theorem 2.5 / Conclusion i)\n");
   printf("%6s %6s %12s %12s %12s %10s %12s\n", "n", "seed", "breakpoints",
          "crossings", "mu(verts)", "faces", "build_ms");
   std::vector<std::pair<double, double>> growth;
-  for (int n : {8, 16, 32, 64, 96}) {
+  auto sizes = bench::Sweep<int>(args.tiny, {8, 16}, {8, 16, 32, 64, 96});
+  auto seeds = bench::Sweep<uint64_t>(args.tiny, {1}, {1, 2, 3});
+  for (int n : sizes) {
     double mu_avg = 0;
-    for (uint64_t seed : {1, 2, 3}) {
+    for (uint64_t seed : seeds) {
       auto pts = workload::RandomDisks(n, seed);
       bench::Timer t;
       core::NonzeroVoronoi vd(pts);
@@ -29,12 +33,22 @@ int main() {
              static_cast<long long>(st.curve_crossings),
              static_cast<long long>(st.arrangement_vertices), st.bounded_faces,
              t.Ms());
-      mu_avg += static_cast<double>(st.arrangement_vertices) / 3.0;
+      json.StartRow();
+      json.Metric("n", n);
+      json.Metric("seed", static_cast<double>(seed));
+      json.Metric("breakpoints", static_cast<double>(st.gamma_breakpoints));
+      json.Metric("crossings", static_cast<double>(st.curve_crossings));
+      json.Metric("mu", static_cast<double>(st.arrangement_vertices));
+      json.Metric("faces", st.bounded_faces);
+      json.Metric("build_ms", t.Ms());
+      mu_avg += static_cast<double>(st.arrangement_vertices) / seeds.size();
     }
     growth.push_back({static_cast<double>(n), mu_avg});
   }
   printf("measured growth exponent of mu vs n: %.2f (worst case 3.0; random "
          "inputs stay near-linear to quadratic)\n",
          bench::LogLogSlope(growth));
-  return 0;
+  json.StartRow();
+  json.Metric("growth_exponent", bench::LogLogSlope(growth));
+  return json.Write(args.json_path) ? 0 : 1;
 }

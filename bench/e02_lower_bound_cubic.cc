@@ -12,12 +12,16 @@
 
 using namespace unn;
 
-int main() {
+int main(int argc, char** argv) {
+  auto args = bench::ParseArgs(argc, argv);
+  bench::JsonEmitter json("e02");
   printf("E2: Omega(n^3) construction (Theorem 2.7, Figure 5)\n");
   printf("%6s %12s %14s %10s %12s\n", "n", "mu(verts)", "predicted",
          "ratio", "build_ms");
   std::vector<std::pair<double, double>> growth;
-  for (int n : {8, 16, 24, 32, 40, 48}) {
+  auto sizes =
+      bench::Sweep<int>(args.tiny, {8, 16}, {8, 16, 24, 32, 40, 48});
+  for (int n : sizes) {
     auto pts = workload::LowerBoundCubic(n, /*seed=*/1);
     int m = n / 4;
     // All interesting vertices live near the y-axis channel.
@@ -29,9 +33,16 @@ int main() {
     long long mu = vd.stats().arrangement_vertices;
     printf("%6d %12lld %14.0f %10.2f %12.1f\n", n, mu, predicted,
            mu / predicted, t.Ms());
+    json.StartRow();
+    json.Metric("n", n);
+    json.Metric("mu", static_cast<double>(mu));
+    json.Metric("predicted", predicted);
+    json.Metric("build_ms", t.Ms());
     growth.push_back({static_cast<double>(n), static_cast<double>(mu)});
   }
   printf("measured growth exponent: %.2f (theory: 3.0)\n",
          bench::LogLogSlope(growth));
-  return 0;
+  json.StartRow();
+  json.Metric("growth_exponent", bench::LogLogSlope(growth));
+  return json.Write(args.json_path) ? 0 : 1;
 }

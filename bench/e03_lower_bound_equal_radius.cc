@@ -10,12 +10,16 @@
 
 using namespace unn;
 
-int main() {
+int main(int argc, char** argv) {
+  auto args = bench::ParseArgs(argc, argv);
+  bench::JsonEmitter json("e03");
   printf("E3: Omega(n^3) equal-radius construction (Theorem 2.8, Figure 6)\n");
   printf("%6s %12s %14s %10s %12s\n", "n", "mu(verts)", "m^3", "ratio",
          "build_ms");
   std::vector<std::pair<double, double>> growth;
-  for (int n : {9, 15, 21, 27, 33, 39}) {
+  auto sizes =
+      bench::Sweep<int>(args.tiny, {9, 15}, {9, 15, 21, 27, 33, 39});
+  for (int n : sizes) {
     auto pts = workload::LowerBoundCubicEqualRadius(n, /*seed=*/1);
     bench::Timer t;
     core::NonzeroVoronoi vd(pts);
@@ -24,9 +28,16 @@ int main() {
     long long mu = vd.stats().arrangement_vertices;
     printf("%6d %12lld %14.0f %10.2f %12.1f\n", n, mu, predicted,
            mu / predicted, t.Ms());
+    json.StartRow();
+    json.Metric("n", n);
+    json.Metric("mu", static_cast<double>(mu));
+    json.Metric("predicted", predicted);
+    json.Metric("build_ms", t.Ms());
     growth.push_back({static_cast<double>(n), static_cast<double>(mu)});
   }
   printf("measured growth exponent: %.2f (theory: 3.0)\n",
          bench::LogLogSlope(growth));
-  return 0;
+  json.StartRow();
+  json.Metric("growth_exponent", bench::LogLogSlope(growth));
+  return json.Write(args.json_path) ? 0 : 1;
 }

@@ -9,12 +9,16 @@
 
 using namespace unn;
 
-int main() {
+int main(int argc, char** argv) {
+  auto args = bench::ParseArgs(argc, argv);
+  bench::JsonEmitter json("e05");
   printf("E5: discrete V!=0 complexity (Theorem 2.14)\n");
   printf("%6s %4s %12s %12s %10s %12s\n", "n", "k", "segments", "crossings",
          "faces", "build_ms");
-  for (int n : {4, 8, 12, 16}) {
-    for (int k : {2, 3, 4}) {
+  auto sizes = bench::Sweep<int>(args.tiny, {4, 8}, {4, 8, 12, 16});
+  auto ks = bench::Sweep<int>(args.tiny, {2, 3}, {2, 3, 4});
+  for (int n : sizes) {
+    for (int k : ks) {
       auto pts = workload::RandomDiscrete(n, k, /*seed=*/n * 10 + k, 0.0, 1.5);
       bench::Timer t;
       core::NonzeroVoronoiDiscrete vd(pts);
@@ -22,8 +26,15 @@ int main() {
       printf("%6d %4d %12lld %12lld %10d %12.1f\n", n, k,
              static_cast<long long>(st.union_segments),
              static_cast<long long>(st.crossings), st.bounded_faces, t.Ms());
+      json.StartRow();
+      json.Metric("n", n);
+      json.Metric("k", k);
+      json.Metric("segments", static_cast<double>(st.union_segments));
+      json.Metric("crossings", static_cast<double>(st.crossings));
+      json.Metric("faces", st.bounded_faces);
+      json.Metric("build_ms", t.Ms());
     }
   }
   printf("(ceiling: O(k n^3); observed values sit well below it)\n");
-  return 0;
+  return json.Write(args.json_path) ? 0 : 1;
 }

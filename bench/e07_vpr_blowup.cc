@@ -11,12 +11,15 @@
 
 using namespace unn;
 
-int main() {
+int main(int argc, char** argv) {
+  auto args = bench::ParseArgs(argc, argv);
+  bench::JsonEmitter json("e07");
   printf("E7: exact VPr diagram blowup (Theorem 4.2, Lemma 4.1, Figure 9)\n");
   printf("%6s %6s %12s %12s %12s %12s\n", "n", "N=nk", "bisectors",
          "crossings", "faces", "build_ms");
   std::vector<std::pair<double, double>> growth;
-  for (int n : {2, 3, 4, 5, 6}) {
+  auto sizes = bench::Sweep<int>(args.tiny, {2, 3}, {2, 3, 4, 5, 6});
+  for (int n : sizes) {
     auto pts = workload::LowerBoundVprQuartic(n, /*seed=*/3);
     bench::Timer t;
     core::VprDiagram vpr(pts);
@@ -24,10 +27,19 @@ int main() {
     int big_n = 2 * n;
     printf("%6d %6d %12d %12lld %12d %12.1f\n", n, big_n, st.num_bisectors,
            static_cast<long long>(st.crossings), st.bounded_faces, t.Ms());
+    json.StartRow();
+    json.Metric("n", n);
+    json.Metric("N", big_n);
+    json.Metric("bisectors", st.num_bisectors);
+    json.Metric("crossings", static_cast<double>(st.crossings));
+    json.Metric("faces", st.bounded_faces);
+    json.Metric("build_ms", t.Ms());
     growth.push_back({static_cast<double>(big_n),
                       static_cast<double>(st.bounded_faces)});
   }
   printf("measured face-count growth exponent vs N: %.2f (theory: 4.0)\n",
          bench::LogLogSlope(growth));
-  return 0;
+  json.StartRow();
+  json.Metric("growth_exponent", bench::LogLogSlope(growth));
+  return json.Write(args.json_path) ? 0 : 1;
 }

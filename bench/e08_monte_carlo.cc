@@ -16,13 +16,16 @@
 
 using namespace unn;
 
-int main() {
+int main(int argc, char** argv) {
+  auto args = bench::ParseArgs(argc, argv);
+  bench::JsonEmitter json("e08");
   printf("E8a: Monte-Carlo vs exact (discrete, n=10 k=3, delta=0.05)\n");
   printf("%8s %8s %12s %12s %14s\n", "eps", "s", "max_err", "err<=eps",
          "query_ms");
   auto pts = workload::RandomDiscrete(10, 3, /*seed=*/8, 8.0, 2.5);
-  auto queries = bench::RandomQueries(30, 9, 17);
-  for (double eps : {0.2, 0.1, 0.05}) {
+  auto queries = bench::RandomQueries(args.tiny ? 10 : 30, 9, 17);
+  auto epss = bench::Sweep<double>(args.tiny, {0.2, 0.1}, {0.2, 0.1, 0.05});
+  for (double eps : epss) {
     core::MonteCarloPnnOptions opts;
     opts.eps = eps;
     opts.delta = 0.05;
@@ -40,6 +43,11 @@ int main() {
     printf("%8.2f %8d %12.4f %12s %14.2f\n", eps, mc.num_instantiations(),
            max_err, max_err <= eps ? "yes" : "NO",
            tq.Ms() / queries.size());
+    json.StartRow();
+    json.Metric("eps", eps);
+    json.Metric("s", mc.num_instantiations());
+    json.Metric("max_err", max_err);
+    json.Metric("query_ms", tq.Ms() / queries.size());
   }
 
   printf("\nE8b: continuous case — MC structure vs numerical integration "
@@ -53,10 +61,10 @@ int main() {
                                    core::DiskPdf::kTruncatedGaussian);
   }
   core::MonteCarloPnnOptions opts;
-  opts.eps = 0.05;
+  opts.eps = args.tiny ? 0.1 : 0.05;
   opts.delta = 0.05;
   core::MonteCarloPnn mc(disks, opts);
-  auto qs = bench::RandomQueries(10, 5, 23);
+  auto qs = bench::RandomQueries(args.tiny ? 4 : 10, 5, 23);
   bench::Timer tmc;
   for (auto q : qs) mc.Query(q);
   double mc_ms = tmc.Ms() / qs.size();
@@ -66,5 +74,8 @@ int main() {
   printf("MC query (s=%d): %.2f ms;  integration (Eq. 1): %.2f ms;  "
          "ratio %.0fx\n",
          mc.num_instantiations(), mc_ms, int_ms, int_ms / std::max(mc_ms, 1e-9));
-  return 0;
+  json.StartRow();
+  json.Metric("continuous_mc_ms", mc_ms);
+  json.Metric("continuous_integration_ms", int_ms);
+  return json.Write(args.json_path) ? 0 : 1;
 }

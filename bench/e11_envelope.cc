@@ -15,7 +15,9 @@
 using namespace unn;
 using geom::FocalConic;
 
-int main() {
+int main(int argc, char** argv) {
+  auto args = bench::ParseArgs(argc, argv);
+  bench::JsonEmitter json("e11");
   printf("E11: gamma_i envelope size and build time (Lemma 2.2)\n");
   printf("%8s %14s %10s %12s %14s\n", "n", "breakpoints", "<=2n", "arcs",
          "build_ms");
@@ -25,7 +27,9 @@ int main() {
   // envelopes instead.
   std::vector<std::pair<double, double>> growth;
   std::mt19937_64 rng(21);
-  for (int n : {64, 256, 1024, 4096}) {
+  auto sizes =
+      bench::Sweep<int>(args.tiny, {64, 256}, {64, 256, 1024, 4096});
+  for (int n : sizes) {
     std::uniform_real_distribution<double> jit(-0.05, 0.05);
     std::vector<std::optional<FocalConic>> curves(n);
     geom::Vec2 center{0, 0};
@@ -40,9 +44,16 @@ int main() {
     printf("%8d %14d %10s %12d %14.2f\n", n, env.NumBreakpoints(),
            env.NumBreakpoints() <= 2 * n ? "yes" : "NO", env.NumCurveArcs(),
            ms);
+    json.StartRow();
+    json.Metric("n", n);
+    json.Metric("breakpoints", env.NumBreakpoints());
+    json.Metric("arcs", env.NumCurveArcs());
+    json.Metric("build_ms", ms);
     growth.push_back({static_cast<double>(n), ms});
   }
   printf("measured time growth exponent: %.2f (theory: ~1 + o(1), n log n)\n",
          bench::LogLogSlope(growth));
-  return 0;
+  json.StartRow();
+  json.Metric("growth_exponent", bench::LogLogSlope(growth));
+  return json.Write(args.json_path) ? 0 : 1;
 }

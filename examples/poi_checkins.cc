@@ -13,6 +13,7 @@
 #include "core/nn_nonzero_discrete_index.h"
 #include "core/pnn_queries.h"
 #include "core/spiral_search.h"
+#include "engine/engine.h"
 #include "workload/generators.h"
 
 using namespace unn;
@@ -59,6 +60,15 @@ int main(int argc, char** argv) {
   auto top = core::TopKQuery(spiral, venue, 3);
   printf("push notification order:");
   for (auto [id, p] : top) printf("  %d", id);
+  printf("\n");
+
+  // The same decisions through the Engine facade (backend auto-selects the
+  // spiral search for all-discrete inputs).
+  Engine::Config cfg;
+  cfg.eps = 0.01;
+  Engine engine(users, cfg);
+  printf("engine: most-probable NN = %d, top-3 =", engine.MostProbableNn(venue));
+  for (auto [id, p] : engine.TopK(venue, 3)) printf("  %d", id);
   printf("\n");
   return 0;
 }

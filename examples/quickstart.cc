@@ -12,6 +12,7 @@
 #include "core/pnn_queries.h"
 #include "core/spiral_search.h"
 #include "core/vpr_diagram.h"
+#include "engine/engine.h"
 
 using namespace unn;
 using core::UncertainPoint;
@@ -81,5 +82,19 @@ int main() {
   auto top = core::TopKQuery(spiral, q, 2);
   printf("top-2 probable NN: U%d then U%d\n", top[0].first,
          top.size() > 1 ? top[1].first : -1);
+
+  // --- The Engine facade: every query type behind one API. ---
+  Engine::Config cfg;
+  cfg.eps = 0.01;
+  Engine engine(users, cfg);
+  printf("\nEngine facade (backend=auto): most-probable NN = U%d, "
+         "expected-distance NN = U%d\n",
+         engine.MostProbableNn(q), engine.ExpectedDistanceNn(q));
+  std::vector<Vec2> batch = {{3, 2}, {0, 0}, {5, 5}};
+  auto answers =
+      engine.QueryMany(batch, {Engine::QueryType::kMostProbableNn});
+  printf("batched most-probable NN over %zu queries:", batch.size());
+  for (const auto& r : answers) printf(" U%d", r.nn);
+  printf("\n");
   return 0;
 }

@@ -12,6 +12,7 @@
 
 #include "core/nn_nonzero_index.h"
 #include "core/nonzero_voronoi.h"
+#include "engine/engine.h"
 #include "workload/generators.h"
 #include "workload/svg.h"
 
@@ -47,6 +48,15 @@ int main(int argc, char** argv) {
          "index agree on %d/%d\n",
          kQueries, total_candidates / static_cast<double>(kQueries), agree,
          kQueries);
+
+  // The same dispatch question through the Engine facade, batched.
+  Engine engine(sensors, {});
+  std::vector<Vec2> events;
+  for (int t = 0; t < 8; ++t) events.push_back({u(rng), u(rng)});
+  auto batched = engine.QueryMany(events, {Engine::QueryType::kNonzeroNn});
+  printf("engine batch of %zu events, candidate counts:", events.size());
+  for (const auto& r : batched) printf(" %zu", r.ids.size());
+  printf("\n");
 
   // Render: sensor disks + the diagram's curves.
   workload::SvgWriter svg(diagram.window(), 900);

@@ -1,0 +1,298 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "baselines/brute_force.h"
+#include "core/exact_pnn.h"
+#include "util/check.h"
+
+namespace unn {
+
+namespace {
+
+/// Sorts (id, estimate) pairs by decreasing estimate, ties toward the
+/// smaller id — the presentation order of every ranking query.
+void SortByEstimate(std::vector<std::pair<int, double>>* v) {
+  std::sort(v->begin(), v->end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+}
+
+}  // namespace
+
+Engine::Engine(std::vector<core::UncertainPoint> points)
+    : Engine(std::move(points), Config()) {}
+
+Engine::Engine(std::vector<core::UncertainPoint> points, const Config& config)
+    : points_(std::move(points)), config_(config) {
+  UNN_CHECK(!points_.empty());
+  UNN_CHECK(config_.eps > 0 && config_.eps < 1);
+  UNN_CHECK(config_.delta > 0 && config_.delta < 1);
+  UNN_CHECK(config_.tol > 0);
+  for (const auto& p : points_) {
+    all_discrete_ = all_discrete_ && !p.is_disk();
+    all_disk_ = all_disk_ && p.is_disk();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lazy structure cache
+// ---------------------------------------------------------------------------
+
+const core::ExpectedNn& Engine::GetExpectedNn() const {
+  if (!expected_nn_) {
+    expected_nn_ = std::make_unique<core::ExpectedNn>(points_);
+  }
+  return *expected_nn_;
+}
+
+const core::SpiralSearch& Engine::GetSpiralSearch() const {
+  UNN_DCHECK(all_discrete_);
+  if (!spiral_) {
+    spiral_ = std::make_unique<core::SpiralSearch>(points_);
+  }
+  return *spiral_;
+}
+
+const core::ContinuousSpiralSearch& Engine::GetContinuousSpiral(
+    double eps) const {
+  // The cached structure is keyed by its discretization accuracy; a request
+  // for a tighter accuracy rebuilds it.
+  if (!cont_spiral_ || cont_spiral_eps_ > eps) {
+    cont_spiral_ = std::make_unique<core::ContinuousSpiralSearch>(
+        points_, eps, config_.seed);
+    cont_spiral_eps_ = eps;
+  }
+  return *cont_spiral_;
+}
+
+const core::MonteCarloPnn& Engine::GetMonteCarlo(double eps) const {
+  if (!monte_carlo_ || monte_carlo_eps_ > eps) {
+    core::MonteCarloPnnOptions opts;
+    opts.eps = eps;
+    opts.delta = config_.delta;
+    opts.seed = config_.seed;
+    opts.s_override = config_.mc_samples_override;
+    monte_carlo_ = std::make_unique<core::MonteCarloPnn>(points_, opts);
+    monte_carlo_eps_ = eps;
+  }
+  return *monte_carlo_;
+}
+
+const std::vector<core::SquareRegion>& Engine::DerivedSquares() const {
+  if (squares_.empty()) {
+    squares_.reserve(points_.size());
+    for (const auto& p : points_) {
+      core::SquareRegion s;
+      if (p.is_disk()) {
+        s.center = p.center();
+        s.half_side = p.radius();
+      } else {
+        geom::Box b = p.Bounds();
+        s.center = b.Center();
+        s.half_side = std::max(b.Width(), b.Height()) / 2;
+      }
+      squares_.push_back(s);
+    }
+  }
+  return squares_;
+}
+
+const core::LinfNonzeroIndex& Engine::GetLinfIndex() const {
+  if (!linf_index_) {
+    linf_index_ = std::make_unique<core::LinfNonzeroIndex>(DerivedSquares());
+  }
+  return *linf_index_;
+}
+
+// ---------------------------------------------------------------------------
+// Quantification probabilities (the shared substrate of MostProbableNn,
+// Threshold and TopK)
+// ---------------------------------------------------------------------------
+
+Backend Engine::EffectiveProbBackend() const {
+  switch (config_.backend) {
+    case Backend::kBruteForce:
+    case Backend::kSpiralSearch:
+    case Backend::kMonteCarlo:
+      return config_.backend;
+    case Backend::kAuto:
+      // The strongest estimator the model admits: Theorem 4.7 prefix
+      // evaluation for purely discrete inputs, Monte Carlo otherwise
+      // (it alone handles mixed models natively).
+      return all_discrete_ ? Backend::kSpiralSearch : Backend::kMonteCarlo;
+    default:
+      // Index families without probability machinery answer through the
+      // exact definition-level oracle.
+      return Backend::kBruteForce;
+  }
+}
+
+std::vector<std::pair<int, double>> Engine::ExactProbabilities(
+    geom::Vec2 q) const {
+  UNN_CHECK_MSG(all_discrete_ || all_disk_,
+                "exact quantification requires a homogeneous model; use an "
+                "estimator backend for mixed inputs");
+  if (all_discrete_) return core::DiscreteQuantification(points_, q);
+  return core::IntegrateAllQuantifications(points_, q, config_.tol);
+}
+
+std::vector<std::pair<int, double>> Engine::Probabilities(
+    geom::Vec2 q, double eps_needed) const {
+  double eps = eps_needed > 0 ? std::min(eps_needed, config_.eps)
+                              : config_.eps;
+  switch (EffectiveProbBackend()) {
+    case Backend::kSpiralSearch:
+      if (all_discrete_) return GetSpiralSearch().Query(q, eps);
+      // Theorem 4.5 discretization + discrete spiral search; the error
+      // budget is split evenly between the two stages.
+      return GetContinuousSpiral(eps / 2).Query(q, eps / 2);
+    case Backend::kMonteCarlo:
+      return GetMonteCarlo(eps).Query(q);
+    default:
+      return ExactProbabilities(q);
+  }
+}
+
+int Engine::MostProbableNn(geom::Vec2 q) const {
+  auto est = Probabilities(q);
+  int best = -1;
+  double best_pi = -1.0;
+  for (auto [id, pi] : est) {
+    if (pi > best_pi) {
+      best = id;
+      best_pi = pi;
+    }
+  }
+  return best;
+}
+
+std::vector<std::pair<int, double>> Engine::Threshold(geom::Vec2 q,
+                                                      double tau) const {
+  UNN_CHECK(tau > 0 && tau <= 1);
+  bool exact = EffectiveProbBackend() == Backend::kBruteForce;
+  // [DYM+05] semantics with no false negatives: estimate at accuracy
+  // tau/2 and report everyone whose estimate may still reach tau.
+  double eps = exact ? 0.0 : std::min(config_.eps, tau / 2);
+  auto est = Probabilities(q, tau / 2);
+  std::vector<std::pair<int, double>> out;
+  for (auto [id, pi] : est) {
+    if (pi + eps >= tau) out.push_back({id, pi});
+  }
+  SortByEstimate(&out);
+  return out;
+}
+
+std::vector<std::pair<int, double>> Engine::TopK(geom::Vec2 q, int k) const {
+  UNN_CHECK(k >= 1);
+  auto est = Probabilities(q);
+  SortByEstimate(&est);
+  if (static_cast<int>(est.size()) > k) est.resize(k);
+  return est;
+}
+
+// ---------------------------------------------------------------------------
+// Expected-distance NN
+// ---------------------------------------------------------------------------
+
+int Engine::ExpectedDistanceNn(geom::Vec2 q) const {
+  const core::ExpectedNn& index = GetExpectedNn();
+  if (config_.backend != Backend::kBruteForce) {
+    return index.QueryExpected(q, config_.tol);
+  }
+  // Definition-level scan (no pruning): min_i E[d(q, P_i)].
+  int best = -1;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < size(); ++i) {
+    double d = index.ExpectedDistance(i, q, config_.tol);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// NN!=0
+// ---------------------------------------------------------------------------
+
+std::vector<int> Engine::NonzeroNn(geom::Vec2 q) const {
+  Backend b = config_.backend;
+  if (b == Backend::kAuto) {
+    b = (all_disk_ || all_discrete_) ? Backend::kNonzeroIndex
+                                     : Backend::kBruteForce;
+  }
+  switch (b) {
+    case Backend::kNonzeroVoronoi:
+      if (all_disk_) {
+        if (!voronoi_) {
+          voronoi_ = std::make_unique<core::NonzeroVoronoi>(points_);
+        }
+        return voronoi_->Query(q);
+      }
+      if (all_discrete_) {
+        if (!voronoi_discrete_) {
+          voronoi_discrete_ =
+              std::make_unique<core::NonzeroVoronoiDiscrete>(points_);
+        }
+        return voronoi_discrete_->Query(q);
+      }
+      break;  // Mixed model: no diagram — exact oracle below.
+    case Backend::kNonzeroIndex:
+      if (all_disk_) {
+        if (!nonzero_index_) {
+          nonzero_index_ = std::make_unique<core::NnNonzeroIndex>(points_);
+        }
+        return nonzero_index_->Query(q);
+      }
+      if (all_discrete_) {
+        if (!nonzero_discrete_) {
+          nonzero_discrete_ =
+              std::make_unique<core::NnNonzeroDiscreteIndex>(points_);
+        }
+        return nonzero_discrete_->Query(q);
+      }
+      break;
+    case Backend::kLinfIndex:
+      return GetLinfIndex().Query(q);
+    default:
+      break;
+  }
+  return baselines::NonzeroNn(points_, q);
+}
+
+// ---------------------------------------------------------------------------
+// Batched entry point
+// ---------------------------------------------------------------------------
+
+std::vector<Engine::QueryResult> Engine::QueryMany(
+    std::span<const geom::Vec2> queries, const QuerySpec& spec) const {
+  std::vector<QueryResult> results(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    geom::Vec2 q = queries[i];
+    QueryResult& r = results[i];
+    switch (spec.type) {
+      case QueryType::kMostProbableNn:
+        r.nn = MostProbableNn(q);
+        break;
+      case QueryType::kExpectedDistanceNn:
+        r.nn = ExpectedDistanceNn(q);
+        break;
+      case QueryType::kThreshold:
+        r.ranked = Threshold(q, spec.tau);
+        break;
+      case QueryType::kTopK:
+        r.ranked = TopK(q, spec.k);
+        break;
+      case QueryType::kNonzeroNn:
+        r.ids = NonzeroNn(q);
+        break;
+    }
+  }
+  return results;
+}
+
+}  // namespace unn

@@ -1,0 +1,188 @@
+#ifndef UNN_ENGINE_ENGINE_H_
+#define UNN_ENGINE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/expected_nn.h"
+#include "core/linf_nonzero_index.h"
+#include "core/monte_carlo_pnn.h"
+#include "core/nn_nonzero_discrete_index.h"
+#include "core/nn_nonzero_index.h"
+#include "core/nonzero_voronoi.h"
+#include "core/nonzero_voronoi_discrete.h"
+#include "core/spiral_search.h"
+#include "core/uncertain_point.h"
+#include "geom/vec2.h"
+
+/// \file engine.h
+/// The unified query facade over every index family in the library. An
+/// Engine owns one uncertain point set and answers all the query types of
+/// the paper (and its companions) behind a single API:
+///
+///   * MostProbableNn   — argmax_i pi_i(q) (quantification probabilities,
+///                        Section 4);
+///   * ExpectedDistanceNn — argmin_i E[d(q, P_i)] ([AESZ12] Section 1.2);
+///   * Threshold        — all i whose pi_i(q) may reach tau ([DYM+05]);
+///   * TopK             — the k most probable NNs ([BSI08]);
+///   * NonzeroNn        — NN!=0(q), the support of the quantification
+///                        distribution (Sections 2/3).
+///
+/// `Engine::Config` selects a backend (index family) and an accuracy; the
+/// default `Backend::kAuto` picks the strongest structure the input model
+/// admits per query. Structures are built lazily on first use and cached,
+/// so an Engine that only ever answers NonzeroNn never pays for
+/// Monte-Carlo preprocessing. Queries on a given Engine are not yet
+/// thread-safe (the lazy cache is unsynchronized); the batched QueryMany
+/// seam is where future parallelism/sharding work lands.
+
+namespace unn {
+
+/// Which index family serves the queries. Families that do not natively
+/// implement a requested query type fall back as documented on each query
+/// method; the fallback is always exact (the definition-level oracle).
+enum class Backend {
+  kAuto,           ///< Strongest structure for the input model (default).
+  kBruteForce,     ///< Definition-level O(n)-per-query oracle; exact.
+  kExpectedNn,     ///< core::ExpectedNn branch-and-bound tree.
+  kSpiralSearch,   ///< Theorem 4.7 prefix evaluation (+ Theorem 4.5
+                   ///< discretization for continuous/mixed inputs).
+  kMonteCarlo,     ///< Theorem 4.3/4.5 instantiation sampling.
+  kNonzeroVoronoi, ///< V!=0 diagram + point location (Theorems 2.5/2.14).
+  kNonzeroIndex,   ///< Two-stage near-linear index (Theorems 3.1/3.2).
+  kLinfIndex,      ///< L_inf variant of Theorem 3.1 (Remark ii); queries
+                   ///< use the Chebyshev metric over derived squares.
+};
+
+class Engine {
+ public:
+  struct Config {
+    Backend backend = Backend::kAuto;
+    /// Accuracy of probabilistic estimates (spiral search / Monte Carlo):
+    /// every reported hat-pi is within eps of the true pi.
+    double eps = 0.05;
+    /// Monte-Carlo failure probability (Theorem 4.3).
+    double delta = 0.05;
+    /// Quadrature tolerance for exact disk-model integrals.
+    double tol = 1e-8;
+    /// Seed for every randomized structure.
+    uint64_t seed = 0xC0FFEE;
+    /// Overrides the Theorem 4.3 Monte-Carlo sample count when > 0.
+    int mc_samples_override = 0;
+  };
+
+  /// The query types QueryMany can batch.
+  enum class QueryType {
+    kMostProbableNn,
+    kExpectedDistanceNn,
+    kThreshold,
+    kTopK,
+    kNonzeroNn,
+  };
+
+  /// One batched request: the type plus its parameter (tau for threshold,
+  /// k for top-k; the others take none).
+  struct QuerySpec {
+    QueryType type = QueryType::kMostProbableNn;
+    double tau = 0.5;
+    int k = 1;
+  };
+
+  /// Result of one batched query. Which field is populated depends on the
+  /// QueryType: `nn` for the two NN types, `ranked` for threshold/top-k,
+  /// `ids` for NonzeroNn.
+  struct QueryResult {
+    int nn = -1;
+    std::vector<std::pair<int, double>> ranked;
+    std::vector<int> ids;
+  };
+
+  explicit Engine(std::vector<core::UncertainPoint> points);
+  Engine(std::vector<core::UncertainPoint> points, const Config& config);
+
+  /// argmax_i pi_i(q), ties broken toward the smaller id. Exact for
+  /// kBruteForce on homogeneous inputs; within Config::eps for the
+  /// estimator backends. Backends without probability machinery
+  /// (kNonzeroVoronoi, kNonzeroIndex, kLinfIndex, kExpectedNn) fall back
+  /// to the exact oracle.
+  int MostProbableNn(geom::Vec2 q) const;
+
+  /// argmin_i E[d(q, P_i)]. Served by core::ExpectedNn for every backend
+  /// except kBruteForce, which scans the definition.
+  int ExpectedDistanceNn(geom::Vec2 q) const;
+
+  /// All i whose true pi_i(q) may reach tau, (id, estimate) sorted by
+  /// decreasing estimate: no false negatives (estimator accuracy is
+  /// raised to tau/2 when Config::eps is looser). Fallback as in
+  /// MostProbableNn.
+  std::vector<std::pair<int, double>> Threshold(geom::Vec2 q,
+                                                double tau) const;
+
+  /// The k ids with the largest pi_i(q), (id, estimate) sorted by
+  /// decreasing estimate; near-ties within 2 eps may permute. Fallback as
+  /// in MostProbableNn.
+  std::vector<std::pair<int, double>> TopK(geom::Vec2 q, int k) const;
+
+  /// NN!=0(q), sorted ids; exact. kLinfIndex answers under the Chebyshev
+  /// metric over DerivedSquares(); estimator backends (kSpiralSearch,
+  /// kMonteCarlo, kExpectedNn) fall back to the exact oracle.
+  std::vector<int> NonzeroNn(geom::Vec2 q) const;
+
+  /// Batched entry point: answers `spec` for every query point. The seam
+  /// future sharding/parallelism PRs build on.
+  std::vector<QueryResult> QueryMany(std::span<const geom::Vec2> queries,
+                                     const QuerySpec& spec) const;
+
+  /// Quantification estimates (id, hat-pi) with positive estimate, sorted
+  /// by id, at accuracy `eps_needed` (<= 0 means Config::eps). Exposed so
+  /// callers can post-process distributions themselves.
+  std::vector<std::pair<int, double>> Probabilities(
+      geom::Vec2 q, double eps_needed = 0.0) const;
+
+  /// The axis-aligned squares the kLinfIndex backend indexes: an L_inf
+  /// ball per point (disk -> same center/radius; discrete -> bounding-box
+  /// center with half the larger side).
+  const std::vector<core::SquareRegion>& DerivedSquares() const;
+
+  const std::vector<core::UncertainPoint>& points() const { return points_; }
+  const Config& config() const { return config_; }
+  int size() const { return static_cast<int>(points_.size()); }
+  bool all_discrete() const { return all_discrete_; }
+  bool all_disk() const { return all_disk_; }
+
+ private:
+  Backend EffectiveProbBackend() const;
+  std::vector<std::pair<int, double>> ExactProbabilities(geom::Vec2 q) const;
+
+  const core::ExpectedNn& GetExpectedNn() const;
+  const core::SpiralSearch& GetSpiralSearch() const;
+  const core::ContinuousSpiralSearch& GetContinuousSpiral(double eps) const;
+  const core::MonteCarloPnn& GetMonteCarlo(double eps) const;
+  const core::LinfNonzeroIndex& GetLinfIndex() const;
+
+  std::vector<core::UncertainPoint> points_;
+  Config config_;
+  bool all_discrete_ = true;
+  bool all_disk_ = true;
+
+  // Lazily built structures (unsynchronized cache; see file comment).
+  mutable std::unique_ptr<core::ExpectedNn> expected_nn_;
+  mutable std::unique_ptr<core::SpiralSearch> spiral_;
+  mutable std::unique_ptr<core::ContinuousSpiralSearch> cont_spiral_;
+  mutable double cont_spiral_eps_ = 0.0;
+  mutable std::unique_ptr<core::MonteCarloPnn> monte_carlo_;
+  mutable double monte_carlo_eps_ = 0.0;
+  mutable std::unique_ptr<core::NonzeroVoronoi> voronoi_;
+  mutable std::unique_ptr<core::NonzeroVoronoiDiscrete> voronoi_discrete_;
+  mutable std::unique_ptr<core::NnNonzeroIndex> nonzero_index_;
+  mutable std::unique_ptr<core::NnNonzeroDiscreteIndex> nonzero_discrete_;
+  mutable std::unique_ptr<core::LinfNonzeroIndex> linf_index_;
+  mutable std::vector<core::SquareRegion> squares_;
+};
+
+}  // namespace unn
+
+#endif  // UNN_ENGINE_ENGINE_H_
