@@ -1,0 +1,102 @@
+// Experiment E13 — serving-layer throughput: queries/sec of the sharded
+// parallel QueryMany at 1, 2, 4, 8 threads against the serial seam, on a
+// warmed Engine (MostProbableNn over a 10k-point / 10k-query discrete
+// batch; spiral-search backend). Queries are read-only and independent,
+// so the speedup should track the participant count up to the physical
+// core count. Also reports the QueryServer batched path (snapshot load +
+// pool shard) to show the serving front end adds no measurable overhead.
+
+#include <cstdio>
+#include <thread>
+
+#include "bench_util.h"
+#include "engine/engine.h"
+#include "serve/parallel.h"
+#include "serve/query_server.h"
+#include "serve/thread_pool.h"
+#include "workload/generators.h"
+
+using namespace unn;
+using geom::Vec2;
+
+int main(int argc, char** argv) {
+  auto args = bench::ParseArgs(argc, argv);
+  bench::JsonEmitter json("e13");
+
+  const int n = args.tiny ? 1000 : 10000;
+  const int num_queries = args.tiny ? 1000 : 10000;
+  printf("E13: parallel QueryMany throughput (n=%d discrete points, %d "
+         "MostProbableNn queries, hardware threads=%u)\n",
+         n, num_queries, std::thread::hardware_concurrency());
+
+  auto pts = workload::RandomDiscrete(n, 3, /*seed=*/13, /*spread=*/4.0);
+  auto queries = bench::RandomQueries(num_queries, 30, 113);
+  Engine engine(pts, {});
+  const Engine::QuerySpec spec{Engine::QueryType::kMostProbableNn, 0.5, 1};
+
+  bench::Timer tw;
+  engine.Warmup(spec);
+  double warmup_ms = tw.Ms();
+  printf("warmup (spiral search build): %.1f ms\n\n", warmup_ms);
+
+  // Serial baseline: the Engine's own loop, no pool involved.
+  bench::Timer ts;
+  auto serial = engine.QueryMany(queries, spec);
+  double serial_ms = ts.Ms();
+  double serial_qps = num_queries / (serial_ms / 1000.0);
+
+  printf("%8s %12s %14s %10s\n", "threads", "batch_ms", "queries_per_s",
+         "speedup");
+  printf("%8d %12.1f %14.0f %10.2f\n", 1, serial_ms, serial_qps, 1.0);
+  json.StartRow();
+  json.Metric("threads", 1);
+  json.Metric("warmup_ms", warmup_ms);
+  json.Metric("batch_ms", serial_ms);
+  json.Metric("qps", serial_qps);
+  json.Metric("speedup", 1.0);
+
+  for (int threads : {2, 4, 8}) {
+    // `threads` participants total: threads - 1 pool workers + the caller.
+    serve::ThreadPool pool(threads - 1);
+    // One untimed pass to let the OS place the worker threads.
+    serve::QueryMany(engine, queries, spec, &pool);
+    bench::Timer tp;
+    auto parallel = serve::QueryMany(engine, queries, spec, &pool);
+    double ms = tp.Ms();
+    double qps = num_queries / (ms / 1000.0);
+    // Answers must be bit-identical to the serial run.
+    size_t mismatches = 0;
+    for (size_t i = 0; i < serial.size(); ++i) {
+      if (parallel[i].nn != serial[i].nn) ++mismatches;
+    }
+    printf("%8d %12.1f %14.0f %10.2f%s\n", threads, ms, qps, qps / serial_qps,
+           mismatches ? "  MISMATCH" : "");
+    json.StartRow();
+    json.Metric("threads", threads);
+    json.Metric("batch_ms", ms);
+    json.Metric("qps", qps);
+    json.Metric("speedup", qps / serial_qps);
+    json.Metric("mismatches", static_cast<double>(mismatches));
+  }
+
+  // The full serving front end: snapshot load + warm + shard.
+  {
+    serve::QueryServer server(
+        std::make_shared<const Engine>(pts, Engine::Config{}),
+        {.num_threads = 7, .warm = {Engine::QueryType::kMostProbableNn}});
+    server.QueryBatch(queries, spec);  // Placement pass.
+    bench::Timer tb;
+    server.QueryBatch(queries, spec);
+    double ms = tb.Ms();
+    double qps = num_queries / (ms / 1000.0);
+    printf("\nQueryServer::QueryBatch (8 participants): %.1f ms, %.0f "
+           "queries/s\n",
+           ms, qps);
+    json.StartRow();
+    json.Metric("server_batch_ms", ms);
+    json.Metric("server_qps", qps);
+  }
+
+  json.Write(args.json_path);
+  return 0;
+}

@@ -20,6 +20,19 @@ void SortByEstimate(std::vector<std::pair<int, double>>* v) {
   });
 }
 
+/// The shared shape of every fixed-structure getter: build exactly once
+/// under the flag, count the build (StructuresBuilt observability), return
+/// the structure.
+template <class T, class Make>
+const T& BuildOnce(std::once_flag& once, std::unique_ptr<T>& slot,
+                   std::atomic<int>& builds, Make make) {
+  std::call_once(once, [&] {
+    slot = make();
+    builds.fetch_add(1, std::memory_order_relaxed);
+  });
+  return *slot;
+}
+
 }  // namespace
 
 Engine::Engine(std::vector<core::UncertainPoint> points)
@@ -38,51 +51,90 @@ Engine::Engine(std::vector<core::UncertainPoint> points, const Config& config)
 }
 
 // ---------------------------------------------------------------------------
-// Lazy structure cache
+// Lazy structure cache. Fixed structures build exactly once under their
+// once_flag (concurrent first queries block until the single build
+// finishes); the accuracy-keyed estimators use a shared mutex with
+// double-checked rebuilds and hand out shared_ptr snapshots so a rebuild
+// never pulls a structure out from under a running query.
 // ---------------------------------------------------------------------------
 
 const core::ExpectedNn& Engine::GetExpectedNn() const {
-  if (!expected_nn_) {
-    expected_nn_ = std::make_unique<core::ExpectedNn>(points_);
-  }
-  return *expected_nn_;
+  return BuildOnce(expected_nn_once_, expected_nn_, builds_, [this] {
+    return std::make_unique<core::ExpectedNn>(points_);
+  });
 }
 
 const core::SpiralSearch& Engine::GetSpiralSearch() const {
   UNN_DCHECK(all_discrete_);
-  if (!spiral_) {
-    spiral_ = std::make_unique<core::SpiralSearch>(points_);
-  }
-  return *spiral_;
+  return BuildOnce(spiral_once_, spiral_, builds_, [this] {
+    return std::make_unique<core::SpiralSearch>(points_);
+  });
 }
 
-const core::ContinuousSpiralSearch& Engine::GetContinuousSpiral(
+const core::NonzeroVoronoi& Engine::GetVoronoi() const {
+  return BuildOnce(voronoi_once_, voronoi_, builds_, [this] {
+    return std::make_unique<core::NonzeroVoronoi>(points_);
+  });
+}
+
+const core::NonzeroVoronoiDiscrete& Engine::GetVoronoiDiscrete() const {
+  return BuildOnce(voronoi_discrete_once_, voronoi_discrete_, builds_, [this] {
+    return std::make_unique<core::NonzeroVoronoiDiscrete>(points_);
+  });
+}
+
+const core::NnNonzeroIndex& Engine::GetNonzeroIndex() const {
+  return BuildOnce(nonzero_index_once_, nonzero_index_, builds_, [this] {
+    return std::make_unique<core::NnNonzeroIndex>(points_);
+  });
+}
+
+const core::NnNonzeroDiscreteIndex& Engine::GetNonzeroDiscrete() const {
+  return BuildOnce(nonzero_discrete_once_, nonzero_discrete_, builds_, [this] {
+    return std::make_unique<core::NnNonzeroDiscreteIndex>(points_);
+  });
+}
+
+std::shared_ptr<const core::ContinuousSpiralSearch> Engine::GetContinuousSpiral(
     double eps) const {
   // The cached structure is keyed by its discretization accuracy; a request
   // for a tighter accuracy rebuilds it.
+  {
+    std::shared_lock<std::shared_mutex> lock(estimator_mu_);
+    if (cont_spiral_ && cont_spiral_eps_ <= eps) return cont_spiral_;
+  }
+  std::unique_lock<std::shared_mutex> lock(estimator_mu_);
   if (!cont_spiral_ || cont_spiral_eps_ > eps) {
-    cont_spiral_ = std::make_unique<core::ContinuousSpiralSearch>(
+    cont_spiral_ = std::make_shared<const core::ContinuousSpiralSearch>(
         points_, eps, config_.seed);
     cont_spiral_eps_ = eps;
+    builds_.fetch_add(1, std::memory_order_relaxed);
   }
-  return *cont_spiral_;
+  return cont_spiral_;
 }
 
-const core::MonteCarloPnn& Engine::GetMonteCarlo(double eps) const {
+std::shared_ptr<const core::MonteCarloPnn> Engine::GetMonteCarlo(
+    double eps) const {
+  {
+    std::shared_lock<std::shared_mutex> lock(estimator_mu_);
+    if (monte_carlo_ && monte_carlo_eps_ <= eps) return monte_carlo_;
+  }
+  std::unique_lock<std::shared_mutex> lock(estimator_mu_);
   if (!monte_carlo_ || monte_carlo_eps_ > eps) {
     core::MonteCarloPnnOptions opts;
     opts.eps = eps;
     opts.delta = config_.delta;
     opts.seed = config_.seed;
     opts.s_override = config_.mc_samples_override;
-    monte_carlo_ = std::make_unique<core::MonteCarloPnn>(points_, opts);
+    monte_carlo_ = std::make_shared<const core::MonteCarloPnn>(points_, opts);
     monte_carlo_eps_ = eps;
+    builds_.fetch_add(1, std::memory_order_relaxed);
   }
-  return *monte_carlo_;
+  return monte_carlo_;
 }
 
 const std::vector<core::SquareRegion>& Engine::DerivedSquares() const {
-  if (squares_.empty()) {
+  std::call_once(squares_once_, [this] {
     squares_.reserve(points_.size());
     for (const auto& p : points_) {
       core::SquareRegion s;
@@ -96,15 +148,14 @@ const std::vector<core::SquareRegion>& Engine::DerivedSquares() const {
       }
       squares_.push_back(s);
     }
-  }
+  });
   return squares_;
 }
 
 const core::LinfNonzeroIndex& Engine::GetLinfIndex() const {
-  if (!linf_index_) {
-    linf_index_ = std::make_unique<core::LinfNonzeroIndex>(DerivedSquares());
-  }
-  return *linf_index_;
+  return BuildOnce(linf_index_once_, linf_index_, builds_, [this] {
+    return std::make_unique<core::LinfNonzeroIndex>(DerivedSquares());
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -148,9 +199,9 @@ std::vector<std::pair<int, double>> Engine::Probabilities(
       if (all_discrete_) return GetSpiralSearch().Query(q, eps);
       // Theorem 4.5 discretization + discrete spiral search; the error
       // budget is split evenly between the two stages.
-      return GetContinuousSpiral(eps / 2).Query(q, eps / 2);
+      return GetContinuousSpiral(eps / 2)->Query(q, eps / 2);
     case Backend::kMonteCarlo:
-      return GetMonteCarlo(eps).Query(q);
+      return GetMonteCarlo(eps)->Query(q);
     default:
       return ExactProbabilities(q);
   }
@@ -219,7 +270,7 @@ int Engine::ExpectedDistanceNn(geom::Vec2 q) const {
 // NN!=0
 // ---------------------------------------------------------------------------
 
-std::vector<int> Engine::NonzeroNn(geom::Vec2 q) const {
+Backend Engine::EffectiveNonzeroBackend() const {
   Backend b = config_.backend;
   if (b == Backend::kAuto) {
     b = (all_disk_ || all_discrete_) ? Backend::kNonzeroIndex
@@ -227,41 +278,45 @@ std::vector<int> Engine::NonzeroNn(geom::Vec2 q) const {
   }
   switch (b) {
     case Backend::kNonzeroVoronoi:
-      if (all_disk_) {
-        if (!voronoi_) {
-          voronoi_ = std::make_unique<core::NonzeroVoronoi>(points_);
-        }
-        return voronoi_->Query(q);
-      }
-      if (all_discrete_) {
-        if (!voronoi_discrete_) {
-          voronoi_discrete_ =
-              std::make_unique<core::NonzeroVoronoiDiscrete>(points_);
-        }
-        return voronoi_discrete_->Query(q);
-      }
-      break;  // Mixed model: no diagram — exact oracle below.
     case Backend::kNonzeroIndex:
-      if (all_disk_) {
-        if (!nonzero_index_) {
-          nonzero_index_ = std::make_unique<core::NnNonzeroIndex>(points_);
-        }
-        return nonzero_index_->Query(q);
-      }
-      if (all_discrete_) {
-        if (!nonzero_discrete_) {
-          nonzero_discrete_ =
-              std::make_unique<core::NnNonzeroDiscreteIndex>(points_);
-        }
-        return nonzero_discrete_->Query(q);
-      }
-      break;
+      // Mixed model: no diagram/index — exact oracle.
+      if (!all_disk_ && !all_discrete_) return Backend::kBruteForce;
+      return b;
+    case Backend::kLinfIndex:
+      return b;
+    default:
+      return Backend::kBruteForce;
+  }
+}
+
+std::vector<int> Engine::NonzeroNn(geom::Vec2 q) const {
+  switch (EffectiveNonzeroBackend()) {
+    case Backend::kNonzeroVoronoi:
+      return all_disk_ ? GetVoronoi().Query(q) : GetVoronoiDiscrete().Query(q);
+    case Backend::kNonzeroIndex:
+      return all_disk_ ? GetNonzeroIndex().Query(q)
+                       : GetNonzeroDiscrete().Query(q);
     case Backend::kLinfIndex:
       return GetLinfIndex().Query(q);
     default:
-      break;
+      return baselines::NonzeroNn(points_, q);
   }
-  return baselines::NonzeroNn(points_, q);
+}
+
+// ---------------------------------------------------------------------------
+// Warmup: build everything a query type needs before serving traffic
+// ---------------------------------------------------------------------------
+
+void Engine::Warmup(QueryType type) const { Warmup(QuerySpec{type, 0.5, 1}); }
+
+void Engine::Warmup(const QuerySpec& spec) const {
+  // Warming is answering one representative query through QueryMany: which
+  // structures get built depends on the spec and config but never on the
+  // query point, so one probe builds exactly what later queries of this
+  // spec need — including the degenerate-parameter paths that build
+  // nothing — and cannot drift from the real dispatch.
+  geom::Vec2 probe{0, 0};
+  QueryMany(std::span<const geom::Vec2>(&probe, 1), spec);
 }
 
 // ---------------------------------------------------------------------------
@@ -271,6 +326,24 @@ std::vector<int> Engine::NonzeroNn(geom::Vec2 q) const {
 std::vector<Engine::QueryResult> Engine::QueryMany(
     std::span<const geom::Vec2> queries, const QuerySpec& spec) const {
   std::vector<QueryResult> results(queries.size());
+  if (queries.empty()) return results;
+  // Degenerate parameters (see header) get definition-level answers; the
+  // first two never build or consult a backend. `!(tau <= 1)` rather than
+  // `tau > 1` so a NaN tau lands in the empty branch instead of falling
+  // through to Threshold's CHECK.
+  if (spec.type == QueryType::kTopK && spec.k <= 0) return results;
+  if (spec.type == QueryType::kThreshold && !(spec.tau <= 1)) return results;
+  if (spec.type == QueryType::kThreshold && spec.tau <= 0) {
+    // Every pi_i(q) >= 0 >= tau: report all ids with their estimates.
+    for (size_t i = 0; i < queries.size(); ++i) {
+      std::vector<std::pair<int, double>> full(size());
+      for (int id = 0; id < size(); ++id) full[id] = {id, 0.0};
+      for (auto [id, pi] : Probabilities(queries[i])) full[id].second = pi;
+      SortByEstimate(&full);
+      results[i].ranked = std::move(full);
+    }
+    return results;
+  }
   for (size_t i = 0; i < queries.size(); ++i) {
     geom::Vec2 q = queries[i];
     QueryResult& r = results[i];

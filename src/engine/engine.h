@@ -1,8 +1,11 @@
 #ifndef UNN_ENGINE_ENGINE_H_
 #define UNN_ENGINE_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <utility>
 #include <vector>
@@ -35,9 +38,17 @@
 /// default `Backend::kAuto` picks the strongest structure the input model
 /// admits per query. Structures are built lazily on first use and cached,
 /// so an Engine that only ever answers NonzeroNn never pays for
-/// Monte-Carlo preprocessing. Queries on a given Engine are not yet
-/// thread-safe (the lazy cache is unsynchronized); the batched QueryMany
-/// seam is where future parallelism/sharding work lands.
+/// Monte-Carlo preprocessing.
+///
+/// Thread safety: every `const` query method may be called from any number
+/// of threads concurrently. The lazy structure cache is synchronized
+/// (`std::call_once` for the fixed structures, a shared-mutex-guarded
+/// snapshot for the accuracy-keyed estimators), so concurrent first
+/// queries build each structure exactly once. `Warmup` builds the
+/// structures a query type needs eagerly, which serving layers call before
+/// fanning a batch across workers so no query pays the build; see
+/// `src/serve/` for the thread pool, sharded QueryMany, and QueryServer
+/// built on top of this guarantee.
 
 namespace unn {
 
@@ -131,10 +142,35 @@ class Engine {
   /// kMonteCarlo, kExpectedNn) fall back to the exact oracle.
   std::vector<int> NonzeroNn(geom::Vec2 q) const;
 
-  /// Batched entry point: answers `spec` for every query point. The seam
-  /// future sharding/parallelism PRs build on.
+  /// Batched entry point: answers `spec` for every query point;
+  /// `results[i]` always answers `queries[i]`. Degenerate parameters get
+  /// definition-level answers instead of tripping backend preconditions:
+  /// an empty span returns an empty vector without building any structure,
+  /// `kTopK` with `k <= 0` returns empty rankings (likewise build-free),
+  /// `kThreshold` with `tau > 1` or NaN returns empty rankings (no pi
+  /// exceeds 1),
+  /// and `kThreshold` with `tau <= 0` returns every id with its estimate
+  /// (every pi reaches a non-positive threshold). `serve::QueryMany`
+  /// shards this loop across a thread pool.
   std::vector<QueryResult> QueryMany(std::span<const geom::Vec2> queries,
                                      const QuerySpec& spec) const;
+
+  /// Eagerly builds every structure the given query type needs at the
+  /// config accuracy, so later queries of that type never build (and a
+  /// serving layer can fan them across threads without any worker paying
+  /// the preprocessing). Idempotent and itself thread-safe: concurrent
+  /// warmups build each structure once. The QuerySpec overload accounts
+  /// for the threshold parameter (`tau < 2 * Config::eps` needs a tighter
+  /// estimator than the plain-QueryType default of tau = 0.5).
+  void Warmup(QueryType type) const;
+  void Warmup(const QuerySpec& spec) const;
+
+  /// Number of heavy structures built so far — observability for tests
+  /// and serving metrics (a warmed engine must not build under query
+  /// traffic).
+  int StructuresBuilt() const {
+    return builds_.load(std::memory_order_relaxed);
+  }
 
   /// Quantification estimates (id, hat-pi) with positive estimate, sorted
   /// by id, at accuracy `eps_needed` (<= 0 means Config::eps). Exposed so
@@ -155,32 +191,56 @@ class Engine {
 
  private:
   Backend EffectiveProbBackend() const;
+  Backend EffectiveNonzeroBackend() const;
   std::vector<std::pair<int, double>> ExactProbabilities(geom::Vec2 q) const;
 
   const core::ExpectedNn& GetExpectedNn() const;
   const core::SpiralSearch& GetSpiralSearch() const;
-  const core::ContinuousSpiralSearch& GetContinuousSpiral(double eps) const;
-  const core::MonteCarloPnn& GetMonteCarlo(double eps) const;
+  const core::NonzeroVoronoi& GetVoronoi() const;
+  const core::NonzeroVoronoiDiscrete& GetVoronoiDiscrete() const;
+  const core::NnNonzeroIndex& GetNonzeroIndex() const;
+  const core::NnNonzeroDiscreteIndex& GetNonzeroDiscrete() const;
   const core::LinfNonzeroIndex& GetLinfIndex() const;
+  /// The accuracy-keyed estimators return an owning snapshot: a request
+  /// for a tighter accuracy replaces the cached structure, and the
+  /// returned shared_ptr keeps the one a concurrent query is using alive
+  /// until that query finishes.
+  std::shared_ptr<const core::ContinuousSpiralSearch> GetContinuousSpiral(
+      double eps) const;
+  std::shared_ptr<const core::MonteCarloPnn> GetMonteCarlo(double eps) const;
 
   std::vector<core::UncertainPoint> points_;
   Config config_;
   bool all_discrete_ = true;
   bool all_disk_ = true;
 
-  // Lazily built structures (unsynchronized cache; see file comment).
+  // Lazily built structures. Fixed structures are built exactly once
+  // under their once_flag; the accuracy-keyed estimators live behind
+  // estimator_mu_ (shared-locked reads, unique-locked rebuilds).
+  mutable std::once_flag expected_nn_once_;
   mutable std::unique_ptr<core::ExpectedNn> expected_nn_;
+  mutable std::once_flag spiral_once_;
   mutable std::unique_ptr<core::SpiralSearch> spiral_;
-  mutable std::unique_ptr<core::ContinuousSpiralSearch> cont_spiral_;
-  mutable double cont_spiral_eps_ = 0.0;
-  mutable std::unique_ptr<core::MonteCarloPnn> monte_carlo_;
-  mutable double monte_carlo_eps_ = 0.0;
+  mutable std::once_flag voronoi_once_;
   mutable std::unique_ptr<core::NonzeroVoronoi> voronoi_;
+  mutable std::once_flag voronoi_discrete_once_;
   mutable std::unique_ptr<core::NonzeroVoronoiDiscrete> voronoi_discrete_;
+  mutable std::once_flag nonzero_index_once_;
   mutable std::unique_ptr<core::NnNonzeroIndex> nonzero_index_;
+  mutable std::once_flag nonzero_discrete_once_;
   mutable std::unique_ptr<core::NnNonzeroDiscreteIndex> nonzero_discrete_;
+  mutable std::once_flag linf_index_once_;
   mutable std::unique_ptr<core::LinfNonzeroIndex> linf_index_;
+  mutable std::once_flag squares_once_;
   mutable std::vector<core::SquareRegion> squares_;
+
+  mutable std::shared_mutex estimator_mu_;
+  mutable std::shared_ptr<const core::ContinuousSpiralSearch> cont_spiral_;
+  mutable double cont_spiral_eps_ = 0.0;
+  mutable std::shared_ptr<const core::MonteCarloPnn> monte_carlo_;
+  mutable double monte_carlo_eps_ = 0.0;
+
+  mutable std::atomic<int> builds_{0};
 };
 
 }  // namespace unn

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_set>
 
 #include "util/check.h"
 
@@ -42,7 +43,6 @@ RayShooter::RayShooter(const PlanarSubdivision& sub, int cells_per_axis)
       }
     }
   }
-  stamp_.assign(sub.NumEdges(), -1);
 }
 
 int RayShooter::CellOfX(double x) const {
@@ -60,7 +60,29 @@ void RayShooter::CollectHits(Vec2 q, bool first_only,
   int cy0 = std::clamp(CellOfY(std::max(q.y, world_.lo.y)), 0, ny_ - 1);
   double y_limit = world_.hi.y + 1.0;
 
-  int stamp = ++stamp_counter_;
+  // Per-call dedup of edges shared between the column's cells; keeping
+  // the scratch local (instead of an instance-wide stamp array) makes
+  // const queries safe to run concurrently. A linear scan over a small
+  // vector wins for the expected-O(1) candidate counts; past 64
+  // candidates (degenerate subdivisions with worst-case-linear columns)
+  // it migrates to a hash set so dedup stays near-linear overall.
+  constexpr size_t kSmallSeen = 64;
+  std::vector<int> seen_small;
+  std::unordered_set<int> seen_large;
+  auto is_new = [&](int e) {
+    if (seen_small.size() < kSmallSeen) {
+      if (std::find(seen_small.begin(), seen_small.end(), e) !=
+          seen_small.end()) {
+        return false;
+      }
+      seen_small.push_back(e);
+      return true;
+    }
+    if (seen_large.empty()) {
+      seen_large.insert(seen_small.begin(), seen_small.end());
+    }
+    return seen_large.insert(e).second;
+  };
   std::vector<double> ys;
   std::vector<Vec2> dirs;
   double best_y = y_limit;
@@ -69,8 +91,7 @@ void RayShooter::CollectHits(Vec2 q, bool first_only,
     double row_lo = world_.lo.y + cy * cell_h_;
     if (first_only && best_y < row_lo) break;
     for (int e : cells_[static_cast<size_t>(cx) * ny_ + cy]) {
-      if (stamp_[e] == stamp) continue;
-      stamp_[e] = stamp;
+      if (!is_new(e)) continue;
       ys.clear();
       dirs.clear();
       sub_.edge(e).shape.VerticalRayHits(q, y_limit, &ys, &dirs);

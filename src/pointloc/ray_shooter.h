@@ -13,7 +13,9 @@
 /// returns the half-edge whose left face contains q; the caller then reads
 /// that loop's stored label. Expected O(1) candidate edges per query on
 /// bounded-density subdivisions; worst case linear (the persistent-slab
-/// structure in slab_locator.h provides the O(log n) guarantee).
+/// structure in slab_locator.h provides the O(log n) guarantee). Queries
+/// carry no shared mutable state, so a built RayShooter may be queried
+/// from any number of threads concurrently.
 
 namespace unn {
 namespace pointloc {
@@ -53,8 +55,6 @@ class RayShooter {
   double cell_w_ = 0, cell_h_ = 0;
   /// Edge ids per grid cell (row-major, y-major within a column visit).
   std::vector<std::vector<int>> cells_;
-  mutable std::vector<int> stamp_;
-  mutable int stamp_counter_ = 0;
 };
 
 }  // namespace pointloc

@@ -1,0 +1,28 @@
+#include "serve/parallel.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace unn {
+namespace serve {
+
+std::vector<Engine::QueryResult> QueryMany(const Engine& engine,
+                                           std::span<const geom::Vec2> queries,
+                                           const Engine::QuerySpec& spec,
+                                           ThreadPool* pool) {
+  UNN_CHECK(pool != nullptr);
+  std::vector<Engine::QueryResult> results(queries.size());
+  if (queries.empty()) return results;
+  engine.Warmup(spec);
+  pool->ParallelFor(queries.size(), [&](size_t begin, size_t end) {
+    auto block = engine.QueryMany(queries.subspan(begin, end - begin), spec);
+    for (size_t i = 0; i < block.size(); ++i) {
+      results[begin + i] = std::move(block[i]);
+    }
+  });
+  return results;
+}
+
+}  // namespace serve
+}  // namespace unn

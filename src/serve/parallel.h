@@ -1,0 +1,34 @@
+#ifndef UNN_SERVE_PARALLEL_H_
+#define UNN_SERVE_PARALLEL_H_
+
+#include <span>
+#include <vector>
+
+#include "engine/engine.h"
+#include "serve/thread_pool.h"
+
+/// \file parallel.h
+/// The parallel batched-query path: shard a query batch across a thread
+/// pool, one contiguous block per task, every worker querying the same
+/// warmed Engine. `results[i]` answers `queries[i]` regardless of thread
+/// count or scheduling — each block writes only its own slots, and the
+/// engine's structures are built once up front (Warmup) so workers race on
+/// nothing. Speedup is near-linear because queries are read-only and
+/// independent.
+
+namespace unn {
+namespace serve {
+
+/// Parallel Engine::QueryMany: identical results (including the
+/// degenerate-parameter semantics documented on the serial method), wall
+/// clock divided across `pool`'s workers plus the calling thread. Warms
+/// the engine for `spec` before sharding.
+std::vector<Engine::QueryResult> QueryMany(const Engine& engine,
+                                           std::span<const geom::Vec2> queries,
+                                           const Engine::QuerySpec& spec,
+                                           ThreadPool* pool);
+
+}  // namespace serve
+}  // namespace unn
+
+#endif  // UNN_SERVE_PARALLEL_H_

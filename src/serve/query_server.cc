@@ -1,0 +1,85 @@
+#include "serve/query_server.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace unn {
+namespace serve {
+
+QueryServer::QueryServer(std::shared_ptr<const Engine> engine,
+                         const Options& options)
+    : options_(options), pool_(options.num_threads) {
+  UNN_CHECK(engine != nullptr);
+  WarmSnapshot(*engine);
+  engine_.store(std::move(engine), std::memory_order_release);
+}
+
+QueryServer::QueryServer(std::shared_ptr<const Engine> engine)
+    : QueryServer(std::move(engine), Options{}) {}
+
+QueryServer::QueryServer(std::vector<core::UncertainPoint> points,
+                         const Engine::Config& config, const Options& options)
+    : QueryServer(std::make_shared<const Engine>(std::move(points), config),
+                  options) {}
+
+QueryServer::QueryServer(std::vector<core::UncertainPoint> points,
+                         const Engine::Config& config)
+    : QueryServer(std::move(points), config, Options{}) {}
+
+void QueryServer::WarmSnapshot(const Engine& engine) const {
+  for (Engine::QueryType type : options_.warm) engine.Warmup(type);
+}
+
+std::future<Engine::QueryResult> QueryServer::Submit(
+    geom::Vec2 q, const Engine::QuerySpec& spec) {
+  // Pin the snapshot at submission: the request is answered against the
+  // dataset that was current when the server accepted it, even if a swap
+  // lands before a worker picks it up.
+  std::shared_ptr<const Engine> snap = snapshot();
+  auto promise = std::make_shared<std::promise<Engine::QueryResult>>();
+  std::future<Engine::QueryResult> result = promise->get_future();
+  pool_.Post([snap = std::move(snap), promise = std::move(promise), q, spec] {
+    // Route through QueryMany so degenerate spec parameters follow the
+    // documented definitions instead of tripping single-query CHECKs.
+    std::span<const geom::Vec2> one(&q, 1);
+    promise->set_value(std::move(snap->QueryMany(one, spec)[0]));
+  });
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+std::vector<Engine::QueryResult> QueryServer::QueryBatch(
+    std::span<const geom::Vec2> queries, const Engine::QuerySpec& spec) {
+  std::shared_ptr<const Engine> snap = snapshot();
+  auto results = QueryMany(*snap, queries, spec, &pool_);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  queries_.fetch_add(queries.size(), std::memory_order_relaxed);
+  return results;
+}
+
+void QueryServer::ReplaceDataset(std::vector<core::UncertainPoint> points) {
+  const Engine::Config config = snapshot()->config();
+  ReplaceEngine(std::make_shared<const Engine>(std::move(points), config));
+}
+
+void QueryServer::ReplaceEngine(std::shared_ptr<const Engine> engine) {
+  UNN_CHECK(engine != nullptr);
+  // Build and warm entirely off to the side; the swap itself is one
+  // atomic store. In-flight queries hold the old snapshot's shared_ptr,
+  // so it dies only when the last of them finishes.
+  WarmSnapshot(*engine);
+  engine_.store(std::move(engine), std::memory_order_release);
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+}
+
+QueryServer::Stats QueryServer::stats() const {
+  Stats s;
+  s.queries = queries_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.swaps = swaps_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace serve
+}  // namespace unn

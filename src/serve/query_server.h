@@ -1,0 +1,104 @@
+#ifndef UNN_SERVE_QUERY_SERVER_H_
+#define UNN_SERVE_QUERY_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "engine/engine.h"
+#include "serve/parallel.h"
+#include "serve/thread_pool.h"
+
+/// \file query_server.h
+/// The serving front end: a QueryServer owns a worker pool and the current
+/// dataset as an immutable snapshot — a `std::shared_ptr<const Engine>`
+/// behind an atomic pointer. Readers load the pointer and query the
+/// snapshot with no further coordination (the Engine is thread-safe for
+/// const queries); `ReplaceDataset` builds a fresh Engine off to the side
+/// and swaps the pointer in one atomic store. In-flight queries keep the
+/// old snapshot alive through their shared_ptr and finish on the dataset
+/// they started on; the old Engine is destroyed when its last query
+/// releases it. There is no reader-writer mutex, no copy-on-read, and no
+/// pause on swap — a read is a single atomic shared_ptr load (which the
+/// standard library may implement with an internal spinlock; it is not
+/// guaranteed lock-free in the std::atomic sense).
+
+namespace unn {
+namespace serve {
+
+class QueryServer {
+ public:
+  struct Options {
+    /// Worker threads; <= 0 picks std::thread::hardware_concurrency().
+    int num_threads = 0;
+    /// Query types warmed on every snapshot before it starts serving
+    /// (construction and ReplaceDataset). Batches warm their own type
+    /// anyway; listing the types Submit traffic uses keeps single-query
+    /// latency flat.
+    std::vector<Engine::QueryType> warm;
+  };
+
+  /// Serves an already-built engine (shared: other servers or offline
+  /// readers may hold it too).
+  QueryServer(std::shared_ptr<const Engine> engine, const Options& options);
+  explicit QueryServer(std::shared_ptr<const Engine> engine);
+  /// Builds the engine from a dataset + config.
+  QueryServer(std::vector<core::UncertainPoint> points,
+              const Engine::Config& config, const Options& options);
+  QueryServer(std::vector<core::UncertainPoint> points,
+              const Engine::Config& config);
+
+  /// The snapshot currently serving. Callers may hold it as long as they
+  /// like; it stays valid (and immutable) across any number of
+  /// ReplaceDataset calls.
+  std::shared_ptr<const Engine> snapshot() const {
+    return engine_.load(std::memory_order_acquire);
+  }
+
+  /// Async single query against the snapshot current at submission time.
+  /// Degenerate spec parameters follow Engine::QueryMany's definitions.
+  std::future<Engine::QueryResult> Submit(geom::Vec2 q,
+                                          const Engine::QuerySpec& spec);
+
+  /// Blocking batched API: shards across the pool (plus the calling
+  /// thread) and returns when every answer is in; results[i] answers
+  /// queries[i]. The whole batch runs on one snapshot.
+  std::vector<Engine::QueryResult> QueryBatch(
+      std::span<const geom::Vec2> queries, const Engine::QuerySpec& spec);
+
+  /// Atomically replaces the dataset: builds a new Engine (same config as
+  /// the current snapshot), warms Options::warm, then swaps. Queries
+  /// submitted before the swap finish on the old snapshot; queries
+  /// submitted after see the new one. Safe to call concurrently with
+  /// queries and with other replacements.
+  void ReplaceDataset(std::vector<core::UncertainPoint> points);
+  /// Same swap for a caller-built engine.
+  void ReplaceEngine(std::shared_ptr<const Engine> engine);
+
+  ThreadPool& pool() { return pool_; }
+
+  struct Stats {
+    uint64_t queries = 0;  ///< Single queries + batched queries answered.
+    uint64_t batches = 0;  ///< QueryBatch calls.
+    uint64_t swaps = 0;    ///< Dataset replacements.
+  };
+  Stats stats() const;
+
+ private:
+  void WarmSnapshot(const Engine& engine) const;
+
+  Options options_;
+  std::atomic<std::shared_ptr<const Engine>> engine_;
+  ThreadPool pool_;
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> swaps_{0};
+};
+
+}  // namespace serve
+}  // namespace unn
+
+#endif  // UNN_SERVE_QUERY_SERVER_H_

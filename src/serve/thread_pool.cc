@@ -1,0 +1,108 @@
+#include "serve/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/check.h"
+
+namespace unn {
+namespace serve {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) num_threads = 1;
+  }
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    UNN_CHECK_MSG(!stopping_, "Post on a stopping ThreadPool");
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+/// Completion state shared between ParallelFor's caller and the tasks it
+/// posts. Heap-owned (shared_ptr) because a posted task that lost every
+/// block race may still be finishing after the caller has returned.
+struct ForLatch {
+  std::atomic<size_t> next{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t blocks_done = 0;
+};
+
+}  // namespace
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  // ~2 blocks per participant bounds the makespan penalty of an uneven
+  // block at half a block without the scheduling overhead of one task per
+  // index.
+  size_t participants = static_cast<size_t>(num_threads()) + 1;
+  size_t blocks = std::min(n, 2 * participants);
+  size_t chunk = (n + blocks - 1) / blocks;
+
+  // Participants pull the next unclaimed block until none remain. The
+  // caller joins the pulling loop itself, so every block completes even if
+  // the queue is backed up (e.g. a nested ParallelFor from inside a task):
+  // it never blocks waiting for a task that has not started. `fn` is only
+  // dereferenced while a block is held, and blocks cannot be claimed after
+  // the caller returns, so capturing it by reference is safe.
+  auto latch = std::make_shared<ForLatch>();
+  auto run_blocks = [n, chunk, blocks, latch, &fn] {
+    for (;;) {
+      size_t b = latch->next.fetch_add(1, std::memory_order_relaxed);
+      if (b >= blocks) return;
+      size_t begin = b * chunk;
+      size_t end = std::min(n, begin + chunk);
+      if (begin < end) fn(begin, end);
+      {
+        std::lock_guard<std::mutex> lock(latch->mu);
+        ++latch->blocks_done;
+      }
+      latch->cv.notify_one();
+    }
+  };
+
+  size_t helpers = std::min(blocks - 1, static_cast<size_t>(num_threads()));
+  for (size_t i = 0; i < helpers; ++i) Post(run_blocks);
+  run_blocks();
+  std::unique_lock<std::mutex> lock(latch->mu);
+  latch->cv.wait(lock, [&] { return latch->blocks_done >= blocks; });
+}
+
+}  // namespace serve
+}  // namespace unn

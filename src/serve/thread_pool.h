@@ -1,0 +1,66 @@
+#ifndef UNN_SERVE_THREAD_POOL_H_
+#define UNN_SERVE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+/// \file thread_pool.h
+/// The fixed-size worker pool underneath the serving layer: a mutex +
+/// condition-variable task queue feeding N `std::thread` workers. Two entry
+/// points cover the serving layer's needs:
+///
+///   * Post(fn)            — fire-and-forget task (QueryServer::Submit
+///                           wraps it with a promise);
+///   * ParallelFor(n, fn)  — run fn(begin, end) over a blocked partition
+///                           of [0, n) and wait; the caller thread works
+///                           too, so a pool of T threads applies T + 1
+///                           workers and a 1-thread pool still overlaps.
+///
+/// Tasks must not throw (queries propagate errors through their results);
+/// the pool std::terminates on an escaping exception, like a joining
+/// thread would.
+
+namespace unn {
+namespace serve {
+
+class ThreadPool {
+ public:
+  /// `num_threads` <= 0 picks std::thread::hardware_concurrency().
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues one task for any worker. Safe from any thread, including
+  /// from inside a running task.
+  void Post(std::function<void()> fn);
+
+  /// Splits [0, n) into contiguous blocks (about 2 per participant, so a
+  /// straggler block cannot dominate the makespan), runs `fn(begin, end)`
+  /// on the workers plus the calling thread, and returns when every block
+  /// is done. `fn` must be safe to call concurrently with itself.
+  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace serve
+}  // namespace unn
+
+#endif  // UNN_SERVE_THREAD_POOL_H_

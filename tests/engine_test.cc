@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <random>
+#include <span>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -345,6 +346,120 @@ TEST(EngineExpectedDistanceNn, CoincidentPointsDegenerate) {
 // ---------------------------------------------------------------------------
 // QueryMany: batched answers identical to one-at-a-time answers.
 // ---------------------------------------------------------------------------
+
+TEST(EngineQueryMany, EmptySpanReturnsEmptyWithoutBuilding) {
+  auto pts = workload::RandomDiscrete(8, 2, 62);
+  Engine engine(pts, {});
+  for (auto type :
+       {Engine::QueryType::kMostProbableNn, Engine::QueryType::kNonzeroNn,
+        Engine::QueryType::kExpectedDistanceNn}) {
+    auto results =
+        engine.QueryMany(std::span<const geom::Vec2>(), {type, 0.5, 1});
+    EXPECT_TRUE(results.empty());
+  }
+  EXPECT_EQ(engine.StructuresBuilt(), 0);
+}
+
+TEST(EngineQueryMany, TopKWithNonpositiveKIsEmptyWithoutBuilding) {
+  auto pts = workload::RandomDiscrete(8, 2, 63);
+  Engine engine(pts, {});
+  auto qs = TestQueries();
+  for (int k : {0, -3}) {
+    auto results = engine.QueryMany(qs, {Engine::QueryType::kTopK, 0.5, k});
+    ASSERT_EQ(results.size(), qs.size());
+    for (const auto& r : results) EXPECT_TRUE(r.ranked.empty());
+  }
+  EXPECT_EQ(engine.StructuresBuilt(), 0);
+}
+
+TEST(EngineQueryMany, ThresholdTauAboveOneOrNanIsEmptyWithoutBuilding) {
+  auto pts = workload::RandomDiscrete(8, 2, 64);
+  Engine engine(pts, {});
+  auto qs = TestQueries();
+  for (double tau : {1.5, std::numeric_limits<double>::quiet_NaN()}) {
+    auto results =
+        engine.QueryMany(qs, {Engine::QueryType::kThreshold, tau, 1});
+    ASSERT_EQ(results.size(), qs.size());
+    for (const auto& r : results) EXPECT_TRUE(r.ranked.empty());
+  }
+  EXPECT_EQ(engine.StructuresBuilt(), 0);
+}
+
+TEST(EngineQueryMany, ThresholdNonpositiveTauReportsEveryId) {
+  auto pts = workload::RandomDiscrete(9, 2, 65);
+  Engine engine(pts, {});
+  auto qs = TestQueries();
+  for (double tau : {0.0, -0.7}) {
+    auto results =
+        engine.QueryMany(qs, {Engine::QueryType::kThreshold, tau, 1});
+    ASSERT_EQ(results.size(), qs.size());
+    for (size_t i = 0; i < qs.size(); ++i) {
+      const auto& ranked = results[i].ranked;
+      // Every id reported exactly once, sorted by decreasing estimate.
+      ASSERT_EQ(static_cast<int>(ranked.size()), engine.size());
+      std::vector<bool> seen(pts.size(), false);
+      for (size_t j = 0; j < ranked.size(); ++j) {
+        seen[ranked[j].first] = true;
+        if (j > 0) EXPECT_GE(ranked[j - 1].second, ranked[j].second);
+      }
+      for (bool s : seen) EXPECT_TRUE(s);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Warmup: builds every structure the query type needs, exactly once; a
+// warmed engine never builds under queries.
+// ---------------------------------------------------------------------------
+
+TEST(EngineWarmup, BuildsOnceAndServesWithoutBuilding) {
+  for (bool discrete : {true, false}) {
+    auto pts = discrete ? workload::RandomDiscrete(15, 3, 66)
+                        : workload::RandomDisks(15, 67);
+    Engine engine(pts, {});
+    EXPECT_EQ(engine.StructuresBuilt(), 0);
+
+    const Engine::QueryType kAllTypes[] = {
+        Engine::QueryType::kMostProbableNn,
+        Engine::QueryType::kExpectedDistanceNn,
+        Engine::QueryType::kThreshold,
+        Engine::QueryType::kTopK,
+        Engine::QueryType::kNonzeroNn,
+    };
+    for (auto type : kAllTypes) engine.Warmup(type);
+    int built = engine.StructuresBuilt();
+    EXPECT_GE(built, 2);
+
+    // Idempotent: warming again builds nothing (no structure twice).
+    for (auto type : kAllTypes) engine.Warmup(type);
+    EXPECT_EQ(engine.StructuresBuilt(), built);
+
+    // Serving warmed traffic builds nothing either.
+    for (Vec2 q : TestQueries()) {
+      engine.MostProbableNn(q);
+      engine.ExpectedDistanceNn(q);
+      engine.Threshold(q, 0.5);
+      engine.TopK(q, 2);
+      engine.NonzeroNn(q);
+    }
+    EXPECT_EQ(engine.StructuresBuilt(), built);
+  }
+}
+
+TEST(EngineWarmup, SpecOverloadWarmsTighterThresholdEstimator) {
+  // tau < 2 * eps needs a tighter estimator than the plain-QueryType
+  // default; the spec overload must pre-build it so the query does not.
+  auto pts = workload::RandomDisks(10, 68);  // Continuous => Monte Carlo.
+  Engine::Config cfg;
+  cfg.eps = 0.1;
+  cfg.mc_samples_override = 32;
+  Engine engine(pts, cfg);
+  Engine::QuerySpec spec{Engine::QueryType::kThreshold, 0.05, 1};
+  engine.Warmup(spec);
+  int built = engine.StructuresBuilt();
+  engine.Threshold({0.5, 0.5}, spec.tau);
+  EXPECT_EQ(engine.StructuresBuilt(), built);
+}
 
 TEST(EngineQueryMany, MatchesSingleQueries) {
   auto pts = workload::RandomDiscrete(15, 3, 61);

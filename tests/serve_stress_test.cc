@@ -1,0 +1,176 @@
+// Concurrency stress: many threads hammer one Engine and one QueryServer
+// (including a mid-flight snapshot swap) and every answer must equal the
+// single-threaded oracle run. Built for TSan: the cold-cache test races
+// first queries into the call_once paths, the server test races Submit /
+// QueryBatch against ReplaceDataset.
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "serve/query_server.h"
+#include "workload/generators.h"
+
+namespace unn {
+namespace {
+
+using core::UncertainPoint;
+using geom::Vec2;
+
+constexpr int kThreads = 8;
+
+std::vector<Vec2> StressQueries(int count) {
+  std::vector<Vec2> qs;
+  for (int i = 0; i < count; ++i) {
+    // Deterministic spread over the workload extent.
+    qs.push_back({-11.0 + 22.0 * ((i * 37) % count) / count,
+                  -11.0 + 22.0 * ((i * 61) % count) / count});
+  }
+  return qs;
+}
+
+/// One single-threaded pass over every query type — the oracle the
+/// concurrent runs are compared against.
+struct OracleRun {
+  std::vector<int> most_probable;
+  std::vector<int> expected_nn;
+  std::vector<std::vector<std::pair<int, double>>> topk;
+  std::vector<std::vector<int>> nonzero;
+};
+
+OracleRun RunSerial(const Engine& engine, const std::vector<Vec2>& qs) {
+  OracleRun o;
+  for (Vec2 q : qs) {
+    o.most_probable.push_back(engine.MostProbableNn(q));
+    o.expected_nn.push_back(engine.ExpectedDistanceNn(q));
+    o.topk.push_back(engine.TopK(q, 3));
+    o.nonzero.push_back(engine.NonzeroNn(q));
+  }
+  return o;
+}
+
+/// Hammers `engine` from kThreads threads and counts answers that differ
+/// from the oracle. Returns the mismatch count (0 on success).
+int HammerEngine(const Engine& engine, const std::vector<Vec2>& qs,
+                 const OracleRun& oracle) {
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Each thread starts at a different offset so the threads are never
+      // in lockstep on the same structure path.
+      for (size_t i = 0; i < qs.size(); ++i) {
+        size_t j = (i + t * qs.size() / kThreads) % qs.size();
+        Vec2 q = qs[j];
+        if (engine.MostProbableNn(q) != oracle.most_probable[j]) ++mismatches;
+        if (engine.ExpectedDistanceNn(q) != oracle.expected_nn[j]) {
+          ++mismatches;
+        }
+        if (engine.TopK(q, 3) != oracle.topk[j]) ++mismatches;
+        if (engine.NonzeroNn(q) != oracle.nonzero[j]) ++mismatches;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  return mismatches.load();
+}
+
+TEST(EngineStress, WarmedEngineServesEightThreads) {
+  auto pts = workload::RandomDiscrete(40, 3, 101);
+  Engine engine(pts, {});
+  for (auto type :
+       {Engine::QueryType::kMostProbableNn, Engine::QueryType::kTopK,
+        Engine::QueryType::kExpectedDistanceNn,
+        Engine::QueryType::kNonzeroNn}) {
+    engine.Warmup(type);
+  }
+  int built = engine.StructuresBuilt();
+
+  auto qs = StressQueries(60);
+  OracleRun oracle = RunSerial(engine, qs);
+  EXPECT_EQ(HammerEngine(engine, qs, oracle), 0);
+  // A warmed engine never builds under traffic.
+  EXPECT_EQ(engine.StructuresBuilt(), built);
+}
+
+TEST(EngineStress, ColdCacheBuildsEachStructureExactlyOnce) {
+  auto pts = workload::RandomDisks(24, 102);
+  auto qs = StressQueries(30);
+
+  // Oracle from an identically-configured twin (deterministic structures:
+  // same points + config => same answers).
+  Engine twin(pts, {});
+  OracleRun oracle = RunSerial(twin, qs);
+
+  // Race all first queries into the lazy cache.
+  Engine engine(pts, {});
+  EXPECT_EQ(engine.StructuresBuilt(), 0);
+  EXPECT_EQ(HammerEngine(engine, qs, oracle), 0);
+  // Every structure was built exactly once despite the race: the twin's
+  // serial pass built the same set.
+  EXPECT_EQ(engine.StructuresBuilt(), twin.StructuresBuilt());
+}
+
+TEST(QueryServerStress, EightClientsWithConcurrentSnapshotSwap) {
+  auto pts_a = workload::RandomDiscrete(30, 3, 103);
+  auto pts_b = workload::RandomDiscrete(36, 2, 104);
+  auto qs = StressQueries(40);
+
+  Engine::Config cfg;
+  Engine oracle_a(pts_a, cfg);
+  Engine oracle_b(pts_b, cfg);
+  std::vector<int> ans_a, ans_b;
+  for (Vec2 q : qs) {
+    ans_a.push_back(oracle_a.MostProbableNn(q));
+    ans_b.push_back(oracle_b.MostProbableNn(q));
+  }
+
+  serve::QueryServer server(
+      pts_a, cfg,
+      {.num_threads = 4, .warm = {Engine::QueryType::kMostProbableNn}});
+
+  // 8 client threads mix Submit and QueryBatch while the main thread swaps
+  // the dataset. Every answer must match one of the two oracles (a request
+  // runs entirely on the snapshot it was pinned to).
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      Engine::QuerySpec spec{Engine::QueryType::kMostProbableNn, 0.5, 1};
+      for (int round = 0; round < 6; ++round) {
+        if ((t + round) % 2 == 0) {
+          auto results = server.QueryBatch(qs, spec);
+          for (size_t i = 0; i < qs.size(); ++i) {
+            if (results[i].nn != ans_a[i] && results[i].nn != ans_b[i]) {
+              ++mismatches;
+            }
+          }
+        } else {
+          size_t i = static_cast<size_t>(t * 7 + round) % qs.size();
+          int nn = server.Submit(qs[i], spec).get().nn;
+          if (nn != ans_a[i] && nn != ans_b[i]) ++mismatches;
+        }
+      }
+    });
+  }
+  // Swap roughly mid-flight.
+  server.ReplaceDataset(pts_b);
+  for (auto& th : clients) th.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(server.stats().swaps, 1u);
+
+  // After the dust settles, the server answers for dataset B only.
+  auto final_results =
+      server.QueryBatch(qs, {Engine::QueryType::kMostProbableNn});
+  for (size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_EQ(final_results[i].nn, ans_b[i]);
+  }
+}
+
+}  // namespace
+}  // namespace unn

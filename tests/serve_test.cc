@@ -1,0 +1,214 @@
+#include <atomic>
+#include <future>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "serve/parallel.h"
+#include "serve/query_server.h"
+#include "serve/thread_pool.h"
+#include "workload/generators.h"
+
+namespace unn {
+namespace {
+
+using core::UncertainPoint;
+using geom::Vec2;
+
+std::vector<Vec2> GridQueries(int count) {
+  std::vector<Vec2> qs;
+  for (int i = 0; i < count; ++i) {
+    qs.push_back({-10.0 + 20.0 * i / count, 7.0 - 14.0 * i / count});
+  }
+  return qs;
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, PostRunsEveryTask) {
+  serve::ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::atomic<int> ran{0};
+  std::promise<void> all_done;
+  const int kTasks = 100;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Post([&] {
+      if (ran.fetch_add(1) + 1 == kTasks) all_done.set_value();
+    });
+  }
+  all_done.get_future().wait();
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> ran{0};
+  {
+    serve::ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Post([&] { ran.fetch_add(1); });
+    }
+  }  // Join must run every queued task first.
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  for (int threads : {1, 3, 8}) {
+    serve::ThreadPool pool(threads);
+    for (size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{1000}}) {
+      std::vector<std::atomic<int>> hits(n);
+      pool.ParallelFor(n, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      });
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "i=" << i << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForNestedInsideTaskCompletes) {
+  serve::ThreadPool pool(2);
+  std::atomic<int> sum{0};
+  std::promise<void> done;
+  pool.Post([&] {
+    pool.ParallelFor(64, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) sum.fetch_add(static_cast<int>(i));
+    });
+    done.set_value();
+  });
+  done.get_future().wait();
+  EXPECT_EQ(sum.load(), 64 * 63 / 2);
+}
+
+// ---------------------------------------------------------------------------
+// serve::QueryMany — parallel answers identical to the serial seam, in
+// order, for every query type.
+// ---------------------------------------------------------------------------
+
+TEST(ServeQueryMany, MatchesSerialForEveryTypeAndThreadCount) {
+  auto pts = workload::RandomDiscrete(18, 3, 91);
+  Engine engine(pts, {});
+  auto qs = GridQueries(57);  // Not a multiple of any block count.
+
+  const std::vector<Engine::QuerySpec> specs = {
+      {Engine::QueryType::kMostProbableNn, 0.5, 1},
+      {Engine::QueryType::kExpectedDistanceNn, 0.5, 1},
+      {Engine::QueryType::kThreshold, 0.3, 1},
+      {Engine::QueryType::kTopK, 0.5, 3},
+      {Engine::QueryType::kNonzeroNn, 0.5, 1},
+  };
+  for (const auto& spec : specs) {
+    auto serial = engine.QueryMany(qs, spec);
+    for (int threads : {1, 2, 8}) {
+      serve::ThreadPool pool(threads);
+      auto parallel = serve::QueryMany(engine, qs, spec, &pool);
+      ASSERT_EQ(parallel.size(), serial.size());
+      for (size_t i = 0; i < qs.size(); ++i) {
+        EXPECT_EQ(parallel[i].nn, serial[i].nn);
+        EXPECT_EQ(parallel[i].ranked, serial[i].ranked);
+        EXPECT_EQ(parallel[i].ids, serial[i].ids);
+      }
+    }
+  }
+}
+
+TEST(ServeQueryMany, EmptyBatchAndDegenerateSpecs) {
+  auto pts = workload::RandomDiscrete(10, 2, 92);
+  Engine engine(pts, {});
+  serve::ThreadPool pool(2);
+
+  auto empty = serve::QueryMany(engine, {}, {}, &pool);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(engine.StructuresBuilt(), 0);
+
+  auto qs = GridQueries(5);
+  Engine::QuerySpec topk0{Engine::QueryType::kTopK, 0.5, 0};
+  for (const auto& r : serve::QueryMany(engine, qs, topk0, &pool)) {
+    EXPECT_TRUE(r.ranked.empty());
+  }
+  EXPECT_EQ(engine.StructuresBuilt(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// QueryServer
+// ---------------------------------------------------------------------------
+
+TEST(QueryServer, SubmitMatchesDirectQuery) {
+  auto pts = workload::RandomDiscrete(15, 3, 93);
+  Engine::Config cfg;
+  serve::QueryServer server(pts, cfg, {.num_threads = 4, .warm = {}});
+  Engine oracle(pts, cfg);
+
+  auto qs = GridQueries(20);
+  std::vector<std::future<Engine::QueryResult>> futures;
+  for (Vec2 q : qs) {
+    futures.push_back(server.Submit(q, {Engine::QueryType::kMostProbableNn}));
+  }
+  for (size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_EQ(futures[i].get().nn, oracle.MostProbableNn(qs[i]));
+  }
+  EXPECT_EQ(server.stats().queries, qs.size());
+}
+
+TEST(QueryServer, QueryBatchMatchesSerialEngine) {
+  auto pts = workload::RandomDisks(12, 94);
+  Engine::Config cfg;
+  cfg.backend = Backend::kNonzeroIndex;
+  serve::QueryServer server(pts, cfg, {.num_threads = 3, .warm = {}});
+  Engine oracle(pts, cfg);
+
+  auto qs = GridQueries(33);
+  auto results = server.QueryBatch(qs, {Engine::QueryType::kNonzeroNn});
+  ASSERT_EQ(results.size(), qs.size());
+  for (size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_EQ(results[i].ids, oracle.NonzeroNn(qs[i]));
+  }
+  EXPECT_EQ(server.stats().batches, 1u);
+}
+
+TEST(QueryServer, WarmOptionPrebuildsSnapshot) {
+  auto pts = workload::RandomDiscrete(12, 3, 95);
+  serve::QueryServer server(
+      pts, {},
+      {.num_threads = 2,
+       .warm = {Engine::QueryType::kMostProbableNn,
+                Engine::QueryType::kNonzeroNn}});
+  int built = server.snapshot()->StructuresBuilt();
+  EXPECT_GE(built, 1);
+  // Serving warmed types builds nothing further.
+  auto qs = GridQueries(8);
+  server.QueryBatch(qs, {Engine::QueryType::kMostProbableNn});
+  server.QueryBatch(qs, {Engine::QueryType::kNonzeroNn});
+  EXPECT_EQ(server.snapshot()->StructuresBuilt(), built);
+}
+
+TEST(QueryServer, ReplaceDatasetSwapsSnapshotAndKeepsOldAlive) {
+  auto pts_a = workload::RandomDiscrete(10, 2, 96);
+  auto pts_b = workload::RandomDiscrete(14, 3, 97);
+  serve::QueryServer server(pts_a, {}, {.num_threads = 2, .warm = {}});
+
+  std::shared_ptr<const Engine> old_snapshot = server.snapshot();
+  EXPECT_EQ(old_snapshot->size(), 10);
+
+  server.ReplaceDataset(pts_b);
+  EXPECT_EQ(server.snapshot()->size(), 14);
+  EXPECT_EQ(server.stats().swaps, 1u);
+
+  // The pinned old snapshot still answers against the old dataset.
+  EXPECT_EQ(old_snapshot->size(), 10);
+  Engine oracle_a(pts_a, {});
+  Vec2 q{1, 2};
+  EXPECT_EQ(old_snapshot->MostProbableNn(q), oracle_a.MostProbableNn(q));
+
+  // New queries see the new dataset.
+  Engine oracle_b(pts_b, {});
+  auto r = server.Submit(q, {Engine::QueryType::kMostProbableNn}).get();
+  EXPECT_EQ(r.nn, oracle_b.MostProbableNn(q));
+}
+
+}  // namespace
+}  // namespace unn
