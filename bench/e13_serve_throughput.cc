@@ -1,18 +1,31 @@
-// Experiment E13 — serving-layer throughput: queries/sec of the sharded
-// parallel QueryMany at 1, 2, 4, 8 threads against the serial seam, on a
-// warmed Engine (MostProbableNn over a 10k-point / 10k-query discrete
-// batch; spiral-search backend). Queries are read-only and independent,
-// so the speedup should track the participant count up to the physical
-// core count. Also reports the QueryServer batched path (snapshot load +
-// pool shard) to show the serving front end adds no measurable overhead.
+// Experiment E13 — serving-layer throughput. Part 1: queries/sec of the
+// batch-parallel QueryMany at 1, 2, 4, 8 threads against the serial seam,
+// on a warmed Engine (MostProbableNn over a 10k-point / 10k-query
+// discrete batch; spiral-search backend). Queries are read-only and
+// independent, so the speedup should track the participant count up to
+// the physical core count. Also reports the QueryServer batched path
+// (snapshot load + pool split) to show the serving front end adds no
+// measurable overhead. Part 2: data sharding — per-shard build +
+// warm time and merged-query throughput at 1, 2, 4, 8 shards
+// (ShardedEngine, round-robin); construction cost is reported per shard
+// in the --json output so BENCH_*.json tracks build scaling, not just
+// qps. Merged answers are exact re-quantifications, so they may
+// legitimately differ from the single spiral-search estimator within
+// eps; a sampled check against the exact oracle validates them.
 
+#include <algorithm>
 #include <cstdio>
+#include <memory>
+#include <string>
 #include <thread>
+#include <vector>
 
+#include "baselines/brute_force.h"
 #include "bench_util.h"
 #include "engine/engine.h"
 #include "serve/parallel.h"
 #include "serve/query_server.h"
+#include "serve/sharding.h"
 #include "serve/thread_pool.h"
 #include "workload/generators.h"
 
@@ -95,6 +108,76 @@ int main(int argc, char** argv) {
     json.StartRow();
     json.Metric("server_batch_ms", ms);
     json.Metric("server_qps", qps);
+  }
+
+  // Part 2: data sharding. Shard engines are built (and warmed) one by
+  // one so construction cost is attributable per shard.
+  printf("\nShardedEngine (round-robin, 8 query participants):\n");
+  printf("%8s %14s %14s %14s %10s\n", "shards", "build_ms_max",
+         "build_ms_total", "queries_per_s", "speedup");
+  // The exact reference distribution is shard-independent: compute the
+  // sampled oracle once, outside the shard sweep.
+  const int sample = std::min(num_queries, 200);
+  std::vector<std::vector<double>> exact_sample(sample);
+  for (int i = 0; i < sample; ++i) {
+    exact_sample[i] = baselines::QuantificationProbabilities(pts, queries[i]);
+  }
+  for (int shards : {1, 2, 4, 8}) {
+    auto parts = serve::PartitionPoints(
+        pts, {shards, serve::Partitioning::kRoundRobin});
+    std::vector<std::shared_ptr<const Engine>> engines;
+    std::vector<double> build_ms;
+    for (const auto& ids : parts) {
+      std::vector<core::UncertainPoint> subset;
+      subset.reserve(ids.size());
+      for (int gid : ids) subset.push_back(pts[gid]);
+      bench::Timer tb;
+      auto e = std::make_shared<const Engine>(std::move(subset),
+                                              Engine::Config{});
+      e->Warmup(spec);
+      build_ms.push_back(tb.Ms());
+      engines.push_back(std::move(e));
+    }
+    double build_total = 0.0, build_max = 0.0;
+    for (double ms : build_ms) {
+      build_total += ms;
+      build_max = std::max(build_max, ms);
+    }
+    serve::ShardedEngine sharded(std::move(engines), std::move(parts));
+
+    serve::ThreadPool pool(7);
+    serve::QueryMany(sharded, queries, spec, &pool);  // Placement pass.
+    bench::Timer tq;
+    auto merged = serve::QueryMany(sharded, queries, spec, &pool);
+    double ms = tq.Ms();
+    double qps = num_queries / (ms / 1000.0);
+
+    // Sampled exactness: the merged most-probable NN must be within
+    // 2 eps of optimal under the exact distribution.
+    size_t violations = 0;
+    for (int i = 0; i < sample; ++i) {
+      const auto& exact = exact_sample[i];
+      double best = *std::max_element(exact.begin(), exact.end());
+      if (merged[i].nn < 0 ||
+          exact[merged[i].nn] < best - 2 * Engine::Config{}.eps) {
+        ++violations;
+      }
+    }
+
+    printf("%8d %14.1f %14.1f %14.0f %10.2f%s\n", shards, build_max,
+           build_total, qps, qps / serial_qps,
+           violations ? "  SAMPLED-CHECK-FAILED" : "");
+    json.StartRow();
+    json.Metric("shards", shards);
+    json.Metric("shard_build_ms_total", build_total);
+    json.Metric("shard_build_ms_max", build_max);
+    for (size_t s = 0; s < build_ms.size(); ++s) {
+      json.Metric("shard" + std::to_string(s) + "_build_ms", build_ms[s]);
+    }
+    json.Metric("sharded_batch_ms", ms);
+    json.Metric("sharded_qps", qps);
+    json.Metric("sharded_speedup", qps / serial_qps);
+    json.Metric("sampled_violations", static_cast<double>(violations));
   }
 
   json.Write(args.json_path);

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Check that markdown links resolve (no network access).
+
+For every `[text](target)` in the given files:
+  * `http(s)://...` targets are skipped (checking them needs a network);
+  * `#anchor` targets must match a heading slug in the same file;
+  * relative paths (optionally with `#fragment`, which is not checked in
+    the target file) must exist relative to the containing file.
+
+Exit status is the number of broken links (0 = all good).
+
+Usage: check_markdown_links.py FILE.md [FILE.md ...]
+"""
+
+import pathlib
+import re
+import sys
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+FENCE_RE = re.compile(r"^\s*```")
+
+
+def github_slug(heading):
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces to dashes."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug, flags=re.UNICODE)
+    return slug.replace(" ", "-")
+
+
+def check_file(path):
+    text = path.read_text()
+    slugs = set()
+    in_fence = False
+    for line in text.splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if m:
+            slugs.add(github_slug(m.group(1)))
+
+    errors = []
+    for m in LINK_RE.finditer(text):
+        target = m.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if target[1:].lower() not in slugs:
+                errors.append(f"{path}: broken anchor {target}")
+            continue
+        rel = target.split("#", 1)[0]
+        if not rel:
+            continue
+        if not (path.parent / rel).exists():
+            errors.append(f"{path}: broken link {target}")
+    return errors
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    errors = []
+    for name in sys.argv[1:]:
+        errors.extend(check_file(pathlib.Path(name)))
+    for e in errors:
+        print(e, file=sys.stderr)
+    checked = len(sys.argv) - 1
+    print(f"check_markdown_links: {checked} file(s), {len(errors)} broken")
+    return min(len(errors), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,20 +5,15 @@
 
 #include "baselines/brute_force.h"
 #include "core/exact_pnn.h"
+#include "engine/query_contract.h"
+#include "prob/distance_cdf.h"
 #include "util/check.h"
 
 namespace unn {
 
 namespace {
 
-/// Sorts (id, estimate) pairs by decreasing estimate, ties toward the
-/// smaller id — the presentation order of every ranking query.
-void SortByEstimate(std::vector<std::pair<int, double>>* v) {
-  std::sort(v->begin(), v->end(), [](const auto& a, const auto& b) {
-    if (a.second != b.second) return a.second > b.second;
-    return a.first < b.first;
-  });
-}
+using query_contract::SortByEstimate;
 
 /// The shared shape of every fixed-structure getter: build exactly once
 /// under the flag, count the build (StructuresBuilt observability), return
@@ -267,6 +262,28 @@ int Engine::ExpectedDistanceNn(geom::Vec2 q) const {
 }
 
 // ---------------------------------------------------------------------------
+// Per-point quantification hooks (cross-shard merging)
+// ---------------------------------------------------------------------------
+
+double Engine::ExpectedDistance(int i, geom::Vec2 q) const {
+  UNN_CHECK(i >= 0 && i < size());
+  return GetExpectedNn().ExpectedDistance(i, q, config_.tol);
+}
+
+core::DeltaEnvelope Engine::MaxDistEnvelope(geom::Vec2 q) const {
+  return core::TwoSmallestMaxDist(points_, q);
+}
+
+double Engine::SurvivalProbability(geom::Vec2 q, double r) const {
+  double prod = 1.0;
+  for (const auto& p : points_) {
+    prod *= 1.0 - prob::DistanceCdf(p, q, r);
+    if (prod == 0.0) break;
+  }
+  return prod;
+}
+
+// ---------------------------------------------------------------------------
 // NN!=0
 // ---------------------------------------------------------------------------
 
@@ -325,23 +342,12 @@ void Engine::Warmup(const QuerySpec& spec) const {
 
 std::vector<Engine::QueryResult> Engine::QueryMany(
     std::span<const geom::Vec2> queries, const QuerySpec& spec) const {
-  std::vector<QueryResult> results(queries.size());
-  if (queries.empty()) return results;
-  // Degenerate parameters (see header) get definition-level answers; the
-  // first two never build or consult a backend. `!(tau <= 1)` rather than
-  // `tau > 1` so a NaN tau lands in the empty branch instead of falling
-  // through to Threshold's CHECK.
-  if (spec.type == QueryType::kTopK && spec.k <= 0) return results;
-  if (spec.type == QueryType::kThreshold && !(spec.tau <= 1)) return results;
-  if (spec.type == QueryType::kThreshold && spec.tau <= 0) {
-    // Every pi_i(q) >= 0 >= tau: report all ids with their estimates.
-    for (size_t i = 0; i < queries.size(); ++i) {
-      std::vector<std::pair<int, double>> full(size());
-      for (int id = 0; id < size(); ++id) full[id] = {id, 0.0};
-      for (auto [id, pi] : Probabilities(queries[i])) full[id].second = pi;
-      SortByEstimate(&full);
-      results[i].ranked = std::move(full);
-    }
+  // Degenerate parameters (see header) get definition-level answers from
+  // the shared contract; only the tau <= 0 case consults a backend.
+  std::vector<QueryResult> results;
+  if (query_contract::AnswerDegenerate(
+          queries, spec, size(),
+          [this](geom::Vec2 q) { return Probabilities(q); }, &results)) {
     return results;
   }
   for (size_t i = 0; i < queries.size(); ++i) {

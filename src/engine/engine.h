@@ -47,8 +47,9 @@
 /// queries build each structure exactly once. `Warmup` builds the
 /// structures a query type needs eagerly, which serving layers call before
 /// fanning a batch across workers so no query pays the build; see
-/// `src/serve/` for the thread pool, sharded QueryMany, and QueryServer
-/// built on top of this guarantee.
+/// `src/serve/` for the thread pool, batch-parallel QueryMany, data
+/// sharding (ShardedEngine merges per-shard answers via the hooks below),
+/// and QueryServer built on top of this guarantee.
 
 namespace unn {
 
@@ -118,28 +119,35 @@ class Engine {
   /// kBruteForce on homogeneous inputs; within Config::eps for the
   /// estimator backends. Backends without probability machinery
   /// (kNonzeroVoronoi, kNonzeroIndex, kLinfIndex, kExpectedNn) fall back
-  /// to the exact oracle.
+  /// to the exact oracle. Thread-safe; cost is one quantification query
+  /// of the effective backend (near-linear worst case for the
+  /// estimators, O(N log N) for the oracle).
   int MostProbableNn(geom::Vec2 q) const;
 
   /// argmin_i E[d(q, P_i)]. Served by core::ExpectedNn for every backend
-  /// except kBruteForce, which scans the definition.
+  /// except kBruteForce, which scans the definition. Thread-safe;
+  /// O(log n) expected via branch-and-bound, O(n) for the scan.
   int ExpectedDistanceNn(geom::Vec2 q) const;
 
   /// All i whose true pi_i(q) may reach tau, (id, estimate) sorted by
   /// decreasing estimate: no false negatives (estimator accuracy is
   /// raised to tau/2 when Config::eps is looser). Fallback as in
-  /// MostProbableNn.
+  /// MostProbableNn. Thread-safe; one quantification query plus an
+  /// O(k log k) sort of the k reported pairs.
   std::vector<std::pair<int, double>> Threshold(geom::Vec2 q,
                                                 double tau) const;
 
   /// The k ids with the largest pi_i(q), (id, estimate) sorted by
   /// decreasing estimate; near-ties within 2 eps may permute. Fallback as
-  /// in MostProbableNn.
+  /// in MostProbableNn. Thread-safe; one quantification query plus a
+  /// sort of the positive-probability candidates.
   std::vector<std::pair<int, double>> TopK(geom::Vec2 q, int k) const;
 
   /// NN!=0(q), sorted ids; exact. kLinfIndex answers under the Chebyshev
   /// metric over DerivedSquares(); estimator backends (kSpiralSearch,
   /// kMonteCarlo, kExpectedNn) fall back to the exact oracle.
+  /// Thread-safe; polylogarithmic + output-sensitive for the index
+  /// families, O(n) for the oracle.
   std::vector<int> NonzeroNn(geom::Vec2 q) const;
 
   /// Batched entry point: answers `spec` for every query point;
@@ -151,7 +159,8 @@ class Engine {
   /// exceeds 1),
   /// and `kThreshold` with `tau <= 0` returns every id with its estimate
   /// (every pi reaches a non-positive threshold). `serve::QueryMany`
-  /// shards this loop across a thread pool.
+  /// splits this loop across a thread pool. Thread-safe; cost is one
+  /// single-query dispatch per element.
   std::vector<QueryResult> QueryMany(std::span<const geom::Vec2> queries,
                                      const QuerySpec& spec) const;
 
@@ -174,19 +183,63 @@ class Engine {
 
   /// Quantification estimates (id, hat-pi) with positive estimate, sorted
   /// by id, at accuracy `eps_needed` (<= 0 means Config::eps). Exposed so
-  /// callers can post-process distributions themselves.
+  /// callers can post-process distributions themselves — the sharded
+  /// serving layer treats this as the per-shard candidate generator.
+  /// Thread-safe; cost is one backend quantification query.
   std::vector<std::pair<int, double>> Probabilities(
       geom::Vec2 q, double eps_needed = 0.0) const;
 
+  // --- Per-point quantification hooks for cross-shard merging ----------
+  // A sharded deployment partitions one logical point set across several
+  // Engines and recombines per-shard answers (src/serve/sharding.h). The
+  // three hooks below are the per-point quantities that make that
+  // recombination exact under independent points; they are also useful on
+  // their own. All three are thread-safe const queries.
+
+  /// E[d(q, P_i)] at Config::tol — the per-point quantity the sharded
+  /// layer min-merges: each shard reports its local argmin with this
+  /// value, and the global expected-distance NN is the min over shards.
+  /// Closed form for discrete points, adaptive quadrature for disks.
+  /// Builds the ExpectedNn structure on first use (once, synchronized).
+  double ExpectedDistance(int i, geom::Vec2 q) const;
+
+  /// The two smallest Delta_j(q) = max-distance values over this engine's
+  /// points, plus the argmin (Lemma 2.1's pruning envelope). Per-shard
+  /// envelopes merge into the global envelope by taking the two smallest
+  /// values overall, which is what lets a merger filter the union of
+  /// per-shard NN!=0 answers down to the exact global NN!=0 set. O(n)
+  /// scan; builds nothing.
+  core::DeltaEnvelope MaxDistEnvelope(geom::Vec2 q) const;
+
+  /// Pr[every point of this engine is farther than r from q]
+  ///   = prod_i (1 - G_{q,i}(r)),
+  /// the shard survival probability of the paper-II factorization: for
+  /// independent points the survival of a union of shards is the product
+  /// of the per-shard survivals, which is why candidate-union
+  /// re-quantification recombines probabilistic answers without error.
+  /// The in-process merge computes these products implicitly (it
+  /// re-accumulates/re-integrates over the candidate union); this hook
+  /// is the explicit form — used by the factorization tests and the
+  /// surface an out-of-process merger would consume. O(n) per call (one
+  /// distance cdf per point, early-out at zero); builds nothing.
+  double SurvivalProbability(geom::Vec2 q, double r) const;
+
   /// The axis-aligned squares the kLinfIndex backend indexes: an L_inf
   /// ball per point (disk -> same center/radius; discrete -> bounding-box
-  /// center with half the larger side).
+  /// center with half the larger side). Thread-safe; built once (O(N))
+  /// under a once_flag, O(1) afterwards.
   const std::vector<core::SquareRegion>& DerivedSquares() const;
 
+  /// The owned point set, in id order. Immutable after construction, so
+  /// reading it is thread-safe and O(1).
   const std::vector<core::UncertainPoint>& points() const { return points_; }
+  /// The construction-time configuration. Immutable; O(1).
   const Config& config() const { return config_; }
+  /// Number of uncertain points. O(1).
   int size() const { return static_cast<int>(points_.size()); }
+  /// True when every point is a discrete distribution. O(1).
   bool all_discrete() const { return all_discrete_; }
+  /// True when every point is a disk (continuous) model. O(1).
   bool all_disk() const { return all_disk_; }
 
  private:

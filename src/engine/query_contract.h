@@ -1,0 +1,69 @@
+#ifndef UNN_ENGINE_QUERY_CONTRACT_H_
+#define UNN_ENGINE_QUERY_CONTRACT_H_
+
+#include <algorithm>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "engine/engine.h"
+#include "geom/vec2.h"
+
+/// \file query_contract.h
+/// The batched-query contract shared by every QueryMany implementation
+/// (Engine, ShardedEngine): one definition of the presentation order for
+/// ranking queries and one definition of the degenerate-parameter
+/// answers, so the sharded and unsharded paths cannot drift. See
+/// docs/QUERY_SEMANTICS.md for the contract in prose.
+
+namespace unn {
+namespace query_contract {
+
+/// Presentation order of every ranking query: by decreasing estimate,
+/// ties toward the smaller id.
+inline void SortByEstimate(std::vector<std::pair<int, double>>* v) {
+  std::sort(v->begin(), v->end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+}
+
+/// Answers the degenerate-parameter cases of QueryMany definition-level:
+/// empty span, `kTopK` with `k <= 0`, `kThreshold` with `tau > 1` or NaN
+/// (all answered with default results, touching no backend), and
+/// `kThreshold` with `tau <= 0` (every id of the `n`-point dataset with
+/// its estimate — `probabilities(q)` supplies the positive (id,
+/// estimate) pairs). Returns true when the whole batch was answered into
+/// `results`; false when the spec is non-degenerate and `results` holds
+/// default-initialized slots for the caller to fill.
+template <class ProbFn>
+bool AnswerDegenerate(std::span<const geom::Vec2> queries,
+                      const Engine::QuerySpec& spec, int n,
+                      const ProbFn& probabilities,
+                      std::vector<Engine::QueryResult>* results) {
+  results->assign(queries.size(), Engine::QueryResult{});
+  if (queries.empty()) return true;
+  if (spec.type == Engine::QueryType::kTopK && spec.k <= 0) return true;
+  // `!(tau <= 1)` rather than `tau > 1` so a NaN tau lands in the empty
+  // branch instead of falling through to Threshold's CHECK.
+  if (spec.type == Engine::QueryType::kThreshold && !(spec.tau <= 1)) {
+    return true;
+  }
+  if (spec.type == Engine::QueryType::kThreshold && spec.tau <= 0) {
+    // Every pi_i(q) >= 0 >= tau: report all ids with their estimates.
+    for (size_t i = 0; i < queries.size(); ++i) {
+      std::vector<std::pair<int, double>> full(n);
+      for (int id = 0; id < n; ++id) full[id] = {id, 0.0};
+      for (auto [id, pi] : probabilities(queries[i])) full[id].second = pi;
+      SortByEstimate(&full);
+      (*results)[i].ranked = std::move(full);
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace query_contract
+}  // namespace unn
+
+#endif  // UNN_ENGINE_QUERY_CONTRACT_H_

@@ -24,5 +24,25 @@ std::vector<Engine::QueryResult> QueryMany(const Engine& engine,
   return results;
 }
 
+std::vector<Engine::QueryResult> QueryMany(const ShardedEngine& engine,
+                                           std::span<const geom::Vec2> queries,
+                                           const Engine::QuerySpec& spec,
+                                           ThreadPool* pool) {
+  UNN_CHECK(pool != nullptr);
+  std::vector<Engine::QueryResult> results(queries.size());
+  if (queries.empty()) return results;
+  engine.Warmup(spec, pool);
+  pool->ParallelFor(queries.size(), [&](size_t begin, size_t end) {
+    // Queries are the parallel axis; shards are visited serially inside
+    // each block (no nested fan-out).
+    auto block = engine.QueryMany(queries.subspan(begin, end - begin), spec,
+                                  /*pool=*/nullptr);
+    for (size_t i = 0; i < block.size(); ++i) {
+      results[begin + i] = std::move(block[i]);
+    }
+  });
+  return results;
+}
+
 }  // namespace serve
 }  // namespace unn

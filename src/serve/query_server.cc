@@ -7,28 +7,60 @@
 namespace unn {
 namespace serve {
 
-QueryServer::QueryServer(std::shared_ptr<const Engine> engine,
+namespace {
+
+/// The sharding a caller-installed shard set implies for future
+/// replacements: its own shape, with the assembled-set marker mapped to
+/// a strategy PartitionPoints accepts.
+ShardingOptions ImpliedSharding(const ShardedEngine& engine) {
+  ShardingOptions s = engine.options();
+  if (s.partitioning == Partitioning::kExternal) {
+    s.partitioning = Partitioning::kRoundRobin;
+  }
+  return s;
+}
+
+}  // namespace
+
+QueryServer::QueryServer(std::shared_ptr<const ShardedEngine> engine,
                          const Options& options)
-    : options_(options), pool_(options.num_threads) {
+    : options_(options),
+      sharding_(options.sharding),
+      pool_(options.num_threads) {
   UNN_CHECK(engine != nullptr);
+  // An explicitly sharded Options wins; otherwise future ReplaceDataset
+  // calls keep the shape of the engine the server was given (a server
+  // seeded with 4 shards must not silently rebuild monolithic).
+  if (sharding_.num_shards <= 1) sharding_ = ImpliedSharding(*engine);
   WarmSnapshot(*engine);
   engine_.store(std::move(engine), std::memory_order_release);
 }
+
+QueryServer::QueryServer(std::shared_ptr<const Engine> engine,
+                         const Options& options)
+    : QueryServer(std::make_shared<const ShardedEngine>(std::move(engine)),
+                  options) {}
 
 QueryServer::QueryServer(std::shared_ptr<const Engine> engine)
     : QueryServer(std::move(engine), Options{}) {}
 
 QueryServer::QueryServer(std::vector<core::UncertainPoint> points,
                          const Engine::Config& config, const Options& options)
-    : QueryServer(std::make_shared<const Engine>(std::move(points), config),
-                  options) {}
+    : options_(options),
+      sharding_(options.sharding),
+      pool_(options.num_threads) {
+  auto engine = std::make_shared<const ShardedEngine>(
+      std::move(points), config, sharding_, &pool_);
+  WarmSnapshot(*engine);
+  engine_.store(std::move(engine), std::memory_order_release);
+}
 
 QueryServer::QueryServer(std::vector<core::UncertainPoint> points,
                          const Engine::Config& config)
     : QueryServer(std::move(points), config, Options{}) {}
 
-void QueryServer::WarmSnapshot(const Engine& engine) const {
-  for (Engine::QueryType type : options_.warm) engine.Warmup(type);
+void QueryServer::WarmSnapshot(const ShardedEngine& engine) {
+  for (Engine::QueryType type : options_.warm) engine.Warmup(type, &pool_);
 }
 
 std::future<Engine::QueryResult> QueryServer::Submit(
@@ -36,22 +68,27 @@ std::future<Engine::QueryResult> QueryServer::Submit(
   // Pin the snapshot at submission: the request is answered against the
   // dataset that was current when the server accepted it, even if a swap
   // lands before a worker picks it up.
-  std::shared_ptr<const Engine> snap = snapshot();
+  std::shared_ptr<const ShardedEngine> snap = sharded_snapshot();
   auto promise = std::make_shared<std::promise<Engine::QueryResult>>();
   std::future<Engine::QueryResult> result = promise->get_future();
-  pool_.Post([snap = std::move(snap), promise = std::move(promise), q, spec] {
-    // Route through QueryMany so degenerate spec parameters follow the
-    // documented definitions instead of tripping single-query CHECKs.
-    std::span<const geom::Vec2> one(&q, 1);
-    promise->set_value(std::move(snap->QueryMany(one, spec)[0]));
-  });
+  // The worker fans a multi-shard query back out across the pool (nested
+  // ParallelFor; on a stopping pool it degrades to the worker alone).
+  ThreadPool* fan = snap->num_shards() > 1 ? &pool_ : nullptr;
+  pool_.Post(
+      [snap = std::move(snap), promise = std::move(promise), q, spec, fan] {
+        // Route through QueryMany so degenerate spec parameters follow
+        // the documented definitions instead of tripping single-query
+        // CHECKs.
+        std::span<const geom::Vec2> one(&q, 1);
+        promise->set_value(std::move(snap->QueryMany(one, spec, fan)[0]));
+      });
   queries_.fetch_add(1, std::memory_order_relaxed);
   return result;
 }
 
 std::vector<Engine::QueryResult> QueryServer::QueryBatch(
     std::span<const geom::Vec2> queries, const Engine::QuerySpec& spec) {
-  std::shared_ptr<const Engine> snap = snapshot();
+  std::shared_ptr<const ShardedEngine> snap = sharded_snapshot();
   auto results = QueryMany(*snap, queries, spec, &pool_);
   batches_.fetch_add(1, std::memory_order_relaxed);
   queries_.fetch_add(queries.size(), std::memory_order_relaxed);
@@ -59,12 +96,44 @@ std::vector<Engine::QueryResult> QueryServer::QueryBatch(
 }
 
 void QueryServer::ReplaceDataset(std::vector<core::UncertainPoint> points) {
-  const Engine::Config config = snapshot()->config();
-  ReplaceEngine(std::make_shared<const Engine>(std::move(points), config));
+  ReplaceImpl(std::move(points), nullptr);
+}
+
+void QueryServer::ReplaceDataset(std::vector<core::UncertainPoint> points,
+                                 const ShardingOptions& sharding) {
+  ReplaceImpl(std::move(points), &sharding);
+}
+
+void QueryServer::ReplaceImpl(std::vector<core::UncertainPoint> points,
+                              const ShardingOptions* sharding) {
+  std::lock_guard<std::mutex> lock(replace_mu_);
+  // Read the config under the lock: a racing ReplaceShardedEngine may
+  // have just installed a snapshot with different accuracy settings, and
+  // "same config as the current snapshot" must mean the latest one.
+  const Engine::Config config = sharded_snapshot()->config();
+  if (sharding != nullptr) sharding_ = *sharding;
+  InstallLocked(std::make_shared<const ShardedEngine>(std::move(points),
+                                                      config, sharding_,
+                                                      &pool_));
 }
 
 void QueryServer::ReplaceEngine(std::shared_ptr<const Engine> engine) {
   UNN_CHECK(engine != nullptr);
+  ReplaceShardedEngine(
+      std::make_shared<const ShardedEngine>(std::move(engine)));
+}
+
+void QueryServer::ReplaceShardedEngine(
+    std::shared_ptr<const ShardedEngine> engine) {
+  UNN_CHECK(engine != nullptr);
+  std::lock_guard<std::mutex> lock(replace_mu_);
+  // A caller-installed shard set is an explicit statement of shape:
+  // later ReplaceDataset calls keep it.
+  sharding_ = ImpliedSharding(*engine);
+  InstallLocked(std::move(engine));
+}
+
+void QueryServer::InstallLocked(std::shared_ptr<const ShardedEngine> engine) {
   // Build and warm entirely off to the side; the swap itself is one
   // atomic store. In-flight queries hold the old snapshot's shared_ptr,
   // so it dies only when the last of them finishes.

@@ -5,26 +5,33 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
 #include "engine/engine.h"
 #include "serve/parallel.h"
+#include "serve/sharding.h"
 #include "serve/thread_pool.h"
 
 /// \file query_server.h
 /// The serving front end: a QueryServer owns a worker pool and the current
-/// dataset as an immutable snapshot — a `std::shared_ptr<const Engine>`
-/// behind an atomic pointer. Readers load the pointer and query the
-/// snapshot with no further coordination (the Engine is thread-safe for
-/// const queries); `ReplaceDataset` builds a fresh Engine off to the side
-/// and swaps the pointer in one atomic store. In-flight queries keep the
-/// old snapshot alive through their shared_ptr and finish on the dataset
-/// they started on; the old Engine is destroyed when its last query
-/// releases it. There is no reader-writer mutex, no copy-on-read, and no
-/// pause on swap — a read is a single atomic shared_ptr load (which the
-/// standard library may implement with an internal spinlock; it is not
-/// guaranteed lock-free in the std::atomic sense).
+/// dataset as an immutable snapshot — a `std::shared_ptr<const
+/// ShardedEngine>` behind an atomic pointer (a single-Engine deployment is
+/// the one-shard case, with zero merge overhead). Readers load the pointer
+/// and query the snapshot with no further coordination (shards are
+/// thread-safe Engines and the merge layer is stateless); `ReplaceDataset`
+/// partitions and builds a fresh shard set off to the side — on the pool,
+/// in parallel — and swaps the pointer in one atomic store. In-flight
+/// queries keep the old snapshot alive through their shared_ptr and finish
+/// on the shard set they started on; the old engines are destroyed when
+/// the last such query releases them. There is no reader-writer mutex, no
+/// copy-on-read, and no pause on swap — a read is a single atomic
+/// shared_ptr load (which the standard library may implement with an
+/// internal spinlock; it is not guaranteed lock-free in the std::atomic
+/// sense). Replacements may change the shard count and partitioner
+/// mid-flight; concurrent replacements serialize on a small mutex that
+/// readers never touch.
 
 namespace unn {
 namespace serve {
@@ -39,45 +46,85 @@ class QueryServer {
     /// anyway; listing the types Submit traffic uses keeps single-query
     /// latency flat.
     std::vector<Engine::QueryType> warm;
+    /// Data partitioning for snapshots the server builds itself
+    /// (dataset constructors and ReplaceDataset). num_shards <= 1 serves
+    /// one Engine; > 1 partitions the dataset across that many Engines,
+    /// built in parallel on the pool, merged per query
+    /// (docs/QUERY_SEMANTICS.md).
+    ShardingOptions sharding;
   };
 
-  /// Serves an already-built engine (shared: other servers or offline
-  /// readers may hold it too).
+  /// Serves an already-built engine as a single shard (shared: other
+  /// servers or offline readers may hold it too).
   QueryServer(std::shared_ptr<const Engine> engine, const Options& options);
   explicit QueryServer(std::shared_ptr<const Engine> engine);
-  /// Builds the engine from a dataset + config.
+  /// Serves a caller-assembled shard set.
+  QueryServer(std::shared_ptr<const ShardedEngine> engine,
+              const Options& options);
+  /// Builds the shard set from a dataset + config per Options::sharding.
   QueryServer(std::vector<core::UncertainPoint> points,
               const Engine::Config& config, const Options& options);
   QueryServer(std::vector<core::UncertainPoint> points,
               const Engine::Config& config);
 
-  /// The snapshot currently serving. Callers may hold it as long as they
-  /// like; it stays valid (and immutable) across any number of
-  /// ReplaceDataset calls.
+  /// The single-Engine view of the current snapshot: the engine itself
+  /// when the snapshot has one shard, nullptr when it is partitioned
+  /// (use sharded_snapshot() then). Callers may hold the result as long
+  /// as they like; it stays valid (and immutable) across any number of
+  /// ReplaceDataset calls. O(1), thread-safe.
   std::shared_ptr<const Engine> snapshot() const {
+    std::shared_ptr<const ShardedEngine> s =
+        engine_.load(std::memory_order_acquire);
+    return s->num_shards() == 1 ? s->shard_ptr(0) : nullptr;
+  }
+
+  /// The shard set currently serving (always non-null; one shard in the
+  /// unsharded case). Same lifetime guarantees as snapshot(). O(1),
+  /// thread-safe.
+  std::shared_ptr<const ShardedEngine> sharded_snapshot() const {
     return engine_.load(std::memory_order_acquire);
   }
 
   /// Async single query against the snapshot current at submission time.
+  /// A sharded snapshot fans the query out to all shards across the pool.
   /// Degenerate spec parameters follow Engine::QueryMany's definitions.
+  /// Thread-safe.
   std::future<Engine::QueryResult> Submit(geom::Vec2 q,
                                           const Engine::QuerySpec& spec);
 
-  /// Blocking batched API: shards across the pool (plus the calling
-  /// thread) and returns when every answer is in; results[i] answers
-  /// queries[i]. The whole batch runs on one snapshot.
+  /// Blocking batched API: splits the queries across the pool (plus the
+  /// calling thread) and returns when every answer is in; results[i]
+  /// answers queries[i]. The whole batch runs on one snapshot.
+  /// Thread-safe.
   std::vector<Engine::QueryResult> QueryBatch(
       std::span<const geom::Vec2> queries, const Engine::QuerySpec& spec);
 
-  /// Atomically replaces the dataset: builds a new Engine (same config as
-  /// the current snapshot), warms Options::warm, then swaps. Queries
-  /// submitted before the swap finish on the old snapshot; queries
-  /// submitted after see the new one. Safe to call concurrently with
-  /// queries and with other replacements.
+  /// Atomically replaces the dataset: partitions per the server's current
+  /// replacement sharding — the most recent of Options::sharding, the
+  /// resharding ReplaceDataset overload, or the shape of a
+  /// caller-installed shard set — builds the new shard set on the pool
+  /// (same Engine config as the current snapshot), warms Options::warm,
+  /// then swaps. Queries submitted before the swap finish on the old
+  /// snapshot; queries submitted after see the new one. Safe to call
+  /// concurrently with queries and with other replacements
+  /// (replacements serialize).
   void ReplaceDataset(std::vector<core::UncertainPoint> points);
-  /// Same swap for a caller-built engine.
+  /// Same, additionally changing the sharding (shard count and/or
+  /// partitioner) for this and future replacements — resharding
+  /// mid-flight is just another snapshot swap.
+  void ReplaceDataset(std::vector<core::UncertainPoint> points,
+                      const ShardingOptions& sharding);
+  /// Same swap for a caller-built engine, served as a single shard
+  /// (future ReplaceDataset calls then build unsharded, like
+  /// ReplaceShardedEngine with one shard).
   void ReplaceEngine(std::shared_ptr<const Engine> engine);
+  /// Same swap for a caller-assembled shard set; its shape (shard
+  /// count, round-robin for assembled sets) becomes the replacement
+  /// sharding for future ReplaceDataset calls.
+  void ReplaceShardedEngine(std::shared_ptr<const ShardedEngine> engine);
 
+  /// The worker pool (shared with callers that want to fan out their own
+  /// work). Thread-safe.
   ThreadPool& pool() { return pool_; }
 
   struct Stats {
@@ -85,13 +132,27 @@ class QueryServer {
     uint64_t batches = 0;  ///< QueryBatch calls.
     uint64_t swaps = 0;    ///< Dataset replacements.
   };
+  /// Relaxed counters — monotone, but a concurrent reader may observe a
+  /// swap before the queries that preceded it. O(1), thread-safe.
   Stats stats() const;
 
  private:
-  void WarmSnapshot(const Engine& engine) const;
+  void WarmSnapshot(const ShardedEngine& engine);
+  /// Shared replacement path: optional resharding, build on the pool,
+  /// then InstallLocked. Takes replace_mu_.
+  void ReplaceImpl(std::vector<core::UncertainPoint> points,
+                   const ShardingOptions* sharding);
+  /// Warm + atomic swap + swap count; replace_mu_ must be held.
+  void InstallLocked(std::shared_ptr<const ShardedEngine> engine);
 
   Options options_;
-  std::atomic<std::shared_ptr<const Engine>> engine_;
+  std::atomic<std::shared_ptr<const ShardedEngine>> engine_;
+  /// Serializes replacements and guards sharding_ (readers never take it).
+  std::mutex replace_mu_;
+  /// Replacement sharding for self-built snapshots: the most recent of
+  /// Options::sharding, the resharding ReplaceDataset overload, or the
+  /// shape of a caller-installed shard set. Updated under replace_mu_.
+  ShardingOptions sharding_;
   ThreadPool pool_;
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> batches_{0};

@@ -1,0 +1,158 @@
+#include "serve/shard_merge.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/exact_pnn.h"
+#include "core/monte_carlo_pnn.h"
+#include "util/check.h"
+
+namespace unn {
+namespace serve {
+
+namespace {
+
+/// Inserts one (value, global id) max-distance sample into a running
+/// two-smallest envelope.
+void InsertDelta(core::DeltaEnvelope* env, double d, int global_id) {
+  if (d < env->best) {
+    env->second = env->best;
+    env->best = d;
+    env->argbest = global_id;
+  } else {
+    env->second = std::min(env->second, d);
+  }
+}
+
+}  // namespace
+
+core::DeltaEnvelope MergeEnvelopes(std::span<const core::DeltaEnvelope> local,
+                                   std::span<const ShardView> shards) {
+  UNN_CHECK(local.size() == shards.size());
+  core::DeltaEnvelope out;
+  out.best = std::numeric_limits<double>::infinity();
+  out.second = std::numeric_limits<double>::infinity();
+  for (size_t s = 0; s < local.size(); ++s) {
+    if (local[s].argbest < 0) continue;  // Shard with no envelope sample.
+    InsertDelta(&out, local[s].best, (*shards[s].global_ids)[local[s].argbest]);
+    // The local runner-up has no id; it can only tighten `second`.
+    if (std::isfinite(local[s].second)) InsertDelta(&out, local[s].second, -1);
+  }
+  return out;
+}
+
+std::vector<int> MergeNonzero(std::span<const ShardView> shards,
+                              std::span<const std::vector<int>> local_nonzero,
+                              std::span<const core::DeltaEnvelope> local_env,
+                              geom::Vec2 q) {
+  UNN_CHECK(local_nonzero.size() == shards.size());
+  core::DeltaEnvelope env = MergeEnvelopes(local_env, shards);
+  std::vector<int> out;
+  for (size_t s = 0; s < shards.size(); ++s) {
+    const auto& pts = shards[s].engine->points();
+    for (int lid : local_nonzero[s]) {
+      int gid = (*shards[s].global_ids)[lid];
+      double threshold = env.ThresholdFor(gid);
+      if (!std::isfinite(threshold) || pts[lid].MinDist(q) < threshold) {
+        out.push_back(gid);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int MergeExpected(std::span<const ExpectedCandidate> winners) {
+  int best = -1;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (const ExpectedCandidate& w : winners) {
+    if (w.global_id < 0) continue;
+    if (w.expected_dist < best_d ||
+        (w.expected_dist == best_d && w.global_id < best)) {
+      best_d = w.expected_dist;
+      best = w.global_id;
+    }
+  }
+  return best;
+}
+
+MergedProbabilities MergeProbabilities(
+    std::span<const ShardView> shards,
+    std::span<const std::vector<std::pair<int, double>>> local_probs,
+    std::span<const core::DeltaEnvelope> local_env, geom::Vec2 q,
+    const Engine::Config& config, double eps) {
+  UNN_CHECK(local_probs.size() == shards.size());
+  UNN_CHECK(local_env.size() == shards.size());
+
+  // Candidate union: every shard's positive-probability candidates plus
+  // its envelope argmin (the latter pins the union's Delta envelope to the
+  // global one, so points outside the union provably cannot contribute —
+  // their survival factor is exactly 1 below the global envelope).
+  struct Cand {
+    int gid;
+    const core::UncertainPoint* pt;
+  };
+  std::vector<Cand> cands;
+  for (size_t s = 0; s < shards.size(); ++s) {
+    const auto& pts = shards[s].engine->points();
+    const auto& gids = *shards[s].global_ids;
+    for (const auto& [lid, pi] : local_probs[s]) {
+      cands.push_back({gids[lid], &pts[lid]});
+    }
+    if (local_env[s].argbest >= 0) {
+      cands.push_back({gids[local_env[s].argbest], &pts[local_env[s].argbest]});
+    }
+  }
+  std::sort(cands.begin(), cands.end(),
+            [](const Cand& a, const Cand& b) { return a.gid < b.gid; });
+  cands.erase(std::unique(cands.begin(), cands.end(),
+                          [](const Cand& a, const Cand& b) {
+                            return a.gid == b.gid;
+                          }),
+              cands.end());
+
+  MergedProbabilities out;
+  if (cands.empty()) return out;
+
+  bool all_discrete = true;
+  bool all_disk = true;
+  std::vector<core::UncertainPoint> union_pts;
+  union_pts.reserve(cands.size());
+  for (const Cand& c : cands) {
+    all_discrete = all_discrete && !c.pt->is_disk();
+    all_disk = all_disk && c.pt->is_disk();
+    union_pts.push_back(*c.pt);
+  }
+
+  // Re-quantification over the union. The homogeneous paths are the exact
+  // per-shard survival-product recombination (the accumulation/integration
+  // below IS the product over every union point's survival function); the
+  // mixed fallback estimates within eps via Monte Carlo.
+  std::vector<std::pair<int, double>> local;  // (union index, pi)
+  if (all_discrete) {
+    local = core::DiscreteQuantification(union_pts, q);
+  } else if (all_disk) {
+    local = core::IntegrateAllQuantifications(union_pts, q, config.tol);
+  } else {
+    out.requantified_exactly = false;
+    core::MonteCarloPnnOptions opts;
+    opts.eps = eps;
+    opts.delta = config.delta;
+    opts.seed = config.seed;
+    opts.s_override = config.mc_samples_override;
+    core::MonteCarloPnn mc(union_pts, opts);
+    local = mc.Query(q);
+  }
+
+  out.probs.reserve(local.size());
+  for (const auto& [uid, pi] : local) {
+    out.probs.push_back({cands[uid].gid, pi});
+  }
+  // `local` is sorted by union index and union indices are sorted by
+  // global id, so out.probs is already sorted by global id.
+  return out;
+}
+
+}  // namespace serve
+}  // namespace unn

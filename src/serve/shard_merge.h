@@ -1,0 +1,120 @@
+#ifndef UNN_SERVE_SHARD_MERGE_H_
+#define UNN_SERVE_SHARD_MERGE_H_
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/uncertain_point.h"
+#include "engine/engine.h"
+#include "geom/vec2.h"
+
+/// \file shard_merge.h
+/// Pure answer-recombination primitives for sharded serving: given
+/// per-shard answers from K independent Engines that together own one
+/// logical point set, produce the global answer with per-query-type
+/// semantics (docs/QUERY_SEMANTICS.md has the full contract):
+///
+///   * expected-distance NN    — min-merge of per-shard (argmin, value);
+///   * NN!=0                   — union of per-shard candidate sets,
+///                               filtered by the merged Delta envelope
+///                               (exact);
+///   * probability queries     — candidate union + re-quantification:
+///                               under independent points the survival
+///                               function of the whole set factors into
+///                               per-shard survival products, so
+///                               re-quantifying over the union of
+///                               per-shard candidates reproduces the
+///                               exact global probabilities whenever the
+///                               shard backends report complete
+///                               candidate sets (estimator backends may
+///                               omit points of probability < eps — the
+///                               documented candidate-merge
+///                               approximation).
+///
+/// Every function here is stateless and reads only const Engine state, so
+/// all of them are thread-safe and may run concurrently with each other
+/// and with shard queries. None of them builds Engine structures beyond
+/// what the per-shard calls already built.
+
+namespace unn {
+namespace serve {
+
+/// One shard as the merge layer sees it: a (thread-safe) Engine over a
+/// subset of the dataset plus that subset's global ids — global_ids[j] is
+/// the dataset id of the shard's local point j. Both pointees must
+/// outlive the view.
+struct ShardView {
+  const Engine* engine = nullptr;
+  const std::vector<int>* global_ids = nullptr;
+};
+
+/// Merges per-shard Delta envelopes (Engine::MaxDistEnvelope) into the
+/// global envelope: the two smallest max-distances over the whole dataset
+/// are among the per-shard two smallest. The returned argbest is a GLOBAL
+/// id (unlike Engine::MaxDistEnvelope, whose argbest is shard-local).
+/// O(K); thread-safe.
+core::DeltaEnvelope MergeEnvelopes(std::span<const core::DeltaEnvelope> local,
+                                   std::span<const ShardView> shards);
+
+/// Exact NN!=0 merge: per-shard candidate sets are supersets of their
+/// slice of the global answer (a shard's envelope is at least the global
+/// one), so filtering the union by the merged envelope's per-id threshold
+/// recovers exactly the single-Engine answer. Returns sorted global ids.
+/// O(sum of candidate sizes + K); thread-safe.
+std::vector<int> MergeNonzero(std::span<const ShardView> shards,
+                              std::span<const std::vector<int>> local_nonzero,
+                              std::span<const core::DeltaEnvelope> local_env,
+                              geom::Vec2 q);
+
+/// One shard's expected-distance winner: its local argmin as a global id
+/// plus E[d(q, P_i)] for that point (Engine::ExpectedDistance).
+struct ExpectedCandidate {
+  int global_id = -1;
+  double expected_dist = 0.0;
+};
+
+/// Min-merge for the expected-distance NN: the global argmin is the shard
+/// winner with the smallest expected distance (ties toward the smaller
+/// global id). Exact up to the quadrature tolerance of the per-shard
+/// values. O(K); thread-safe.
+int MergeExpected(std::span<const ExpectedCandidate> winners);
+
+/// Result of a cross-shard re-quantification: global quantification
+/// probabilities plus whether the re-quantification step itself was exact
+/// (survival-product integration / accumulation over a model-homogeneous
+/// candidate union) or the documented Monte-Carlo fallback for mixed
+/// unions. Candidate completeness is a separate dimension: with exact
+/// shard backends the union provably contains every point of positive
+/// global probability, so `requantified_exactly` then means the merged
+/// answer equals the single-Engine exact answer.
+struct MergedProbabilities {
+  /// (global id, pi) sorted by increasing id.
+  std::vector<std::pair<int, double>> probs;
+  /// True when the re-quantifier was exact (all-discrete or all-disk
+  /// candidate union); false for the Monte-Carlo mixed-model fallback,
+  /// whose estimates carry the usual eps guarantee.
+  bool requantified_exactly = true;
+};
+
+/// Candidate-union + re-quantification. `local_probs[s]` are shard s's
+/// (local id, estimate) candidates (Engine::Probabilities); `local_env[s]`
+/// its Delta envelope — each shard's envelope argmin joins the union so
+/// the union's own envelope equals the global one, which makes the
+/// re-quantification self-truncating (omitted points have min-distance at
+/// least the global envelope, i.e. survival exactly 1 over every
+/// integration range). `eps` is the accuracy for the mixed-model
+/// Monte-Carlo fallback. Cost: O(U log U) accumulation for discrete
+/// unions of total site count U, adaptive quadrature per candidate for
+/// disk unions, one Monte-Carlo build + query for mixed unions.
+/// Thread-safe.
+MergedProbabilities MergeProbabilities(
+    std::span<const ShardView> shards,
+    std::span<const std::vector<std::pair<int, double>>> local_probs,
+    std::span<const core::DeltaEnvelope> local_env, geom::Vec2 q,
+    const Engine::Config& config, double eps);
+
+}  // namespace serve
+}  // namespace unn
+
+#endif  // UNN_SERVE_SHARD_MERGE_H_

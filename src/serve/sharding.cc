@@ -1,0 +1,340 @@
+#include "serve/sharding.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "engine/query_contract.h"
+#include "util/check.h"
+
+namespace unn {
+namespace serve {
+
+namespace {
+
+using query_contract::SortByEstimate;
+
+/// Recursive kd-style splitter: hands `ids` out to `target` shards in
+/// proportion, splitting by the median region center along the wider
+/// axis. Appends each finished shard's id list to `out`.
+void SpatialSplit(const std::vector<core::UncertainPoint>& points,
+                  std::vector<int>* ids, size_t begin, size_t end, int target,
+                  std::vector<std::vector<int>>* out) {
+  if (target <= 1 || end - begin <= 1) {
+    out->emplace_back(ids->begin() + begin, ids->begin() + end);
+    return;
+  }
+  geom::Box box;
+  for (size_t i = begin; i < end; ++i) {
+    box.Expand(points[(*ids)[i]].Bounds().Center());
+  }
+  bool split_x = box.Width() >= box.Height();
+  int left_target = target / 2;
+  size_t mid = begin + (end - begin) * static_cast<size_t>(left_target) /
+                           static_cast<size_t>(target);
+  std::nth_element(ids->begin() + begin, ids->begin() + mid,
+                   ids->begin() + end, [&](int a, int b) {
+                     geom::Vec2 ca = points[a].Bounds().Center();
+                     geom::Vec2 cb = points[b].Bounds().Center();
+                     return split_x ? ca.x < cb.x : ca.y < cb.y;
+                   });
+  SpatialSplit(points, ids, begin, mid, left_target, out);
+  SpatialSplit(points, ids, mid, end, target - left_target, out);
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> PartitionPoints(
+    const std::vector<core::UncertainPoint>& points,
+    const ShardingOptions& options) {
+  UNN_CHECK_MSG(options.partitioning != Partitioning::kExternal,
+                "kExternal marks assembled shard sets; pick a strategy");
+  int n = static_cast<int>(points.size());
+  int k = std::clamp(options.num_shards, 1, std::max(n, 1));
+  std::vector<std::vector<int>> out;
+  if (options.partitioning == Partitioning::kRoundRobin) {
+    out.resize(k);
+    for (int i = 0; i < n; ++i) out[i % k].push_back(i);
+  } else {
+    std::vector<int> ids(n);
+    std::iota(ids.begin(), ids.end(), 0);
+    SpatialSplit(points, &ids, 0, ids.size(), k, &out);
+  }
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [](const std::vector<int>& s) { return s.empty(); }),
+            out.end());
+  for (auto& shard : out) std::sort(shard.begin(), shard.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+ShardedEngine::ShardedEngine(std::vector<core::UncertainPoint> points,
+                             const Engine::Config& config,
+                             const ShardingOptions& options,
+                             ThreadPool* build_pool)
+    : config_(config),
+      options_(options),
+      size_(static_cast<int>(points.size())) {
+  UNN_CHECK(!points.empty());
+  global_ids_ = PartitionPoints(points, options);
+  engines_.resize(global_ids_.size());
+  ForEachShard(build_pool, [&](int s) {
+    std::vector<core::UncertainPoint> subset;
+    subset.reserve(global_ids_[s].size());
+    for (int gid : global_ids_[s]) subset.push_back(points[gid]);
+    engines_[s] = std::make_shared<const Engine>(std::move(subset), config_);
+  });
+  views_.reserve(engines_.size());
+  for (size_t s = 0; s < engines_.size(); ++s) {
+    views_.push_back({engines_[s].get(), &global_ids_[s]});
+  }
+}
+
+ShardedEngine::ShardedEngine(
+    std::vector<std::shared_ptr<const Engine>> shard_engines,
+    std::vector<std::vector<int>> shard_global_ids)
+    : engines_(std::move(shard_engines)),
+      global_ids_(std::move(shard_global_ids)) {
+  UNN_CHECK(!engines_.empty());
+  UNN_CHECK(engines_.size() == global_ids_.size());
+  size_ = 0;
+  for (size_t s = 0; s < engines_.size(); ++s) {
+    UNN_CHECK(engines_[s] != nullptr);
+    UNN_CHECK(engines_[s]->size() ==
+              static_cast<int>(global_ids_[s].size()));
+    size_ += engines_[s]->size();
+  }
+  // The id lists must partition [0, size_).
+  std::vector<bool> seen(size_, false);
+  for (const auto& gids : global_ids_) {
+    for (int gid : gids) {
+      UNN_CHECK_MSG(gid >= 0 && gid < size_ && !seen[gid],
+                    "shard ids must partition [0, total)");
+      seen[gid] = true;
+    }
+  }
+  config_ = engines_[0]->config();
+  options_.num_shards = static_cast<int>(engines_.size());
+  options_.partitioning = Partitioning::kExternal;
+  views_.reserve(engines_.size());
+  for (size_t s = 0; s < engines_.size(); ++s) {
+    views_.push_back({engines_[s].get(), &global_ids_[s]});
+  }
+}
+
+ShardedEngine::ShardedEngine(std::shared_ptr<const Engine> engine) {
+  UNN_CHECK(engine != nullptr);
+  size_ = engine->size();
+  config_ = engine->config();
+  options_.num_shards = 1;
+  options_.partitioning = Partitioning::kExternal;
+  global_ids_.emplace_back(size_);
+  std::iota(global_ids_[0].begin(), global_ids_[0].end(), 0);
+  engines_.push_back(std::move(engine));
+  views_.push_back({engines_[0].get(), &global_ids_[0]});
+}
+
+// ---------------------------------------------------------------------------
+// Fan-out plumbing
+// ---------------------------------------------------------------------------
+
+void ShardedEngine::ForEachShard(ThreadPool* pool,
+                                 const std::function<void(int)>& fn) const {
+  size_t shards = engines_.size();
+  if (pool == nullptr || shards <= 1) {
+    for (size_t s = 0; s < shards; ++s) fn(static_cast<int>(s));
+    return;
+  }
+  pool->ParallelFor(shards, [&](size_t begin, size_t end) {
+    for (size_t s = begin; s < end; ++s) fn(static_cast<int>(s));
+  });
+}
+
+int ShardedEngine::StructuresBuilt() const {
+  int total = 0;
+  for (const auto& e : engines_) total += e->StructuresBuilt();
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+MergedProbabilities ShardedEngine::MergedProbs(geom::Vec2 q, double eps_needed,
+                                               ThreadPool* pool) const {
+  size_t shards = engines_.size();
+  std::vector<std::vector<std::pair<int, double>>> local(shards);
+  std::vector<core::DeltaEnvelope> env(shards);
+  ForEachShard(pool, [&](int s) {
+    local[s] = engines_[s]->Probabilities(q, eps_needed);
+    env[s] = engines_[s]->MaxDistEnvelope(q);
+  });
+  double eps = eps_needed > 0 ? std::min(eps_needed, config_.eps) : config_.eps;
+  return MergeProbabilities(views_, local, env, q, config_, eps);
+}
+
+std::vector<std::pair<int, double>> ShardedEngine::Probabilities(
+    geom::Vec2 q, double eps_needed, ThreadPool* pool) const {
+  if (num_shards() == 1) {
+    std::vector<std::pair<int, double>> out =
+        engines_[0]->Probabilities(q, eps_needed);
+    for (auto& [id, pi] : out) id = global_ids_[0][id];
+    return out;
+  }
+  return MergedProbs(q, eps_needed, pool).probs;
+}
+
+int ShardedEngine::MostProbableNn(geom::Vec2 q, ThreadPool* pool) const {
+  if (num_shards() == 1) {
+    int lid = engines_[0]->MostProbableNn(q);
+    return lid < 0 ? lid : global_ids_[0][lid];
+  }
+  int best = -1;
+  double best_pi = -1.0;
+  for (auto [gid, pi] : MergedProbs(q, 0.0, pool).probs) {
+    if (pi > best_pi) {
+      best = gid;
+      best_pi = pi;
+    }
+  }
+  return best;
+}
+
+int ShardedEngine::ExpectedDistanceNn(geom::Vec2 q, ThreadPool* pool) const {
+  if (num_shards() == 1) {
+    int lid = engines_[0]->ExpectedDistanceNn(q);
+    return lid < 0 ? lid : global_ids_[0][lid];
+  }
+  std::vector<ExpectedCandidate> winners(engines_.size());
+  ForEachShard(pool, [&](int s) {
+    int lid = engines_[s]->ExpectedDistanceNn(q);
+    winners[s] = {global_ids_[s][lid], engines_[s]->ExpectedDistance(lid, q)};
+  });
+  return MergeExpected(winners);
+}
+
+std::vector<std::pair<int, double>> ShardedEngine::Threshold(
+    geom::Vec2 q, double tau, ThreadPool* pool) const {
+  UNN_CHECK(tau > 0 && tau <= 1);
+  if (num_shards() == 1) {
+    auto out = engines_[0]->Threshold(q, tau);
+    for (auto& [id, pi] : out) id = global_ids_[0][id];
+    SortByEstimate(&out);
+    return out;
+  }
+  MergedProbabilities merged = MergedProbs(q, tau / 2, pool);
+  // Exact re-quantification reports the exact set {pi >= tau}; the
+  // Monte-Carlo fallback keeps the no-false-negative slack, like Engine.
+  double eps =
+      merged.requantified_exactly ? 0.0 : std::min(config_.eps, tau / 2);
+  std::vector<std::pair<int, double>> out;
+  for (auto [gid, pi] : merged.probs) {
+    if (pi + eps >= tau) out.push_back({gid, pi});
+  }
+  SortByEstimate(&out);
+  return out;
+}
+
+std::vector<std::pair<int, double>> ShardedEngine::TopK(
+    geom::Vec2 q, int k, ThreadPool* pool) const {
+  UNN_CHECK(k >= 1);
+  if (num_shards() == 1) {
+    auto out = engines_[0]->TopK(q, k);
+    for (auto& [id, pi] : out) id = global_ids_[0][id];
+    return out;
+  }
+  auto est = MergedProbs(q, 0.0, pool).probs;
+  SortByEstimate(&est);
+  if (static_cast<int>(est.size()) > k) est.resize(k);
+  return est;
+}
+
+std::vector<int> ShardedEngine::NonzeroNn(geom::Vec2 q,
+                                          ThreadPool* pool) const {
+  if (num_shards() == 1) {
+    std::vector<int> out = engines_[0]->NonzeroNn(q);
+    for (int& id : out) id = global_ids_[0][id];
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+  size_t shards = engines_.size();
+  std::vector<std::vector<int>> local(shards);
+  std::vector<core::DeltaEnvelope> env(shards);
+  ForEachShard(pool, [&](int s) {
+    local[s] = engines_[s]->NonzeroNn(q);
+    env[s] = engines_[s]->MaxDistEnvelope(q);
+  });
+  return MergeNonzero(views_, local, env, q);
+}
+
+// ---------------------------------------------------------------------------
+// Batched entry point + warmup (Engine::QueryMany's degenerate contract)
+// ---------------------------------------------------------------------------
+
+Engine::QueryResult ShardedEngine::QueryOne(geom::Vec2 q,
+                                            const Engine::QuerySpec& spec,
+                                            ThreadPool* pool) const {
+  Engine::QueryResult r;
+  switch (spec.type) {
+    case Engine::QueryType::kMostProbableNn:
+      r.nn = MostProbableNn(q, pool);
+      break;
+    case Engine::QueryType::kExpectedDistanceNn:
+      r.nn = ExpectedDistanceNn(q, pool);
+      break;
+    case Engine::QueryType::kThreshold:
+      r.ranked = Threshold(q, spec.tau, pool);
+      break;
+    case Engine::QueryType::kTopK:
+      r.ranked = TopK(q, spec.k, pool);
+      break;
+    case Engine::QueryType::kNonzeroNn:
+      r.ids = NonzeroNn(q, pool);
+      break;
+  }
+  return r;
+}
+
+std::vector<Engine::QueryResult> ShardedEngine::QueryMany(
+    std::span<const geom::Vec2> queries, const Engine::QuerySpec& spec,
+    ThreadPool* pool) const {
+  if (num_shards() == 1 && pool == nullptr) {
+    // Single shard: delegate wholesale (ids still need the global map).
+    auto results = engines_[0]->QueryMany(queries, spec);
+    const std::vector<int>& gids = global_ids_[0];
+    for (auto& r : results) {
+      if (r.nn >= 0) r.nn = gids[r.nn];
+      for (auto& [id, pi] : r.ranked) id = gids[id];
+      for (int& id : r.ids) id = gids[id];
+    }
+    return results;
+  }
+  // Same degenerate-parameter contract as Engine::QueryMany, from the
+  // shared definition (only the tau <= 0 case consults the shards).
+  std::vector<Engine::QueryResult> results;
+  if (query_contract::AnswerDegenerate(
+          queries, spec, size_,
+          [&](geom::Vec2 q) { return Probabilities(q, 0.0, pool); },
+          &results)) {
+    return results;
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    results[i] = QueryOne(queries[i], spec, pool);
+  }
+  return results;
+}
+
+void ShardedEngine::Warmup(Engine::QueryType type, ThreadPool* pool) const {
+  Warmup(Engine::QuerySpec{type, 0.5, 1}, pool);
+}
+
+void ShardedEngine::Warmup(const Engine::QuerySpec& spec,
+                           ThreadPool* pool) const {
+  ForEachShard(pool, [&](int s) { engines_[s]->Warmup(spec); });
+}
+
+}  // namespace serve
+}  // namespace unn

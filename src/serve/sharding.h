@@ -1,0 +1,199 @@
+#ifndef UNN_SERVE_SHARDING_H_
+#define UNN_SERVE_SHARDING_H_
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/uncertain_point.h"
+#include "engine/engine.h"
+#include "serve/shard_merge.h"
+#include "serve/thread_pool.h"
+
+/// \file sharding.h
+/// Data partitioning for the serving layer: a ShardedEngine splits one
+/// uncertain point set across K independent Engines (shards), answers
+/// every Engine query type by fanning the query out to all shards (in
+/// parallel when given a pool) and recombining the per-shard answers with
+/// the merge semantics of shard_merge.h. This is the first cross-structure
+/// answer-recombination seam — the same decomposition a multi-node
+/// deployment would use, exercised here inside one process.
+///
+/// Ids are GLOBAL throughout the public API: a ShardedEngine over
+/// `points` answers with the same ids as an Engine over `points`.
+///
+/// Exactness (details in docs/QUERY_SEMANTICS.md): NonzeroNn and
+/// ExpectedDistanceNn merges are always exact. The probability queries
+/// (MostProbableNn / Threshold / TopK) are exact whenever the shard
+/// backend reports complete candidate sets (kBruteForce and the index
+/// families that fall back to it) and the candidate union is
+/// model-homogeneous; with estimator shard backends the union may omit
+/// points of probability below Config::eps (candidate-merge
+/// approximation), and mixed-model unions are re-quantified by Monte
+/// Carlo within eps.
+///
+/// Thread safety: a ShardedEngine is immutable after construction and
+/// every const query method may be called from any number of threads
+/// concurrently (the shards are thread-safe Engines and the merge layer
+/// is stateless). Passing the same ThreadPool to concurrent calls is
+/// also safe. Warmup warms every shard so serving traffic builds
+/// nothing.
+
+namespace unn {
+namespace serve {
+
+/// How points are assigned to shards.
+enum class Partitioning {
+  /// Point i goes to shard i mod K: balanced sizes, no locality — every
+  /// shard sees a thinned copy of the whole distribution, so per-shard
+  /// candidate sets stay small everywhere.
+  kRoundRobin,
+  /// Kd-style splits: recursively split the points by the median of
+  /// their region centers along the wider axis, in proportion to the
+  /// shard counts of each side. Spatially local shards — distant shards
+  /// prune to near-empty candidate sets for most queries.
+  kSpatial,
+  /// Not a strategy PartitionPoints accepts: reported by
+  /// ShardedEngine::options() for shard sets assembled from prebuilt
+  /// engines, where the partitioner is the caller's and unknown here.
+  kExternal,
+};
+
+struct ShardingOptions {
+  /// Requested shard count; clamped to [1, n]. Shards are never empty —
+  /// requesting more shards than points yields n singleton shards.
+  int num_shards = 1;
+  Partitioning partitioning = Partitioning::kRoundRobin;
+};
+
+/// Assigns every point index in [0, points.size()) to exactly one shard;
+/// returns per-shard sorted global-id lists, empty lists dropped. Pure
+/// function, deterministic for fixed input. O(n) for round-robin,
+/// O(n log n) for spatial.
+std::vector<std::vector<int>> PartitionPoints(
+    const std::vector<core::UncertainPoint>& points,
+    const ShardingOptions& options);
+
+class ShardedEngine {
+ public:
+  /// Partitions `points` per `options` and builds one Engine per shard,
+  /// every shard with the same `config`. When `build_pool` is given the
+  /// shard builds run on the pool in parallel (plus the calling thread).
+  ShardedEngine(std::vector<core::UncertainPoint> points,
+                const Engine::Config& config, const ShardingOptions& options,
+                ThreadPool* build_pool = nullptr);
+
+  /// Assembles a shard set from prebuilt engines: `shard_global_ids[s][j]`
+  /// is the global id of shard s's local point j. The id lists must
+  /// partition [0, total); engines must be non-null and non-empty. Used
+  /// to wrap caller-built engines and by benchmarks that time shard
+  /// builds individually.
+  ShardedEngine(std::vector<std::shared_ptr<const Engine>> shard_engines,
+                std::vector<std::vector<int>> shard_global_ids);
+
+  /// Wraps one prebuilt engine as a single-shard set (ids are identity).
+  /// Queries delegate directly to the engine — zero merge overhead.
+  explicit ShardedEngine(std::shared_ptr<const Engine> engine);
+
+  // Not copyable/movable: the internal shard views point into this
+  // object. Share a ShardedEngine via shared_ptr (as QueryServer does).
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  // --- Query surface (mirrors Engine, global ids) ----------------------
+  // Every method fans out to all shards — in parallel across the given
+  // pool's workers plus the calling thread when `pool` is non-null,
+  // serially otherwise — then merges. All are const and thread-safe.
+
+  /// argmax_i pi_i(q) over the whole dataset via candidate-union
+  /// re-quantification; ties toward the smaller global id.
+  int MostProbableNn(geom::Vec2 q, ThreadPool* pool = nullptr) const;
+
+  /// argmin_i E[d(q, P_i)] via min-merge of the per-shard winners; exact
+  /// up to quadrature tolerance.
+  int ExpectedDistanceNn(geom::Vec2 q, ThreadPool* pool = nullptr) const;
+
+  /// All i whose pi_i(q) may reach tau, (id, estimate) sorted by
+  /// decreasing estimate. No false negatives: a point with global
+  /// probability >= tau has local probability >= tau on its shard (fewer
+  /// competitors can only increase pi), so it survives candidate
+  /// generation at accuracy tau/2 and the re-quantified estimate keeps it.
+  std::vector<std::pair<int, double>> Threshold(
+      geom::Vec2 q, double tau, ThreadPool* pool = nullptr) const;
+
+  /// The k ids with the largest merged pi_i(q), sorted by decreasing
+  /// estimate; near-ties within the backend accuracy may permute.
+  std::vector<std::pair<int, double>> TopK(geom::Vec2 q, int k,
+                                           ThreadPool* pool = nullptr) const;
+
+  /// NN!=0(q), sorted global ids; exact for every shard backend (union
+  /// filtered by the merged Delta envelope).
+  std::vector<int> NonzeroNn(geom::Vec2 q, ThreadPool* pool = nullptr) const;
+
+  /// Merged quantification estimates (global id, pi) with positive
+  /// estimate, sorted by id, at accuracy `eps_needed` (<= 0 means
+  /// Config::eps).
+  std::vector<std::pair<int, double>> Probabilities(
+      geom::Vec2 q, double eps_needed = 0.0, ThreadPool* pool = nullptr) const;
+
+  /// Batched entry point with Engine::QueryMany's degenerate-parameter
+  /// contract (empty span / k <= 0 / tau outside (0, 1] answered
+  /// definition-level without touching any shard backend). The queries
+  /// run serially; each query's shard fan-out uses `pool` when given.
+  /// `serve::QueryMany` instead spreads the queries themselves across a
+  /// pool, which is the better fit for large batches.
+  std::vector<Engine::QueryResult> QueryMany(
+      std::span<const geom::Vec2> queries, const Engine::QuerySpec& spec,
+      ThreadPool* pool = nullptr) const;
+
+  /// Warms every shard for the given query type / spec (in parallel on
+  /// `pool` when given) so no serving query pays a structure build.
+  /// Idempotent and thread-safe, like Engine::Warmup.
+  void Warmup(Engine::QueryType type, ThreadPool* pool = nullptr) const;
+  void Warmup(const Engine::QuerySpec& spec, ThreadPool* pool = nullptr) const;
+
+  // --- Introspection (all O(1) unless noted, immutable, thread-safe) ---
+
+  /// Total points across all shards.
+  int size() const { return size_; }
+  /// Actual shard count (= min(requested, n); empty shards are dropped).
+  int num_shards() const { return static_cast<int>(engines_.size()); }
+  /// Shard s's engine (local ids). O(1).
+  const Engine& shard(int s) const { return *engines_[s]; }
+  /// Shard s's engine as an owning pointer (shareable snapshot). O(1).
+  std::shared_ptr<const Engine> shard_ptr(int s) const { return engines_[s]; }
+  /// Shard s's local-to-global id map: global_ids(s)[j] is the dataset id
+  /// of shard s's local point j. O(1).
+  const std::vector<int>& global_ids(int s) const { return global_ids_[s]; }
+  /// The per-shard Engine config (identical across shards). O(1).
+  const Engine::Config& config() const { return config_; }
+  /// The partitioning this shard set was built with.
+  const ShardingOptions& options() const { return options_; }
+  /// Sum of Engine::StructuresBuilt over the shards — observability for
+  /// tests and serving metrics. O(K).
+  int StructuresBuilt() const;
+
+ private:
+  Engine::QueryResult QueryOne(geom::Vec2 q, const Engine::QuerySpec& spec,
+                               ThreadPool* pool) const;
+  /// Runs fn(s) for every shard index s, on `pool` (plus the calling
+  /// thread) when given, serially otherwise.
+  void ForEachShard(ThreadPool* pool, const std::function<void(int)>& fn) const;
+  /// Candidate generation + merged re-quantification at `eps_needed`.
+  MergedProbabilities MergedProbs(geom::Vec2 q, double eps_needed,
+                                  ThreadPool* pool) const;
+
+  std::vector<std::shared_ptr<const Engine>> engines_;
+  std::vector<std::vector<int>> global_ids_;
+  std::vector<ShardView> views_;  // Parallel to engines_/global_ids_.
+  Engine::Config config_;
+  ShardingOptions options_;
+  int size_ = 0;
+};
+
+}  // namespace serve
+}  // namespace unn
+
+#endif  // UNN_SERVE_SHARDING_H_

@@ -29,12 +29,17 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Post(std::function<void()> fn) {
+  UNN_CHECK_MSG(TryPost(std::move(fn)), "Post on a stopping ThreadPool");
+}
+
+bool ThreadPool::TryPost(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    UNN_CHECK_MSG(!stopping_, "Post on a stopping ThreadPool");
+    if (stopping_) return false;
     queue_.push_back(std::move(fn));
   }
   cv_.notify_one();
+  return true;
 }
 
 void ThreadPool::WorkerLoop() {
@@ -97,8 +102,12 @@ void ThreadPool::ParallelFor(size_t n,
     }
   };
 
+  // On a stopping pool (destructor racing a draining task that fans out)
+  // no helper can be posted; the calling thread then claims every block.
   size_t helpers = std::min(blocks - 1, static_cast<size_t>(num_threads()));
-  for (size_t i = 0; i < helpers; ++i) Post(run_blocks);
+  for (size_t i = 0; i < helpers; ++i) {
+    if (!TryPost(run_blocks)) break;
+  }
   run_blocks();
   std::unique_lock<std::mutex> lock(latch->mu);
   latch->cv.wait(lock, [&] { return latch->blocks_done >= blocks; });

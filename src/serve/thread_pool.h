@@ -41,17 +41,22 @@ class ThreadPool {
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
   /// Enqueues one task for any worker. Safe from any thread, including
-  /// from inside a running task.
+  /// from inside a running task. O(1); CHECK-fails on a stopping pool.
   void Post(std::function<void()> fn);
 
   /// Splits [0, n) into contiguous blocks (about 2 per participant, so a
   /// straggler block cannot dominate the makespan), runs `fn(begin, end)`
   /// on the workers plus the calling thread, and returns when every block
-  /// is done. `fn` must be safe to call concurrently with itself.
+  /// is done. `fn` must be safe to call concurrently with itself. Safe on
+  /// a stopping pool (a draining task may still fan out, e.g. a sharded
+  /// query): no helpers are posted and the calling thread runs every
+  /// block itself.
   void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn);
 
  private:
   void WorkerLoop();
+  /// Post that reports instead of CHECK-failing on a stopping pool.
+  bool TryPost(std::function<void()> fn);
 
   std::mutex mu_;
   std::condition_variable cv_;
