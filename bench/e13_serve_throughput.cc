@@ -177,6 +177,11 @@ int main(int argc, char** argv) {
     json.Metric("sharded_batch_ms", ms);
     json.Metric("sharded_qps", qps);
     json.Metric("sharded_speedup", qps / serial_qps);
+    // Per-query merged latency at this shard count: the number the
+    // quantification index (E14) drives down by making the per-shard
+    // envelope/survival hooks sublinear.
+    json.Metric("sharded_query_latency_ms",
+                ms / static_cast<double>(num_queries));
     json.Metric("sampled_violations", static_cast<double>(violations));
   }
 

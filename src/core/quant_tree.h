@@ -1,0 +1,142 @@
+#ifndef UNN_CORE_QUANT_TREE_H_
+#define UNN_CORE_QUANT_TREE_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/uncertain_point.h"
+#include "geom/vec2.h"
+
+/// \file quant_tree.h
+/// The quantification index: a kd-style hierarchy over the support regions
+/// of an uncertain point set, answering the three per-point quantification
+/// primitives the serving layer's cross-shard merges consume — previously
+/// O(n) linear scans per query — by branch-and-bound:
+///
+///   * MaxDistEnvelope(q)    — the two smallest Delta_i(q) = max-distance
+///                             values plus the argmin (Lemma 2.1's pruning
+///                             envelope), best-first search that prunes a
+///                             subtree once its MaxDist lower bound cannot
+///                             beat the running runner-up;
+///   * LogSurvival(q, r)     — sum_i log(1 - G_{q,i}(r)), the log of the
+///                             probability that every point is farther
+///                             than r, visiting only points whose support
+///                             intersects ball(q, r) (a disjoint support
+///                             contributes factor 1 = log 0);
+///   * ArgminPointwise(q, f) — argmin_i f(i) for any per-point value with
+///                             f(i) >= delta_i(q) (e.g. the expected
+///                             distance E[d(q, P_i)]), pruning subtrees
+///                             whose min-distance lower bound exceeds the
+///                             running best.
+///
+/// This is the practical stand-in for the Delta-based NN!=0 machinery of
+/// Section 3 and the BBD/quadtree hierarchies reused by the follow-up
+/// paper (*Nearest-Neighbor Searching Under Uncertainty II*): per-node
+/// bounds come from a box over per-point anchors plus the min/max support
+/// radius, so queries run in O(log n + output) on bounded-density inputs
+/// while leaf evaluation stays exact (experiment E14 measures the
+/// scaling against the scans side by side).
+///
+/// Exactness: the search only ever prunes with *valid lower bounds* and
+/// evaluates surviving points with the same arithmetic as the linear
+/// scans, so MaxDistEnvelope reproduces core::TwoSmallestMaxDist
+/// bit-identically (including argmin tie-breaking toward the smaller id)
+/// and ArgminPointwise reproduces the definition-level scan's argmin
+/// exactly. LogSurvival accumulates the same per-point terms in tree
+/// order, so it matches a linear log-space scan up to floating-point
+/// associativity (~1e-15 relative).
+///
+/// Thread safety: immutable after construction; every query method is
+/// const, allocates only local state, and may be called concurrently.
+/// The tree does NOT own the points — the vector passed at construction
+/// must outlive it unchanged (unn::Engine guarantees this for its own
+/// point set).
+
+namespace unn {
+namespace core {
+
+class QuantTree {
+ public:
+  /// Per-query search-effort counters (caller-owned, so queries stay
+  /// const and thread-safe). A sublinear query visits o(n) of each.
+  struct QueryStats {
+    int nodes_visited = 0;
+    int points_evaluated = 0;
+  };
+
+  /// Builds the hierarchy in O(n log n). `points` must outlive the tree.
+  explicit QuantTree(const std::vector<UncertainPoint>* points);
+
+  int size() const { return static_cast<int>(points_->size()); }
+
+  /// The two smallest Delta_i(q) and the argmin — identical (bitwise,
+  /// including ties toward the smaller id) to
+  /// core::TwoSmallestMaxDist(*points, q). O(log n) on bounded-density
+  /// inputs, O(n) worst case.
+  DeltaEnvelope MaxDistEnvelope(geom::Vec2 q,
+                                QueryStats* stats = nullptr) const;
+
+  /// log prod_i (1 - G_{q,i}(r)) = sum_i log1p(-G_{q,i}(r)), accumulated
+  /// in log space so products over 10^5+ points do not underflow;
+  /// -infinity when some point is certainly within r. Only points whose
+  /// support intersects ball(q, r) are evaluated. O(log n + k) for k
+  /// intersecting supports.
+  double LogSurvival(geom::Vec2 q, double r, QueryStats* stats = nullptr) const;
+
+  /// The O(n) linear-scan oracle for LogSurvival: the same per-point
+  /// terms accumulated in id order. The one definition tests and
+  /// benchmarks verify the index against, kept here so the oracle and
+  /// the index cannot drift apart.
+  static double LogSurvivalScan(const std::vector<UncertainPoint>& points,
+                                geom::Vec2 q, double r);
+
+  /// argmin_i value(i) for a per-point quantity bounded below by the
+  /// min-distance, value(i) >= delta_i(q) (ties toward the smaller id,
+  /// like a definition-level scan). Prunes subtrees whose min-distance
+  /// lower bound exceeds the best value seen, never pruning a potential
+  /// minimizer, so the result matches the unpruned scan exactly — when
+  /// the precondition holds exactly. A numerically *approximated* value
+  /// (quadrature, accumulated rounding) may undershoot delta_i(q) by its
+  /// error bound, in which case candidates within that margin of each
+  /// other may resolve either way (the same near-tie caveat the
+  /// expected-distance API already carries).
+  int ArgminPointwise(geom::Vec2 q, const std::function<double(int)>& value,
+                      QueryStats* stats = nullptr) const;
+
+ private:
+  struct Node {
+    geom::Box box;        ///< Box over the anchors in the subtree.
+    double r_min = 0.0;   ///< Min support radius in the subtree.
+    double r_max = 0.0;   ///< Max support radius in the subtree.
+    bool all_disk = true;  ///< Every point in the subtree is a disk model.
+    int left = -1;        ///< Internal children; -1 for leaves.
+    int right = -1;
+    int begin = 0;        ///< Leaf range [begin, end) into order_.
+    int end = 0;
+  };
+
+  int BuildRange(int begin, int end);
+  /// Lower bound on min_{i in node} Delta_i(q); valid for mixed models.
+  double MaxDistLowerBound(const Node& node, geom::Vec2 q) const;
+  /// Lower bound on min_{i in node} delta_i(q).
+  double MinDistLowerBound(const Node& node, geom::Vec2 q) const;
+  double LogSurvivalRec(int node, geom::Vec2 q, double r,
+                        QueryStats* stats) const;
+
+  const std::vector<UncertainPoint>* points_;
+  /// Per-point anchor: a point of the support's convex hull (disk center
+  /// / site centroid), so d(q, anchor) <= Delta_i(q) for every q.
+  std::vector<geom::Vec2> anchors_;
+  /// Per-point support radius: max distance from the anchor to the
+  /// support, so Delta_i(q) <= d(q, anchor) + radius and
+  /// delta_i(q) >= d(q, anchor) - radius.
+  std::vector<double> radii_;
+  std::vector<int> order_;  ///< Point ids, permuted so leaves are contiguous.
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace core
+}  // namespace unn
+
+#endif  // UNN_CORE_QUANT_TREE_H_

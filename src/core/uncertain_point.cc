@@ -18,14 +18,7 @@ DeltaEnvelope TwoSmallestMaxDist(const std::vector<UncertainPoint>& pts,
   out.best = std::numeric_limits<double>::infinity();
   out.second = std::numeric_limits<double>::infinity();
   for (size_t i = 0; i < pts.size(); ++i) {
-    double d = pts[i].MaxDist(q);
-    if (d < out.best) {
-      out.second = out.best;
-      out.best = d;
-      out.argbest = static_cast<int>(i);
-    } else {
-      out.second = std::min(out.second, d);
-    }
+    out.Insert(pts[i].MaxDist(q), static_cast<int>(i));
   }
   return out;
 }

@@ -144,6 +144,31 @@ struct DeltaEnvelope {
   int argbest = -1;
 
   double ThresholdFor(int i) const { return i == argbest ? second : best; }
+
+  /// Inserts one Delta sample, keeping the two smallest values and the
+  /// smallest id among the minimizers — the single definition of the
+  /// envelope's tie semantics, shared by the linear scan, the
+  /// quantification index, and the cross-shard merge so they cannot
+  /// drift: a duplicate of the minimum lands in `second` (the displaced
+  /// holder stays as runner-up), and an anonymous sample (`id < 0`, used
+  /// for per-shard runner-up values whose id is unknown) never takes the
+  /// argmin. Callers initialize best/second to +infinity before the
+  /// first insert. Precondition (checked): an anonymous sample must not
+  /// beat the current best — insert a shard's identified best before its
+  /// anonymous runner-up, as MergeEnvelopes does.
+  void Insert(double d, int id) {
+    UNN_DCHECK(id >= 0 || d >= best);
+    if (d < best) {
+      second = best;
+      best = d;
+      argbest = id;
+    } else if (d == best && id >= 0 && (argbest < 0 || id < argbest)) {
+      second = best;
+      argbest = id;
+    } else {
+      second = std::min(second, d);
+    }
+  }
 };
 DeltaEnvelope TwoSmallestMaxDist(const std::vector<UncertainPoint>& pts,
                                  geom::Vec2 q);

@@ -1,12 +1,11 @@
 #include "engine/engine.h"
 
 #include <algorithm>
-#include <limits>
+#include <cmath>
 
 #include "baselines/brute_force.h"
 #include "core/exact_pnn.h"
 #include "engine/query_contract.h"
-#include "prob/distance_cdf.h"
 #include "util/check.h"
 
 namespace unn {
@@ -153,6 +152,14 @@ const core::LinfNonzeroIndex& Engine::GetLinfIndex() const {
   });
 }
 
+const core::QuantTree& Engine::GetQuantTree() const {
+  // points_ is immutable for the Engine's lifetime, so handing the tree a
+  // pointer is safe.
+  return BuildOnce(quant_tree_once_, quant_tree_, builds_, [this] {
+    return std::make_unique<core::QuantTree>(&points_);
+  });
+}
+
 // ---------------------------------------------------------------------------
 // Quantification probabilities (the shared substrate of MostProbableNn,
 // Threshold and TopK)
@@ -248,17 +255,14 @@ int Engine::ExpectedDistanceNn(geom::Vec2 q) const {
   if (config_.backend != Backend::kBruteForce) {
     return index.QueryExpected(q, config_.tol);
   }
-  // Definition-level scan (no pruning): min_i E[d(q, P_i)].
-  int best = -1;
-  double best_d = std::numeric_limits<double>::infinity();
-  for (int i = 0; i < size(); ++i) {
-    double d = index.ExpectedDistance(i, q, config_.tol);
-    if (d < best_d) {
-      best_d = d;
-      best = i;
-    }
-  }
-  return best;
+  // Definition-level argmin of E[d(q, P_i)], pruned by the quantification
+  // index's min-distance bounds (E[d] >= delta_i). The pruning never
+  // skips a potential minimizer, so the answer matches the unpruned scan
+  // up to the documented near-tie caveat: quadrature-approximated values
+  // within Config::tol of each other may tie-break either way
+  // (docs/QUERY_SEMANTICS.md says the same of the unpruned path).
+  return GetQuantTree().ArgminPointwise(
+      q, [&](int i) { return index.ExpectedDistance(i, q, config_.tol); });
 }
 
 // ---------------------------------------------------------------------------
@@ -271,16 +275,15 @@ double Engine::ExpectedDistance(int i, geom::Vec2 q) const {
 }
 
 core::DeltaEnvelope Engine::MaxDistEnvelope(geom::Vec2 q) const {
-  return core::TwoSmallestMaxDist(points_, q);
+  return GetQuantTree().MaxDistEnvelope(q);
 }
 
 double Engine::SurvivalProbability(geom::Vec2 q, double r) const {
-  double prod = 1.0;
-  for (const auto& p : points_) {
-    prod *= 1.0 - prob::DistanceCdf(p, q, r);
-    if (prod == 0.0) break;
-  }
-  return prod;
+  return std::exp(LogSurvivalProbability(q, r));
+}
+
+double Engine::LogSurvivalProbability(geom::Vec2 q, double r) const {
+  return GetQuantTree().LogSurvival(q, r);
 }
 
 // ---------------------------------------------------------------------------

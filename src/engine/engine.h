@@ -17,6 +17,7 @@
 #include "core/nn_nonzero_index.h"
 #include "core/nonzero_voronoi.h"
 #include "core/nonzero_voronoi_discrete.h"
+#include "core/quant_tree.h"
 #include "core/spiral_search.h"
 #include "core/uncertain_point.h"
 #include "geom/vec2.h"
@@ -207,8 +208,11 @@ class Engine {
   /// points, plus the argmin (Lemma 2.1's pruning envelope). Per-shard
   /// envelopes merge into the global envelope by taking the two smallest
   /// values overall, which is what lets a merger filter the union of
-  /// per-shard NN!=0 answers down to the exact global NN!=0 set. O(n)
-  /// scan; builds nothing.
+  /// per-shard NN!=0 answers down to the exact global NN!=0 set.
+  /// Answered by the quantification index (core::QuantTree, built once on
+  /// first use, synchronized, StructuresBuilt-visible) in O(log n) on
+  /// bounded-density inputs, bit-identical to the linear
+  /// core::TwoSmallestMaxDist scan including tie-breaking.
   core::DeltaEnvelope MaxDistEnvelope(geom::Vec2 q) const;
 
   /// Pr[every point of this engine is farther than r from q]
@@ -220,9 +224,21 @@ class Engine {
   /// The in-process merge computes these products implicitly (it
   /// re-accumulates/re-integrates over the candidate union); this hook
   /// is the explicit form — used by the factorization tests and the
-  /// surface an out-of-process merger would consume. O(n) per call (one
-  /// distance cdf per point, early-out at zero); builds nothing.
+  /// surface an out-of-process merger would consume. Equal to
+  /// exp(LogSurvivalProbability(q, r)); prefer the log form when
+  /// multiplying across shards — the product of n factors below 1
+  /// underflows to 0 near n ~ 10^5 while the log sum stays exact.
+  /// Answered by the quantification index: only points whose support
+  /// intersects ball(q, r) are evaluated (a disjoint support contributes
+  /// factor 1), O(log n + k) for k intersecting supports.
   double SurvivalProbability(geom::Vec2 q, double r) const;
+
+  /// log Pr[every point farther than r] = sum_i log1p(-G_{q,i}(r)),
+  /// accumulated in log space (never underflows; -infinity when some
+  /// point is certainly within r). Per-shard survival products become
+  /// sums of this quantity, which is how sharded probability merges stay
+  /// exact at any n. Same index-backed cost as SurvivalProbability.
+  double LogSurvivalProbability(geom::Vec2 q, double r) const;
 
   /// The axis-aligned squares the kLinfIndex backend indexes: an L_inf
   /// ball per point (disk -> same center/radius; discrete -> bounding-box
@@ -254,6 +270,7 @@ class Engine {
   const core::NnNonzeroIndex& GetNonzeroIndex() const;
   const core::NnNonzeroDiscreteIndex& GetNonzeroDiscrete() const;
   const core::LinfNonzeroIndex& GetLinfIndex() const;
+  const core::QuantTree& GetQuantTree() const;
   /// The accuracy-keyed estimators return an owning snapshot: a request
   /// for a tighter accuracy replaces the cached structure, and the
   /// returned shared_ptr keeps the one a concurrent query is using alive
@@ -284,6 +301,8 @@ class Engine {
   mutable std::unique_ptr<core::NnNonzeroDiscreteIndex> nonzero_discrete_;
   mutable std::once_flag linf_index_once_;
   mutable std::unique_ptr<core::LinfNonzeroIndex> linf_index_;
+  mutable std::once_flag quant_tree_once_;
+  mutable std::unique_ptr<core::QuantTree> quant_tree_;
   mutable std::once_flag squares_once_;
   mutable std::vector<core::SquareRegion> squares_;
 

@@ -50,10 +50,16 @@ bool AnswerDegenerate(std::span<const geom::Vec2> queries,
     return true;
   }
   if (spec.type == Engine::QueryType::kThreshold && spec.tau <= 0) {
-    // Every pi_i(q) >= 0 >= tau: report all ids with their estimates.
+    // Every pi_i(q) >= 0 >= tau: report all ids with their estimates. The
+    // id skeleton is built once for the whole batch; each query copies it
+    // (ids and zero estimates in one memcpy-able stroke) instead of
+    // re-deriving the O(n) id list, and then overwrites estimates in
+    // place — the per-query content and ordering are bit-identical to
+    // building the list from scratch.
+    std::vector<std::pair<int, double>> skeleton(n);
+    for (int id = 0; id < n; ++id) skeleton[id] = {id, 0.0};
     for (size_t i = 0; i < queries.size(); ++i) {
-      std::vector<std::pair<int, double>> full(n);
-      for (int id = 0; id < n; ++id) full[id] = {id, 0.0};
+      std::vector<std::pair<int, double>> full = skeleton;
       for (auto [id, pi] : probabilities(queries[i])) full[id].second = pi;
       SortByEstimate(&full);
       (*results)[i].ranked = std::move(full);

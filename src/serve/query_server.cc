@@ -9,6 +9,28 @@ namespace serve {
 
 namespace {
 
+/// Counts a Submit/QueryBatch in and out of the server, so the
+/// destructor can drain calls that raced it. The exit notifies the
+/// counter only while a drain is in progress, keeping the hot path free
+/// of wake syscalls.
+class InflightGuard {
+ public:
+  InflightGuard(std::atomic<int>& counter, const std::atomic<bool>& draining)
+      : counter_(counter), draining_(draining) {
+    counter_.fetch_add(1);
+  }
+  ~InflightGuard() {
+    counter_.fetch_sub(1);
+    if (draining_.load()) counter_.notify_all();
+  }
+  InflightGuard(const InflightGuard&) = delete;
+  InflightGuard& operator=(const InflightGuard&) = delete;
+
+ private:
+  std::atomic<int>& counter_;
+  const std::atomic<bool>& draining_;
+};
+
 /// The sharding a caller-installed shard set implies for future
 /// replacements: its own shape, with the assembled-set marker mapped to
 /// a strategy PartitionPoints accepts.
@@ -63,8 +85,24 @@ void QueryServer::WarmSnapshot(const ShardedEngine& engine) {
   for (Engine::QueryType type : options_.warm) engine.Warmup(type, &pool_);
 }
 
+QueryServer::~QueryServer() {
+  // Stop accepting pool work first, so a Submit that entered before (or
+  // during) this line either queued its task already — drained when the
+  // pool joins its workers below — or sees TryPost fail and answers
+  // inline. Then block (atomic wait, no spinning) until every such call
+  // has left the building before member destructors run. Calls entering
+  // later are still caught by the pool join — see the shutdown note on
+  // Submit.
+  pool_.BeginShutdown();
+  draining_.store(true);
+  for (int n = inflight_.load(); n > 0; n = inflight_.load()) {
+    inflight_.wait(n);
+  }
+}
+
 std::future<Engine::QueryResult> QueryServer::Submit(
     geom::Vec2 q, const Engine::QuerySpec& spec) {
+  InflightGuard inflight(inflight_, draining_);
   // Pin the snapshot at submission: the request is answered against the
   // dataset that was current when the server accepted it, even if a swap
   // lands before a worker picks it up.
@@ -74,20 +112,30 @@ std::future<Engine::QueryResult> QueryServer::Submit(
   // The worker fans a multi-shard query back out across the pool (nested
   // ParallelFor; on a stopping pool it degrades to the worker alone).
   ThreadPool* fan = snap->num_shards() > 1 ? &pool_ : nullptr;
-  pool_.Post(
+  std::function<void()> task =
       [snap = std::move(snap), promise = std::move(promise), q, spec, fan] {
         // Route through QueryMany so degenerate spec parameters follow
         // the documented definitions instead of tripping single-query
         // CHECKs.
         std::span<const geom::Vec2> one(&q, 1);
         promise->set_value(std::move(snap->QueryMany(one, spec, fan)[0]));
-      });
+      };
+  if (!pool_.TryPost(std::move(task))) {
+    // A submit racing server shutdown: once the pool's destructor has
+    // begun no task can be enqueued, so answer inline on the submitting
+    // thread against the snapshot pinned above (the nested fan-out
+    // degrades the same way inside ParallelFor). TryPost leaves the task
+    // intact on failure, so running it here is safe; the future is
+    // always satisfied and nothing aborts.
+    task();
+  }
   queries_.fetch_add(1, std::memory_order_relaxed);
   return result;
 }
 
 std::vector<Engine::QueryResult> QueryServer::QueryBatch(
     std::span<const geom::Vec2> queries, const Engine::QuerySpec& spec) {
+  InflightGuard inflight(inflight_, draining_);
   std::shared_ptr<const ShardedEngine> snap = sharded_snapshot();
   auto results = QueryMany(*snap, queries, spec, &pool_);
   batches_.fetch_add(1, std::memory_order_relaxed);
@@ -106,6 +154,10 @@ void QueryServer::ReplaceDataset(std::vector<core::UncertainPoint> points,
 
 void QueryServer::ReplaceImpl(std::vector<core::UncertainPoint> points,
                               const ShardingOptions* sharding) {
+  // Counted in-flight like the query paths: a replacement that entered
+  // before destruction must finish (it holds replace_mu_ and writes the
+  // snapshot) before member teardown begins.
+  InflightGuard inflight(inflight_, draining_);
   std::lock_guard<std::mutex> lock(replace_mu_);
   // Read the config under the lock: a racing ReplaceShardedEngine may
   // have just installed a snapshot with different accuracy settings, and
@@ -126,6 +178,7 @@ void QueryServer::ReplaceEngine(std::shared_ptr<const Engine> engine) {
 void QueryServer::ReplaceShardedEngine(
     std::shared_ptr<const ShardedEngine> engine) {
   UNN_CHECK(engine != nullptr);
+  InflightGuard inflight(inflight_, draining_);
   std::lock_guard<std::mutex> lock(replace_mu_);
   // A caller-installed shard set is an explicit statement of shape:
   // later ReplaceDataset calls keep it.

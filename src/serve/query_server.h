@@ -67,6 +67,13 @@ class QueryServer {
   QueryServer(std::vector<core::UncertainPoint> points,
               const Engine::Config& config);
 
+  /// Refuses new pool work, then drains calls already inside the server
+  /// — Submit/QueryBatch (a late Submit may be answering inline on the
+  /// stopping pool) and the Replace* family (which hold replace_mu_ and
+  /// write the snapshot) — before member teardown begins. See the
+  /// shutdown note on Submit.
+  ~QueryServer();
+
   /// The single-Engine view of the current snapshot: the engine itself
   /// when the snapshot has one shard, nullptr when it is partitioned
   /// (use sharded_snapshot() then). Callers may hold the result as long
@@ -88,7 +95,21 @@ class QueryServer {
   /// Async single query against the snapshot current at submission time.
   /// A sharded snapshot fans the query out to all shards across the pool.
   /// Degenerate spec parameters follow Engine::QueryMany's definitions.
-  /// Thread-safe.
+  /// Thread-safe. Shutdown note: a Submit that races server destruction
+  /// no longer aborts — once the pool refuses new tasks the query runs
+  /// inline on the submitting thread against the pinned snapshot (the
+  /// same degradation ParallelFor applies to QueryBatch). Two backstops
+  /// narrow the race: the destructor first drains every
+  /// Submit/QueryBatch/Replace* that has already entered (atomic
+  /// in-flight count), and the pool is the first member destroyed, so a
+  /// call that slips in while the destructor is blocked joining the
+  /// workers still finds every other member alive (the shutdown stress
+  /// test pins that window). These narrow the race but cannot license
+  /// it: a call not ordered before destruction can still land after the
+  /// drain and a fast join, racing member teardown — undefined behavior,
+  /// as for any object. Callers must stop submitting before destroying
+  /// the server; the backstops exist to fail loudly less and corrupt
+  /// quietly never in the windows they cover.
   std::future<Engine::QueryResult> Submit(geom::Vec2 q,
                                           const Engine::QuerySpec& spec);
 
@@ -153,10 +174,19 @@ class QueryServer {
   /// Options::sharding, the resharding ReplaceDataset overload, or the
   /// shape of a caller-installed shard set. Updated under replace_mu_.
   ShardingOptions sharding_;
-  ThreadPool pool_;
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> swaps_{0};
+  /// Submit/QueryBatch calls currently inside the server; the destructor
+  /// drains it to zero (atomic wait) before member teardown. draining_
+  /// gates the exit-side notify so the hot path never pays a wake.
+  std::atomic<int> inflight_{0};
+  std::atomic<bool> draining_{false};
+  /// Declared last, so it is the first member destroyed: while the
+  /// destructor blocks joining the workers, every other member a
+  /// late-racing Submit/QueryBatch touches (snapshot, counters) is still
+  /// alive. See the shutdown note on Submit.
+  ThreadPool pool_;
 };
 
 }  // namespace serve

@@ -11,33 +11,21 @@
 namespace unn {
 namespace serve {
 
-namespace {
-
-/// Inserts one (value, global id) max-distance sample into a running
-/// two-smallest envelope.
-void InsertDelta(core::DeltaEnvelope* env, double d, int global_id) {
-  if (d < env->best) {
-    env->second = env->best;
-    env->best = d;
-    env->argbest = global_id;
-  } else {
-    env->second = std::min(env->second, d);
-  }
-}
-
-}  // namespace
-
 core::DeltaEnvelope MergeEnvelopes(std::span<const core::DeltaEnvelope> local,
                                    std::span<const ShardView> shards) {
+  // DeltaEnvelope::Insert ties toward the smaller global id, so the merge
+  // reproduces the single-Engine scan's argbest exactly even when
+  // duplicates of the minimum split across shards.
   UNN_CHECK(local.size() == shards.size());
   core::DeltaEnvelope out;
   out.best = std::numeric_limits<double>::infinity();
   out.second = std::numeric_limits<double>::infinity();
   for (size_t s = 0; s < local.size(); ++s) {
     if (local[s].argbest < 0) continue;  // Shard with no envelope sample.
-    InsertDelta(&out, local[s].best, (*shards[s].global_ids)[local[s].argbest]);
-    // The local runner-up has no id; it can only tighten `second`.
-    if (std::isfinite(local[s].second)) InsertDelta(&out, local[s].second, -1);
+    out.Insert(local[s].best, (*shards[s].global_ids)[local[s].argbest]);
+    // The local runner-up has no id (anonymous): it can only tighten
+    // `second`, never take the argmin.
+    if (std::isfinite(local[s].second)) out.Insert(local[s].second, -1);
   }
   return out;
 }

@@ -52,8 +52,11 @@ struct ShardView {
 /// Merges per-shard Delta envelopes (Engine::MaxDistEnvelope) into the
 /// global envelope: the two smallest max-distances over the whole dataset
 /// are among the per-shard two smallest. The returned argbest is a GLOBAL
-/// id (unlike Engine::MaxDistEnvelope, whose argbest is shard-local).
-/// O(K); thread-safe.
+/// id (unlike Engine::MaxDistEnvelope, whose argbest is shard-local), with
+/// minimum-value ties broken toward the smaller global id — identical to
+/// the single-Engine scan whenever each shard's id list is ascending (as
+/// PartitionPoints produces), even for coincident supports split across
+/// shards. O(K); thread-safe.
 core::DeltaEnvelope MergeEnvelopes(std::span<const core::DeltaEnvelope> local,
                                    std::span<const ShardView> shards);
 

@@ -331,9 +331,40 @@ void ShardedEngine::Warmup(Engine::QueryType type, ThreadPool* pool) const {
   Warmup(Engine::QuerySpec{type, 0.5, 1}, pool);
 }
 
+namespace {
+
+/// True when the multi-shard merge for `spec` consults the per-shard
+/// envelope hook (Engine::MaxDistEnvelope) at query time: every
+/// non-degenerate type except the expected-distance min-merge. Degenerate
+/// specs (k <= 0, tau > 1 or NaN) are answered definition-level without
+/// touching any shard, so warming them must stay build-free too.
+bool MergeConsultsEnvelope(const Engine::QuerySpec& spec) {
+  switch (spec.type) {
+    case Engine::QueryType::kExpectedDistanceNn:
+      return false;
+    case Engine::QueryType::kTopK:
+      return spec.k > 0;
+    case Engine::QueryType::kThreshold:
+      return spec.tau <= 1;  // NaN-safe: !(tau <= 1) builds nothing.
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
 void ShardedEngine::Warmup(const Engine::QuerySpec& spec,
                            ThreadPool* pool) const {
-  ForEachShard(pool, [&](int s) { engines_[s]->Warmup(spec); });
+  // Engine::Warmup builds what the per-shard queries need; a multi-shard
+  // merge additionally calls the per-shard quantification hooks
+  // (MaxDistEnvelope / SurvivalProbability), so their index must be warm
+  // as well or serving traffic would build it. The probe point is
+  // irrelevant: which structures get built never depends on q.
+  bool warm_hooks = num_shards() > 1 && MergeConsultsEnvelope(spec);
+  ForEachShard(pool, [&](int s) {
+    engines_[s]->Warmup(spec);
+    if (warm_hooks) engines_[s]->MaxDistEnvelope({0, 0});
+  });
 }
 
 }  // namespace serve

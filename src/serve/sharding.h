@@ -149,8 +149,10 @@ class ShardedEngine {
       ThreadPool* pool = nullptr) const;
 
   /// Warms every shard for the given query type / spec (in parallel on
-  /// `pool` when given) so no serving query pays a structure build.
-  /// Idempotent and thread-safe, like Engine::Warmup.
+  /// `pool` when given) so no serving query pays a structure build —
+  /// including the per-shard quantification index behind the merge hooks
+  /// (MaxDistEnvelope / SurvivalProbability) when the merge for `spec`
+  /// consults them. Idempotent and thread-safe, like Engine::Warmup.
   void Warmup(Engine::QueryType type, ThreadPool* pool = nullptr) const;
   void Warmup(const Engine::QuerySpec& spec, ThreadPool* pool = nullptr) const;
 

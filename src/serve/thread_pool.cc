@@ -20,19 +20,23 @@ ThreadPool::ThreadPool(int num_threads) {
 }
 
 ThreadPool::~ThreadPool() {
+  BeginShutdown();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::BeginShutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
   }
   cv_.notify_all();
-  for (auto& t : workers_) t.join();
 }
 
 void ThreadPool::Post(std::function<void()> fn) {
   UNN_CHECK_MSG(TryPost(std::move(fn)), "Post on a stopping ThreadPool");
 }
 
-bool ThreadPool::TryPost(std::function<void()> fn) {
+bool ThreadPool::TryPost(std::function<void()>&& fn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) return false;

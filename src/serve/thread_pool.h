@@ -35,6 +35,13 @@ class ThreadPool {
   explicit ThreadPool(int num_threads = 0);
   ~ThreadPool();
 
+  /// Flips the pool to stopping without joining: subsequent Post
+  /// CHECK-fails and TryPost returns false, while already-queued tasks
+  /// still drain and the workers keep running until the destructor joins
+  /// them. Idempotent and thread-safe. Lets an owner refuse new work
+  /// before its own teardown begins (QueryServer's shutdown drain).
+  void BeginShutdown();
+
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
@@ -43,6 +50,14 @@ class ThreadPool {
   /// Enqueues one task for any worker. Safe from any thread, including
   /// from inside a running task. O(1); CHECK-fails on a stopping pool.
   void Post(std::function<void()> fn);
+
+  /// Post that reports instead of CHECK-failing on a stopping pool:
+  /// returns false when the destructor has already begun, which is how
+  /// callers racing shutdown degrade to running the task inline
+  /// (QueryServer::Submit) or alone (ParallelFor). `fn` is consumed only
+  /// on success — on failure it is left intact, so the caller can still
+  /// run it itself. O(1).
+  bool TryPost(std::function<void()>&& fn);
 
   /// Splits [0, n) into contiguous blocks (about 2 per participant, so a
   /// straggler block cannot dominate the makespan), runs `fn(begin, end)`
@@ -55,8 +70,6 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
-  /// Post that reports instead of CHECK-failing on a stopping pool.
-  bool TryPost(std::function<void()> fn);
 
   std::mutex mu_;
   std::condition_variable cv_;

@@ -1,0 +1,328 @@
+// Oracle parity for the quantification index (core::QuantTree) against
+// the linear scans it replaces: MaxDistEnvelope must reproduce
+// core::TwoSmallestMaxDist bit-identically (values and argmin ties),
+// LogSurvival must match a linear log-space scan up to floating-point
+// associativity, and ArgminPointwise must match the definition-level
+// argmin scan exactly — on randomized and adversarial (coincident
+// duplicates, exact ties, certain points, mixed-model) inputs. Also the
+// satellite regressions: sublinear search effort, and the n = 10^5
+// survival product that underflows to zero unless accumulated in log
+// space (the form sharded probability merges rely on).
+
+#include <cmath>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/expected_nn.h"
+#include "core/quant_tree.h"
+#include "core/uncertain_point.h"
+#include "engine/engine.h"
+#include "prob/distance_cdf.h"
+#include "serve/sharding.h"
+#include "workload/generators.h"
+
+namespace unn {
+namespace core {
+namespace {
+
+using geom::Vec2;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// The linear log-space survival oracle — the canonical definition lives
+/// on the index itself.
+double LogSurvivalScan(const std::vector<UncertainPoint>& pts, Vec2 q,
+                       double r) {
+  return QuantTree::LogSurvivalScan(pts, q, r);
+}
+
+/// The definition-level argmin scan (first strict minimum, i.e. smallest
+/// id among minimizers) for any per-point value.
+template <class Fn>
+int ArgminScan(int n, const Fn& value) {
+  int best = -1;
+  double best_v = kInf;
+  for (int i = 0; i < n; ++i) {
+    double v = value(i);
+    if (v < best_v) {
+      best_v = v;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::vector<UncertainPoint> MixedPoints(int n, uint64_t seed) {
+  auto disks = workload::RandomDisks((n + 1) / 2, seed);
+  auto discrete = workload::RandomDiscrete(n / 2, 3, seed + 1);
+  std::vector<UncertainPoint> pts;
+  for (int i = 0; i < n; ++i) {
+    if (i % 2 == 0) {
+      pts.push_back(disks[i / 2]);
+    } else {
+      pts.push_back(discrete[i / 2]);
+    }
+  }
+  return pts;
+}
+
+std::vector<Vec2> ParityQueries(const std::vector<UncertainPoint>& pts,
+                                std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> pos(-12.0, 12.0);
+  std::vector<Vec2> qs;
+  for (int i = 0; i < 24; ++i) qs.push_back({pos(rng), pos(rng)});
+  // Queries on top of supports hit the degenerate branches of the bounds.
+  for (size_t i = 0; i < pts.size(); i += std::max<size_t>(pts.size() / 6, 1)) {
+    qs.push_back(pts[i].Bounds().Center());
+  }
+  qs.push_back({0, 0});
+  qs.push_back({250.0, -250.0});  // Far outside every support.
+  return qs;
+}
+
+void ExpectEnvelopeParity(const std::vector<UncertainPoint>& pts,
+                          const QuantTree& tree, Vec2 q) {
+  DeltaEnvelope want = TwoSmallestMaxDist(pts, q);
+  DeltaEnvelope got = tree.MaxDistEnvelope(q);
+  EXPECT_EQ(got.best, want.best);
+  EXPECT_EQ(got.second, want.second);
+  EXPECT_EQ(got.argbest, want.argbest);
+}
+
+TEST(QuantTreeEnvelope, MatchesScanOnRandomizedModels) {
+  std::mt19937_64 rng(71);
+  for (int n : {1, 2, 7, 33, 257}) {
+    for (int model = 0; model < 3; ++model) {
+      std::vector<UncertainPoint> pts =
+          model == 0   ? workload::RandomDiscrete(n, 3, 500 + n)
+          : model == 1 ? workload::RandomDisks(n, 600 + n)
+                       : MixedPoints(n, 700 + n);
+      QuantTree tree(&pts);
+      for (Vec2 q : ParityQueries(pts, rng)) ExpectEnvelopeParity(pts, tree, q);
+    }
+  }
+}
+
+TEST(QuantTreeEnvelope, TiesAndCoincidentDuplicates) {
+  // Four coincident disks, a symmetric ring of equal-MaxDist disks, two
+  // coincident certain points, and a lone spread point: the argmin must
+  // be the smallest id among the minimizers and the duplicate of the
+  // minimum must land in `second`, exactly as the linear scan reports.
+  std::vector<UncertainPoint> pts;
+  for (int i = 0; i < 4; ++i) pts.push_back(UncertainPoint::Disk({3, 0}, 1.0));
+  pts.push_back(UncertainPoint::Disk({-3, 0}, 1.0));
+  pts.push_back(UncertainPoint::Disk({0, 3}, 1.0));
+  pts.push_back(UncertainPoint::Disk({0, -3}, 1.0));
+  pts.push_back(UncertainPoint::Discrete({{1.5, 1.5}}, {1.0}));
+  pts.push_back(UncertainPoint::Discrete({{1.5, 1.5}}, {1.0}));
+  pts.push_back(UncertainPoint::Disk({6, -2}, 0.5));
+  QuantTree tree(&pts);
+
+  DeltaEnvelope at_origin = tree.MaxDistEnvelope({0, 0});
+  EXPECT_EQ(at_origin.argbest, 7);  // First of the coincident certain points.
+  EXPECT_EQ(at_origin.best, at_origin.second);  // Its duplicate ties.
+
+  std::mt19937_64 rng(72);
+  for (Vec2 q : ParityQueries(pts, rng)) ExpectEnvelopeParity(pts, tree, q);
+  // On the duplicate support itself (delta = Delta = 0 for the certain
+  // points) the envelope still matches.
+  ExpectEnvelopeParity(pts, tree, {1.5, 1.5});
+  ExpectEnvelopeParity(pts, tree, {3, 0});
+}
+
+TEST(QuantTreeEnvelope, SingleAndDegeneratePoints) {
+  std::vector<UncertainPoint> one = {UncertainPoint::Disk({2, 1}, 0.5)};
+  QuantTree tree(&one);
+  DeltaEnvelope env = tree.MaxDistEnvelope({0, 0});
+  EXPECT_EQ(env.argbest, 0);
+  EXPECT_EQ(env.second, kInf);
+  ExpectEnvelopeParity(one, tree, {2, 1});
+
+  std::vector<UncertainPoint> none;
+  QuantTree empty(&none);
+  EXPECT_EQ(empty.MaxDistEnvelope({0, 0}).argbest, -1);
+  EXPECT_EQ(empty.LogSurvival({0, 0}, 5.0), 0.0);
+}
+
+TEST(QuantTreeSurvival, MatchesLogScanOnRandomizedModels) {
+  std::mt19937_64 rng(73);
+  for (int n : {1, 6, 40, 150}) {
+    for (int model = 0; model < 3; ++model) {
+      std::vector<UncertainPoint> pts =
+          model == 0   ? workload::RandomDiscrete(n, 2, 800 + n)
+          : model == 1 ? workload::RandomDisks(n, 900 + n)
+                       : MixedPoints(n, 1000 + n);
+      QuantTree tree(&pts);
+      for (Vec2 q : ParityQueries(pts, rng)) {
+        for (double r : {0.1, 1.0, 4.0, 20.0}) {
+          double want = LogSurvivalScan(pts, q, r);
+          double got = tree.LogSurvival(q, r);
+          if (std::isinf(want)) {
+            EXPECT_EQ(got, want) << "q=(" << q.x << "," << q.y << ") r=" << r;
+          } else {
+            EXPECT_NEAR(got, want, 1e-12 * (1.0 + std::abs(want)))
+                << "q=(" << q.x << "," << q.y << ") r=" << r;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(QuantTreeSurvival, VisitsOnlyIntersectingSupports) {
+  // A tight far cluster and three near disks: a small ball around the
+  // origin intersects only the near supports, so the cluster contributes
+  // factor 1 without being evaluated.
+  std::vector<UncertainPoint> pts;
+  std::mt19937_64 rng(74);
+  std::uniform_real_distribution<double> jit(-0.5, 0.5);
+  for (int i = 0; i < 1000; ++i) {
+    pts.push_back(UncertainPoint::Disk({100.0 + jit(rng), jit(rng)}, 0.3));
+  }
+  pts.push_back(UncertainPoint::Disk({1, 0}, 0.5));
+  pts.push_back(UncertainPoint::Disk({0, 1}, 0.5));
+  pts.push_back(UncertainPoint::Disk({-1, -1}, 0.5));
+  QuantTree tree(&pts);
+
+  // r = 1.2 cuts each near disk partially (cdf strictly inside (0, 1)).
+  QuantTree::QueryStats stats;
+  double got = tree.LogSurvival({0, 0}, 1.2, &stats);
+  EXPECT_EQ(stats.points_evaluated, 3);
+  EXPECT_NEAR(got, LogSurvivalScan(pts, {0, 0}, 1.2), 1e-12);
+}
+
+TEST(QuantTreeEnvelope, SublinearEffortWithDistantCluster) {
+  // Same geometry for the envelope: once the near points pin best/second,
+  // the cluster's lower bound (~99) prunes it wholesale.
+  std::vector<UncertainPoint> pts;
+  std::mt19937_64 rng(75);
+  std::uniform_real_distribution<double> jit(-0.5, 0.5);
+  for (int i = 0; i < 1000; ++i) {
+    pts.push_back(UncertainPoint::Disk({100.0 + jit(rng), jit(rng)}, 0.3));
+  }
+  pts.push_back(UncertainPoint::Disk({1, 0}, 0.5));
+  pts.push_back(UncertainPoint::Disk({0, 1}, 0.5));
+  pts.push_back(UncertainPoint::Disk({-1, -1}, 0.5));
+  QuantTree tree(&pts);
+
+  QuantTree::QueryStats stats;
+  ExpectEnvelopeParity(pts, tree, {0, 0});
+  tree.MaxDistEnvelope({0, 0}, &stats);
+  EXPECT_LT(stats.points_evaluated, 200);  // n = 1003.
+}
+
+TEST(QuantTreeArgmin, MatchesDefinitionScan) {
+  std::mt19937_64 rng(76);
+  for (int n : {1, 5, 64, 300}) {
+    auto pts = MixedPoints(n, 1100 + n);
+    QuantTree tree(&pts);
+    for (Vec2 q : ParityQueries(pts, rng)) {
+      // MaxDist is a valid pointwise value (>= MinDist everywhere).
+      auto value = [&](int i) { return pts[i].MaxDist(q); };
+      EXPECT_EQ(tree.ArgminPointwise(q, value), ArgminScan(n, value));
+    }
+  }
+}
+
+TEST(QuantTreeArgmin, MatchesExpectedDistanceScan) {
+  auto pts = MixedPoints(40, 77);
+  ExpectedNn expected(pts);
+  QuantTree tree(&pts);
+  std::mt19937_64 rng(78);
+  for (Vec2 q : ParityQueries(pts, rng)) {
+    auto value = [&](int i) { return expected.ExpectedDistance(i, q, 1e-8); };
+    EXPECT_EQ(tree.ArgminPointwise(q, value),
+              ArgminScan(static_cast<int>(pts.size()), value));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine hooks: index-backed, StructuresBuilt-visible, log-space survival
+// ---------------------------------------------------------------------------
+
+TEST(EngineQuantHooks, MatchScansAndBuildOnce) {
+  auto pts = MixedPoints(60, 79);
+  Engine engine(pts, {});
+  EXPECT_EQ(engine.StructuresBuilt(), 0);
+  std::mt19937_64 rng(80);
+  for (Vec2 q : ParityQueries(pts, rng)) {
+    DeltaEnvelope want = TwoSmallestMaxDist(pts, q);
+    DeltaEnvelope got = engine.MaxDistEnvelope(q);
+    EXPECT_EQ(got.best, want.best);
+    EXPECT_EQ(got.second, want.second);
+    EXPECT_EQ(got.argbest, want.argbest);
+    for (double r : {0.5, 3.0}) {
+      double want_log = LogSurvivalScan(pts, q, r);
+      double got_log = engine.LogSurvivalProbability(q, r);
+      if (std::isinf(want_log)) {
+        EXPECT_EQ(got_log, want_log);
+      } else {
+        EXPECT_NEAR(got_log, want_log, 1e-12 * (1.0 + std::abs(want_log)));
+      }
+      EXPECT_DOUBLE_EQ(engine.SurvivalProbability(q, r), std::exp(got_log));
+    }
+  }
+  // All of the above is served by the one quantification index.
+  EXPECT_EQ(engine.StructuresBuilt(), 1);
+}
+
+TEST(EngineQuantHooks, SurvivalUnderflowStaysExactInLogSpace) {
+  // 10^5 points, each with a 0.024-weight site inside the ball: every
+  // survival factor is 1 - 0.024, so the full product is
+  // exp(1e5 * log1p(-0.024)) ~ exp(-2430) — far below the smallest
+  // double. The naive factor-by-factor product (the old implementation)
+  // underflows into denormal garbage, and the product of the four
+  // per-shard survivals underflows to exactly 0.0 even though each
+  // factor is representable; the log-space hook keeps the merge exact.
+  const int n = 100000;
+  const double w = 0.024;
+  std::vector<UncertainPoint> pts;
+  pts.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    double ang = 6.283185307179586 * i / n;
+    Vec2 near{5.0 * std::cos(ang), 5.0 * std::sin(ang)};
+    Vec2 far{1000.0 * std::cos(ang), 1000.0 * std::sin(ang)};
+    pts.push_back(UncertainPoint::Discrete({near, far}, {w, 1.0 - w}));
+  }
+  Vec2 q{0, 0};
+  double r = 6.0;
+
+  // The regression: the naive factor-by-factor product collapses into the
+  // denormal range (near-1 factors pin it at a few ulps above zero), a
+  // catastrophic ~10^700x error against the true exp(-2430).
+  double naive = 1.0;
+  for (const UncertainPoint& p : pts) {
+    naive *= 1.0 - prob::DistanceCdf(p, q, r);
+  }
+  EXPECT_LT(naive, 1e-300);
+
+  Engine whole(pts, {});
+  double want_log = n * std::log1p(-w);
+  double got_log = whole.LogSurvivalProbability(q, r);
+  EXPECT_TRUE(std::isfinite(got_log));
+  EXPECT_NEAR(got_log, want_log, 1e-9 * std::abs(want_log));
+  EXPECT_EQ(whole.SurvivalProbability(q, r), 0.0);  // exp still underflows.
+
+  // Per-shard factorization in log space: the shard sums reproduce the
+  // whole-set log survival even though the shard survivals' product
+  // underflows to zero.
+  serve::ShardedEngine sharded(pts, {}, {4, serve::Partitioning::kRoundRobin});
+  double log_sum = 0.0;
+  double prod = 1.0;
+  for (int s = 0; s < sharded.num_shards(); ++s) {
+    double shard_log = sharded.shard(s).LogSurvivalProbability(q, r);
+    EXPECT_TRUE(std::isfinite(shard_log));
+    EXPECT_GT(sharded.shard(s).SurvivalProbability(q, r), 0.0);
+    log_sum += shard_log;
+    prod *= sharded.shard(s).SurvivalProbability(q, r);
+  }
+  EXPECT_EQ(prod, 0.0);
+  EXPECT_NEAR(log_sum, got_log, 1e-9 * std::abs(got_log));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace unn

@@ -5,7 +5,9 @@
 // QueryBatch against ReplaceDataset.
 
 #include <atomic>
+#include <chrono>
 #include <future>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -170,6 +172,63 @@ TEST(QueryServerStress, EightClientsWithConcurrentSnapshotSwap) {
   for (size_t i = 0; i < qs.size(); ++i) {
     EXPECT_EQ(final_results[i].nn, ans_b[i]);
   }
+}
+
+TEST(QueryServerStress, SubmitRacingShutdownAnswersInline) {
+  // Regression for the shutdown race: a Submit that lands after the
+  // server's pool has flipped to stopping used to hard-abort in
+  // ThreadPool::Post; it must instead run inline against the pinned
+  // snapshot. The pool's workers are parked on a gate so the destructor
+  // blocks mid-join with the queue refusing new tasks, while a second
+  // thread keeps submitting; every future must still produce the oracle
+  // answer.
+  auto pts = workload::RandomDiscrete(16, 2, 105);
+  Engine::QuerySpec spec{Engine::QueryType::kMostProbableNn, 0.5, 1};
+  Engine oracle(pts, {});
+  Vec2 q{0.25, -0.5};
+  int want = oracle.MostProbableNn(q);
+
+  constexpr int kWorkers = 2;
+  auto server = std::make_unique<serve::QueryServer>(
+      pts, Engine::Config{},
+      serve::QueryServer::Options{
+          .num_threads = kWorkers,
+          .warm = {Engine::QueryType::kMostProbableNn}});
+
+  std::atomic<int> gated{0};
+  std::atomic<bool> release{false};
+  for (int i = 0; i < kWorkers; ++i) {
+    server->pool().Post([&] {
+      gated.fetch_add(1);
+      while (!release.load()) std::this_thread::yield();
+    });
+  }
+  while (gated.load() < kWorkers) std::this_thread::yield();
+
+  // Queued before shutdown: these sit behind the gate and drain while the
+  // destructor joins the workers.
+  std::vector<std::future<Engine::QueryResult>> queued;
+  for (int i = 0; i < 4; ++i) queued.push_back(server->Submit(q, spec));
+
+  // unique_ptr::reset nulls its pointer before the (blocking) destructor
+  // runs, so the racing submitter must address the object directly.
+  serve::QueryServer* raw = server.get();
+  std::atomic<bool> destroying{false};
+  std::thread submitter([&] {
+    while (!destroying.load()) std::this_thread::yield();
+    // Give the destructor time to reach the pool teardown; submits that
+    // still win the race simply enqueue and drain like the ones above.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    std::vector<std::future<Engine::QueryResult>> racing;
+    for (int i = 0; i < 32; ++i) racing.push_back(raw->Submit(q, spec));
+    release.store(true);  // Unpark the workers; the destructor finishes.
+    for (auto& fut : racing) EXPECT_EQ(fut.get().nn, want);
+  });
+
+  destroying.store(true);
+  server.reset();  // Blocks joining the gated workers until `release`.
+  submitter.join();
+  for (auto& fut : queued) EXPECT_EQ(fut.get().nn, want);
 }
 
 }  // namespace

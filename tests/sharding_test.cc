@@ -406,6 +406,58 @@ TEST(ShardMerge, MergeEnvelopesMatchesGlobalScan) {
   }
 }
 
+TEST(ShardMerge, EnvelopeTieSemanticsAcrossShards) {
+  // Coincident duplicate supports and exact equal-MaxDist ties, split
+  // across shards at every K by both partitioners: the merged envelope
+  // must reproduce the single-Engine linear scan exactly — best, second,
+  // the smallest-id argbest, and the per-id ThresholdFor Lemma 2.1
+  // consumes — and the index-backed Engine hook must agree; the merged
+  // NN!=0 answer built on those thresholds must match the oracle too.
+  std::vector<UncertainPoint> pts;
+  for (int i = 0; i < 4; ++i) pts.push_back(UncertainPoint::Disk({3, 0}, 1.0));
+  pts.push_back(UncertainPoint::Disk({-3, 0}, 1.0));  // Ties (3,0) at origin.
+  pts.push_back(UncertainPoint::Disk({0, 3}, 1.0));
+  pts.push_back(UncertainPoint::Disk({0, -3}, 1.0));
+  pts.push_back(UncertainPoint::Discrete({{1.5, 1.5}}, {1.0}));
+  pts.push_back(UncertainPoint::Discrete({{1.5, 1.5}}, {1.0}));
+  pts.push_back(UncertainPoint::Disk({6, -2}, 0.5));
+  pts.push_back(UncertainPoint::DiscreteUniform({{-5, 2}, {-4, 3}}));
+
+  Engine::Config cfg;
+  Engine whole(pts, cfg);
+  std::vector<Vec2> qs = GridQueries(6);
+  qs.push_back({0, 0});        // All ring disks tie at MaxDist 4.
+  qs.push_back({1.5, 1.5});    // On the coincident certain points.
+  qs.push_back({3, 0});        // Center of the duplicate disks.
+
+  for (int k : kShardCounts) {
+    for (auto part : kPartitioners) {
+      serve::ShardedEngine sharded(pts, cfg, {k, part});
+      for (Vec2 q : qs) {
+        std::vector<core::DeltaEnvelope> local;
+        std::vector<serve::ShardView> views;
+        for (int s = 0; s < sharded.num_shards(); ++s) {
+          local.push_back(sharded.shard(s).MaxDistEnvelope(q));
+          views.push_back({&sharded.shard(s), &sharded.global_ids(s)});
+        }
+        core::DeltaEnvelope merged = serve::MergeEnvelopes(local, views);
+        core::DeltaEnvelope scan = core::TwoSmallestMaxDist(pts, q);
+        core::DeltaEnvelope index = whole.MaxDistEnvelope(q);
+        EXPECT_EQ(merged.best, scan.best);
+        EXPECT_EQ(merged.second, scan.second);
+        EXPECT_EQ(merged.argbest, scan.argbest);
+        EXPECT_EQ(index.best, scan.best);
+        EXPECT_EQ(index.second, scan.second);
+        EXPECT_EQ(index.argbest, scan.argbest);
+        for (int id = 0; id < whole.size(); ++id) {
+          EXPECT_EQ(merged.ThresholdFor(id), scan.ThresholdFor(id)) << id;
+        }
+        EXPECT_EQ(sharded.NonzeroNn(q), whole.NonzeroNn(q));
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Sharded QueryServer
 // ---------------------------------------------------------------------------
