@@ -61,7 +61,20 @@ class JsonEmitter {
 
   void Metric(const std::string& key, double value) {
     if (rows_.empty()) rows_.emplace_back();
-    rows_.back().push_back({key, value});
+    char buf[64];
+    if (std::isfinite(value)) {
+      std::snprintf(buf, sizeof buf, "%.17g", value);
+    } else {
+      std::snprintf(buf, sizeof buf, "null");
+    }
+    rows_.back().push_back({key, buf});
+  }
+
+  /// A string-valued field (e.g. which structure a row measures). The
+  /// value must not need JSON escaping (labels only).
+  void Str(const std::string& key, const std::string& value) {
+    if (rows_.empty()) rows_.emplace_back();
+    rows_.back().push_back({key, "\"" + value + "\""});
   }
 
   std::string ToJson() const {
@@ -71,13 +84,7 @@ class JsonEmitter {
       out += "  {";
       for (size_t m = 0; m < rows_[r].size(); ++m) {
         if (m > 0) out += ", ";
-        char buf[64];
-        if (std::isfinite(rows_[r][m].second)) {
-          std::snprintf(buf, sizeof buf, "%.17g", rows_[r][m].second);
-        } else {
-          std::snprintf(buf, sizeof buf, "null");
-        }
-        out += "\"" + rows_[r][m].first + "\": " + buf;
+        out += "\"" + rows_[r][m].first + "\": " + rows_[r][m].second;
       }
       out += "}";
     }
@@ -102,7 +109,8 @@ class JsonEmitter {
 
  private:
   std::string experiment_;
-  std::vector<std::vector<std::pair<std::string, double>>> rows_;
+  /// Per row: (key, already-serialized JSON value).
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
 };
 
 class Timer {

@@ -7,6 +7,7 @@
 
 #include "prob/distance_cdf.h"
 #include "prob/quadrature.h"
+#include "spatial/traverse.h"
 #include "util/check.h"
 
 namespace unn {
@@ -56,68 +57,31 @@ ExpectedNn::ExpectedNn(std::vector<UncertainPoint> points)
       var_.push_back(var);
     }
   }
-  order_.resize(points_.size());
-  std::iota(order_.begin(), order_.end(), 0);
-  root_ = Build(0, static_cast<int>(points_.size()), 0);
-}
-
-int ExpectedNn::Build(int begin, int end, int depth) {
-  Node node;
-  node.var_min = std::numeric_limits<double>::infinity();
-  for (int i = begin; i < end; ++i) {
-    node.box.Expand(mean_[order_[i]]);
-    node.var_min = std::min(node.var_min, var_[order_[i]]);
-  }
-  int id = static_cast<int>(nodes_.size());
-  nodes_.push_back(node);
-  if (end - begin <= kLeaf) {
-    nodes_[id].begin = begin;
-    nodes_[id].end = end;
-    return id;
-  }
-  int mid = (begin + end) / 2;
-  bool by_x = (depth % 2 == 0);
-  std::nth_element(order_.begin() + begin, order_.begin() + mid,
-                   order_.begin() + end, [&](int a, int b) {
-                     return by_x ? mean_[a].x < mean_[b].x
-                                 : mean_[a].y < mean_[b].y;
-                   });
-  int l = Build(begin, mid, depth + 1);
-  int r = Build(mid, end, depth + 1);
-  nodes_[id].left = l;
-  nodes_[id].right = r;
-  return id;
-}
-
-void ExpectedNn::QueryRec(int node, Vec2 q, double* best, int* arg) const {
-  const Node& n = nodes_[node];
-  if (n.box.DistSqTo(q) + n.var_min >= *best) return;
-  if (n.left < 0) {
-    for (int i = n.begin; i < n.end; ++i) {
-      int id = order_[i];
-      double v = DistSq(q, mean_[id]) + var_[id];
-      if (v < *best) {
-        *best = v;
-        *arg = id;
-      }
-    }
-    return;
-  }
-  double dl = nodes_[n.left].box.DistSqTo(q) + nodes_[n.left].var_min;
-  double dr = nodes_[n.right].box.DistSqTo(q) + nodes_[n.right].var_min;
-  if (dl <= dr) {
-    QueryRec(n.left, q, best, arg);
-    QueryRec(n.right, q, best, arg);
-  } else {
-    QueryRec(n.right, q, best, arg);
-    QueryRec(n.left, q, best, arg);
-  }
+  tree_ = spatial::FlatKdTree<spatial::MinAugment>(
+      mean_, {.leaf_size = kLeaf, .split = spatial::SplitRule::kAlternate},
+      spatial::MinAugment(&var_));
 }
 
 int ExpectedNn::QuerySquared(Vec2 q) const {
   double best = std::numeric_limits<double>::infinity();
   int arg = -1;
-  QueryRec(root_, q, &best, &arg);
+  // Subtree lower bound on E[d(q,P)^2]: squared box distance plus the
+  // smallest variance in the subtree.
+  auto lb = [&](int n) {
+    return tree_.box(n).DistSqTo(q) + tree_.aug().min(n);
+  };
+  spatial::PrunedVisitOrdered(
+      tree_, lb, [&](int n) { return lb(n) >= best; },
+      [&](int n) {
+        for (int i = tree_.begin(n); i < tree_.end(n); ++i) {
+          int id = tree_.item(i);
+          double v = DistSq(q, mean_[id]) + var_[id];
+          if (v < best) {
+            best = v;
+            arg = id;
+          }
+        }
+      });
   return arg;
 }
 

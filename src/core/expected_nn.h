@@ -5,6 +5,7 @@
 
 #include "core/uncertain_point.h"
 #include "geom/vec2.h"
+#include "spatial/flat_tree.h"
 
 /// \file expected_nn.h
 /// The expected-distance nearest neighbor of the companion paper I
@@ -54,22 +55,13 @@ class ExpectedNn {
   double variance(int i) const { return var_[i]; }
 
  private:
-  struct Node {
-    geom::Box box;
-    double var_min = 0.0;
-    int left = -1, right = -1;
-    int begin = 0, end = 0;
-  };
-
-  int Build(int begin, int end, int depth);
-  void QueryRec(int node, geom::Vec2 q, double* best, int* arg) const;
-
   std::vector<UncertainPoint> points_;
   std::vector<geom::Vec2> mean_;
   std::vector<double> var_;
-  std::vector<int> order_;
-  std::vector<Node> nodes_;
-  int root_ = -1;
+  /// Kd-tree over the means, augmented with the subtree minimum variance:
+  /// E[d(q,P)^2] = d(q, mu)^2 + Var is a power-like weighted distance, so
+  /// box-distance-plus-min-variance is a valid subtree lower bound.
+  spatial::FlatKdTree<spatial::MinAugment> tree_;
 };
 
 }  // namespace core

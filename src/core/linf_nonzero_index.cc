@@ -1,16 +1,14 @@
 #include "core/linf_nonzero_index.h"
 
 #include <algorithm>
-#include <cmath>
 #include <limits>
-#include <numeric>
 
+#include "spatial/traverse.h"
 #include "util/check.h"
 
 namespace unn {
 namespace core {
 
-using geom::Box;
 using geom::Vec2;
 
 namespace {
@@ -20,104 +18,81 @@ constexpr int kLeaf = 8;
 LinfNonzeroIndex::LinfNonzeroIndex(std::vector<SquareRegion> squares)
     : squares_(std::move(squares)) {
   UNN_CHECK(!squares_.empty());
-  for (const auto& s : squares_) UNN_CHECK(s.half_side >= 0);
-  order_.resize(squares_.size());
-  std::iota(order_.begin(), order_.end(), 0);
-  root_ = Build(0, static_cast<int>(squares_.size()), 0);
+  // Build-only SoA views of the squares; the augment seals (drops its
+  // pointer) when the build finishes, so locals suffice.
+  std::vector<geom::Vec2> centers;
+  std::vector<double> half_sides;
+  for (const auto& s : squares_) {
+    UNN_CHECK(s.half_side >= 0);
+    centers.push_back(s.center);
+    half_sides.push_back(s.half_side);
+  }
+  tree_ = spatial::FlatKdTree<spatial::MinMaxAugment>(
+      centers, {.leaf_size = kLeaf, .split = spatial::SplitRule::kAlternate},
+      spatial::MinMaxAugment(&half_sides));
 }
 
-double LinfNonzeroIndex::ChebToBox(Vec2 q, const Box& b) {
-  double dx = std::max({b.lo.x - q.x, 0.0, q.x - b.hi.x});
-  double dy = std::max({b.lo.y - q.y, 0.0, q.y - b.hi.y});
-  return std::max(dx, dy);
+LinfNonzeroIndex::Envelope LinfNonzeroIndex::DeltaEnvelope2(Vec2 q) const {
+  Envelope env{std::numeric_limits<double>::infinity(),
+               std::numeric_limits<double>::infinity(), -1};
+  spatial::PrunedVisit(
+      tree_,
+      // Prune against `second` so both smallest Delta values survive
+      // (exact j != i semantics, as in the L2 discrete index).
+      [&](int n) {
+        return geom::ChebyshevDistToBox(q, tree_.box(n)) + tree_.aug().min(n) >=
+               env.second;
+      },
+      [&](int n) {
+        for (int i = tree_.begin(n); i < tree_.end(n); ++i) {
+          int id = tree_.item(i);
+          double v =
+              ChebyshevDist(q, squares_[id].center) + squares_[id].half_side;
+          if (v < env.best) {
+            env.second = env.best;
+            env.best = v;
+            env.argbest = id;
+          } else {
+            env.second = std::min(env.second, v);
+          }
+        }
+        return true;
+      });
+  return env;
 }
 
-int LinfNonzeroIndex::Build(int begin, int end, int depth) {
-  Node node;
-  node.r_min = std::numeric_limits<double>::infinity();
-  for (int i = begin; i < end; ++i) {
-    node.box.Expand(squares_[order_[i]].center);
-    node.r_min = std::min(node.r_min, squares_[order_[i]].half_side);
-    node.r_max = std::max(node.r_max, squares_[order_[i]].half_side);
-  }
-  int id = static_cast<int>(nodes_.size());
-  nodes_.push_back(node);
-  if (end - begin <= kLeaf) {
-    nodes_[id].begin = begin;
-    nodes_[id].end = end;
-    return id;
-  }
-  int mid = (begin + end) / 2;
-  bool by_x = (depth % 2 == 0);
-  std::nth_element(order_.begin() + begin, order_.begin() + mid,
-                   order_.begin() + end, [&](int a, int b) {
-                     return by_x ? squares_[a].center.x < squares_[b].center.x
-                                 : squares_[a].center.y < squares_[b].center.y;
-                   });
-  nodes_[id].left = Build(begin, mid, depth + 1);
-  nodes_[id].right = Build(mid, end, depth + 1);
-  return id;
-}
-
-void LinfNonzeroIndex::DeltaRec(int node, Vec2 q, Envelope* env) const {
-  const Node& n = nodes_[node];
-  // Prune against `second` so both smallest Delta values survive (exact
-  // j != i semantics, as in the L2 discrete index).
-  if (ChebToBox(q, n.box) + n.r_min >= env->second) return;
-  if (n.left < 0) {
-    for (int i = n.begin; i < n.end; ++i) {
-      int id = order_[i];
-      double v = ChebyshevDist(q, squares_[id].center) + squares_[id].half_side;
-      if (v < env->best) {
-        env->second = env->best;
-        env->best = v;
-        env->argbest = id;
-      } else {
-        env->second = std::min(env->second, v);
-      }
-    }
-    return;
-  }
-  DeltaRec(n.left, q, env);
-  DeltaRec(n.right, q, env);
-}
-
-void LinfNonzeroIndex::ReportRec(int node, Vec2 q, double bound,
-                                 std::vector<int>* out) const {
-  const Node& n = nodes_[node];
-  if (ChebToBox(q, n.box) - n.r_max >= bound) return;
-  if (n.left < 0) {
-    for (int i = n.begin; i < n.end; ++i) {
-      int id = order_[i];
-      double d = std::max(
-          ChebyshevDist(q, squares_[id].center) - squares_[id].half_side, 0.0);
-      if (d < bound) out->push_back(id);
-    }
-    return;
-  }
-  ReportRec(n.left, q, bound, out);
-  ReportRec(n.right, q, bound, out);
+void LinfNonzeroIndex::ReportLess(Vec2 q, double bound,
+                                  std::vector<int>* out) const {
+  spatial::PrunedVisit(
+      tree_,
+      [&](int n) {
+        return geom::ChebyshevDistToBox(q, tree_.box(n)) - tree_.aug().max(n) >=
+               bound;
+      },
+      [&](int n) {
+        for (int i = tree_.begin(n); i < tree_.end(n); ++i) {
+          int id = tree_.item(i);
+          double d = std::max(
+              ChebyshevDist(q, squares_[id].center) - squares_[id].half_side,
+              0.0);
+          if (d < bound) out->push_back(id);
+        }
+        return true;
+      });
 }
 
 double LinfNonzeroIndex::MinDist(int i, Vec2 q) const {
-  return std::max(ChebyshevDist(q, squares_[i].center) - squares_[i].half_side,
-                  0.0);
+  return std::max(
+      ChebyshevDist(q, squares_[i].center) - squares_[i].half_side, 0.0);
 }
 
-double LinfNonzeroIndex::Delta(Vec2 q) const {
-  Envelope env{std::numeric_limits<double>::infinity(),
-               std::numeric_limits<double>::infinity(), -1};
-  DeltaRec(root_, q, &env);
-  return env.best;
-}
+double LinfNonzeroIndex::Delta(Vec2 q) const { return DeltaEnvelope2(q).best; }
 
 std::vector<int> LinfNonzeroIndex::Query(Vec2 q) const {
   if (squares_.size() == 1) return {0};
-  Envelope env{std::numeric_limits<double>::infinity(),
-               std::numeric_limits<double>::infinity(), -1};
-  DeltaRec(root_, q, &env);
+  Envelope env = DeltaEnvelope2(q);
   std::vector<int> out;
-  ReportRec(root_, q, env.best, &out);
+  ReportLess(q, env.best, &out);
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   bool arg_in = std::binary_search(out.begin(), out.end(), env.argbest);

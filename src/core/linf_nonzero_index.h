@@ -3,7 +3,9 @@
 
 #include <vector>
 
+#include "geom/box_metrics.h"
 #include "geom/vec2.h"
+#include "spatial/flat_tree.h"
 
 /// \file linf_nonzero_index.h
 /// Theorem 3.1, Remark (ii): NN!=0 queries under the L_inf metric with
@@ -14,7 +16,9 @@
 /// intersecting the L_inf ball of that radius. The paper serves stage two
 /// with square-intersection range structures in O(log^2 n + t) time from
 /// O(n log^2 n) space; here the same branch-and-bound tree pattern as the
-/// L2 index answers both stages output-sensitively from O(n) space.
+/// L2 index answers both stages output-sensitively from O(n) space — the
+/// shared spatial core with a min/max half-side augmentation, pruned with
+/// the Chebyshev point-to-box distance from geom/box_metrics.h.
 /// Lemma 2.1's j != i semantics are handled exactly as in the L2 case.
 
 namespace unn {
@@ -26,10 +30,8 @@ struct SquareRegion {
   double half_side = 0.0;
 };
 
-/// Chebyshev (L_inf) distance.
-inline double ChebyshevDist(geom::Vec2 a, geom::Vec2 b) {
-  return std::max(std::abs(a.x - b.x), std::abs(a.y - b.y));
-}
+/// Chebyshev (L_inf) distance; the shared definition lives in geom.
+using geom::ChebyshevDist;
 
 class LinfNonzeroIndex {
  public:
@@ -46,28 +48,16 @@ class LinfNonzeroIndex {
   double MinDist(int i, geom::Vec2 q) const;
 
  private:
-  struct Node {
-    geom::Box box;
-    double r_min = 0.0;
-    double r_max = 0.0;
-    int left = -1, right = -1;
-    int begin = 0, end = 0;
-  };
   struct Envelope {
     double best, second;
     int argbest;
   };
 
-  int Build(int begin, int end, int depth);
-  void DeltaRec(int node, geom::Vec2 q, Envelope* env) const;
-  void ReportRec(int node, geom::Vec2 q, double bound,
-                 std::vector<int>* out) const;
-  static double ChebToBox(geom::Vec2 q, const geom::Box& b);
+  Envelope DeltaEnvelope2(geom::Vec2 q) const;
+  void ReportLess(geom::Vec2 q, double bound, std::vector<int>* out) const;
 
   std::vector<SquareRegion> squares_;
-  std::vector<int> order_;
-  std::vector<Node> nodes_;
-  int root_ = -1;
+  spatial::FlatKdTree<spatial::MinMaxAugment> tree_;
 };
 
 }  // namespace core

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <numeric>
 
+#include "spatial/traverse.h"
 #include "util/check.h"
 
 namespace unn {
@@ -21,92 +21,60 @@ NnNonzeroDiscreteIndex::NnNonzeroDiscreteIndex(
     : points_(std::move(points)) {
   UNN_CHECK(!points_.empty());
   std::vector<Vec2> sites;
+  // Build-only SoA views of the group SEBs; the augment seals (drops its
+  // pointer) when the build finishes, so locals suffice.
+  std::vector<Vec2> seb_centers;
+  std::vector<double> seb_radii;
   for (size_t i = 0; i < points_.size(); ++i) {
     const auto& p = points_[i];
     UNN_CHECK_MSG(!p.is_disk(), "NnNonzeroDiscreteIndex is for discrete models");
     group_seb_.push_back(geom::SmallestEnclosingCircle(p.sites()));
+    seb_centers.push_back(group_seb_.back().center);
+    seb_radii.push_back(group_seb_.back().radius);
     for (Vec2 s : p.sites()) {
       sites.push_back(s);
       site_owner_.push_back(static_cast<int>(i));
     }
   }
   site_tree_ = std::make_unique<range::KdTree>(std::move(sites));
-  group_order_.resize(points_.size());
-  std::iota(group_order_.begin(), group_order_.end(), 0);
-  group_root_ = BuildGroups(0, static_cast<int>(points_.size()), 0);
-}
-
-int NnNonzeroDiscreteIndex::BuildGroups(int begin, int end, int depth) {
-  GroupNode node;
-  node.r_min = std::numeric_limits<double>::infinity();
-  for (int i = begin; i < end; ++i) {
-    node.box.Expand(group_seb_[group_order_[i]].center);
-    node.r_min = std::min(node.r_min, group_seb_[group_order_[i]].radius);
-  }
-  int id = static_cast<int>(group_nodes_.size());
-  group_nodes_.push_back(node);
-  if (end - begin <= kLeafGroups) {
-    group_nodes_[id].begin = begin;
-    group_nodes_[id].end = end;
-    return id;
-  }
-  int mid = (begin + end) / 2;
-  bool by_x = (depth % 2 == 0);
-  std::nth_element(group_order_.begin() + begin, group_order_.begin() + mid,
-                   group_order_.begin() + end, [&](int a, int b) {
-                     return by_x ? group_seb_[a].center.x < group_seb_[b].center.x
-                                 : group_seb_[a].center.y < group_seb_[b].center.y;
-                   });
-  int l = BuildGroups(begin, mid, depth + 1);
-  int r = BuildGroups(mid, end, depth + 1);
-  group_nodes_[id].left = l;
-  group_nodes_[id].right = r;
-  return id;
-}
-
-void NnNonzeroDiscreteIndex::DeltaRec(int node, Vec2 q,
-                                      DeltaEnvelope* env) const {
-  const GroupNode& n = group_nodes_[node];
-  // Lower bound on Delta_i(q) over the subtree: with SEB (c, R),
-  // Delta_i(q) >= sqrt(d(q,c)^2 + R^2) >= sqrt(d(q,box)^2 + r_min^2).
-  // Prune against `second` so both smallest values survive.
-  double d2 = n.box.DistSqTo(q);
-  double lb = std::sqrt(d2 + n.r_min * n.r_min);
-  if (lb >= env->second) return;
-  if (n.left < 0) {
-    for (int i = n.begin; i < n.end; ++i) {
-      int g = group_order_[i];
-      const geom::Circle& seb = group_seb_[g];
-      double group_lb =
-          std::sqrt(DistSq(q, seb.center) + seb.radius * seb.radius);
-      if (group_lb >= env->second) continue;
-      double v = points_[g].MaxDist(q);
-      if (v < env->best) {
-        env->second = env->best;
-        env->best = v;
-        env->argbest = g;
-      } else {
-        env->second = std::min(env->second, v);
-      }
-    }
-    return;
-  }
-  double dl = std::sqrt(group_nodes_[n.left].box.DistSqTo(q));
-  double dr = std::sqrt(group_nodes_[n.right].box.DistSqTo(q));
-  if (dl <= dr) {
-    DeltaRec(n.left, q, env);
-    DeltaRec(n.right, q, env);
-  } else {
-    DeltaRec(n.right, q, env);
-    DeltaRec(n.left, q, env);
-  }
+  group_tree_ = spatial::FlatKdTree<spatial::MinAugment>(
+      seb_centers,
+      {.leaf_size = kLeafGroups, .split = spatial::SplitRule::kAlternate},
+      spatial::MinAugment(&seb_radii));
 }
 
 DeltaEnvelope NnNonzeroDiscreteIndex::DeltaPair(Vec2 q) const {
   DeltaEnvelope env;
   env.best = std::numeric_limits<double>::infinity();
   env.second = std::numeric_limits<double>::infinity();
-  DeltaRec(group_root_, q, &env);
+  spatial::PrunedVisitOrdered(
+      group_tree_,
+      [&](int n) { return std::sqrt(group_tree_.box(n).DistSqTo(q)); },
+      // Lower bound on Delta_i(q) over the subtree: with SEB (c, R),
+      // Delta_i(q) >= sqrt(d(q,c)^2 + R^2) >= sqrt(d(q,box)^2 + r_min^2).
+      // Prune against `second` so both smallest values survive.
+      [&](int n) {
+        double r_min = group_tree_.aug().min(n);
+        return std::sqrt(group_tree_.box(n).DistSqTo(q) + r_min * r_min) >=
+               env.second;
+      },
+      [&](int n) {
+        for (int i = group_tree_.begin(n); i < group_tree_.end(n); ++i) {
+          int g = group_tree_.item(i);
+          const geom::Circle& seb = group_seb_[g];
+          double group_lb =
+              std::sqrt(DistSq(q, seb.center) + seb.radius * seb.radius);
+          if (group_lb >= env.second) continue;
+          double v = points_[g].MaxDist(q);
+          if (v < env.best) {
+            env.second = env.best;
+            env.best = v;
+            env.argbest = g;
+          } else {
+            env.second = std::min(env.second, v);
+          }
+        }
+      });
   return env;
 }
 

@@ -7,6 +7,7 @@
 #include "core/uncertain_point.h"
 #include "geom/seb.h"
 #include "range/kdtree.h"
+#include "spatial/flat_tree.h"
 
 /// \file nn_nonzero_discrete_index.h
 /// The near-linear NN!=0 structure for discrete distributions (Theorem 3.2).
@@ -37,21 +38,12 @@ class NnNonzeroDiscreteIndex {
   DeltaEnvelope DeltaPair(geom::Vec2 q) const;
 
  private:
-  struct GroupNode {
-    geom::Box box;        ///< Box of group SEB centers.
-    double r_min = 0.0;   ///< Min SEB radius in subtree.
-    int left = -1, right = -1;
-    int begin = 0, end = 0;
-  };
-
-  int BuildGroups(int begin, int end, int depth);
-  void DeltaRec(int node, geom::Vec2 q, DeltaEnvelope* env) const;
-
   std::vector<UncertainPoint> points_;
   std::vector<geom::Circle> group_seb_;
-  std::vector<int> group_order_;
-  std::vector<GroupNode> group_nodes_;
-  int group_root_ = -1;
+  /// Kd-tree over group SEB centers (shared spatial core) with the
+  /// minimum SEB radius per subtree: with SEB (c, R), the group bound is
+  /// Delta_i(q) >= sqrt(d(q,c)^2 + R^2) >= sqrt(d(q,box)^2 + r_min^2).
+  spatial::FlatKdTree<spatial::MinAugment> group_tree_;
 
   std::unique_ptr<range::KdTree> site_tree_;
   std::vector<int> site_owner_;

@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <numeric>
-#include <queue>
 
+#include "geom/box_metrics.h"
 #include "prob/distance_cdf.h"
+#include "spatial/traverse.h"
 #include "util/check.h"
 
 namespace unn {
@@ -16,13 +16,6 @@ namespace {
 
 constexpr int kLeafSize = 8;
 constexpr double kInf = std::numeric_limits<double>::infinity();
-
-/// Min-heap entry for the best-first searches.
-struct HeapEntry {
-  double lb = 0.0;
-  int node = -1;
-  bool operator<(const HeapEntry& o) const { return lb > o.lb; }
-};
 
 /// True when no point behind `lb` can still change the envelope. Strict
 /// comparison against `second` whenever `second == best`, so a pruned
@@ -58,59 +51,30 @@ QuantTree::QuantTree(const std::vector<UncertainPoint>* points)
       radii_.push_back(r);
     }
   }
-  order_.resize(n);
-  std::iota(order_.begin(), order_.end(), 0);
-  if (n > 0) {
-    nodes_.reserve(2 * (n / kLeafSize + 1));
-    root_ = BuildRange(0, n);
-  }
+  tree_ = spatial::FlatKdTree<Augment>(
+      anchors_, {.leaf_size = kLeafSize, .split = spatial::SplitRule::kWidest},
+      Augment{spatial::MinMaxAugment(&radii_), AllDiskAugment(points_)});
 }
 
-int QuantTree::BuildRange(int begin, int end) {
-  Node node;
-  node.begin = begin;
-  node.end = end;
-  node.r_min = kInf;
-  for (int j = begin; j < end; ++j) {
-    int id = order_[j];
-    node.box.Expand(anchors_[id]);
-    node.r_min = std::min(node.r_min, radii_[id]);
-    node.r_max = std::max(node.r_max, radii_[id]);
-    node.all_disk = node.all_disk && (*points_)[id].is_disk();
-  }
-  if (end - begin > kLeafSize) {
-    // Median split along the wider anchor axis: balanced (depth O(log n))
-    // even with duplicate anchors, since the split is positional.
-    bool split_x = node.box.Width() >= node.box.Height();
-    int mid = begin + (end - begin) / 2;
-    std::nth_element(order_.begin() + begin, order_.begin() + mid,
-                     order_.begin() + end, [&](int a, int b) {
-                       return split_x ? anchors_[a].x < anchors_[b].x
-                                      : anchors_[a].y < anchors_[b].y;
-                     });
-    node.left = BuildRange(begin, mid);
-    node.right = BuildRange(mid, end);
-  }
-  nodes_.push_back(node);
-  return static_cast<int>(nodes_.size()) - 1;
-}
-
-double QuantTree::MaxDistLowerBound(const Node& node, geom::Vec2 q) const {
+double QuantTree::MaxDistLowerBound(int node, geom::Vec2 q) const {
   // Every anchor lies in the convex hull of its support, so
   // Delta_i(q) >= d(q, anchor_i) >= dist(q, box); for an all-disk subtree
   // Delta_i(q) = d(q, center_i) + radius_i additionally clears r_min.
-  double lb = std::sqrt(node.box.DistSqTo(q));
-  if (node.all_disk) lb += node.r_min;
+  double lb = geom::MinDistToBox(q, tree_.box(node));
+  if (tree_.aug().second.all_disk(node)) lb += tree_.aug().first.min(node);
   // The support's farthest point sits radius_i away from the anchor, so
   // Delta_i(q) >= radius_i - d(q, anchor_i): bites when q is inside a
   // cluster of large supports.
-  return std::max(lb, node.r_min - node.box.MaxDistTo(q));
+  return std::max(lb,
+                  tree_.aug().first.min(node) - tree_.box(node).MaxDistTo(q));
 }
 
-double QuantTree::MinDistLowerBound(const Node& node, geom::Vec2 q) const {
+double QuantTree::MinDistLowerBound(int node, geom::Vec2 q) const {
   // The support lies within radius_i of its anchor, so
   // delta_i(q) >= d(q, anchor_i) - radius_i.
-  return std::max(std::sqrt(node.box.DistSqTo(q)) - node.r_max, 0.0);
+  return std::max(
+      geom::MinDistToBox(q, tree_.box(node)) - tree_.aug().first.max(node),
+      0.0);
 }
 
 DeltaEnvelope QuantTree::MaxDistEnvelope(geom::Vec2 q,
@@ -118,62 +82,53 @@ DeltaEnvelope QuantTree::MaxDistEnvelope(geom::Vec2 q,
   DeltaEnvelope env;
   env.best = kInf;
   env.second = kInf;
-  if (root_ < 0) return env;
-  std::priority_queue<HeapEntry> heap;
-  heap.push({MaxDistLowerBound(nodes_[root_], q), root_});
-  while (!heap.empty()) {
-    HeapEntry e = heap.top();
-    heap.pop();
-    // Entries pop in increasing lb order and prunability is monotone in
-    // lb, so the first prunable entry ends the whole search.
-    if (EnvelopePrunable(e.lb, env)) break;
-    const Node& node = nodes_[e.node];
-    if (stats != nullptr) ++stats->nodes_visited;
-    if (node.left < 0) {
-      for (int j = node.begin; j < node.end; ++j) {
-        int id = order_[j];
-        env.Insert((*points_)[id].MaxDist(q), id);
-        if (stats != nullptr) ++stats->points_evaluated;
-      }
-    } else {
-      for (int child : {node.left, node.right}) {
-        double lb = MaxDistLowerBound(nodes_[child], q);
-        if (!EnvelopePrunable(lb, env)) heap.push({lb, child});
-      }
-    }
-  }
+  spatial::BestFirstScan(
+      tree_, [&](int n) { return MaxDistLowerBound(n, q); },
+      // Entries pop in increasing lb order and prunability is monotone in
+      // lb, so the first prunable entry ends the whole search.
+      [&](double lb) { return EnvelopePrunable(lb, env); },
+      [&](int n) {
+        if (stats != nullptr) ++stats->nodes_visited;
+        if (tree_.is_leaf(n)) {
+          for (int j = tree_.begin(n); j < tree_.end(n); ++j) {
+            int id = tree_.item(j);
+            env.Insert((*points_)[id].MaxDist(q), id);
+            if (stats != nullptr) ++stats->points_evaluated;
+          }
+        }
+        return true;
+      });
   return env;
-}
-
-double QuantTree::LogSurvivalRec(int node_id, geom::Vec2 q, double r,
-                                 QueryStats* stats) const {
-  const Node& node = nodes_[node_id];
-  // Every support in the subtree is disjoint from ball(q, r): all cdfs
-  // are 0, all survival factors are 1, the log contribution is 0.
-  if (MinDistLowerBound(node, q) > r) return 0.0;
-  if (stats != nullptr) ++stats->nodes_visited;
-  if (node.left < 0) {
-    double acc = 0.0;
-    for (int j = node.begin; j < node.end; ++j) {
-      int id = order_[j];
-      const UncertainPoint& p = (*points_)[id];
-      if (p.MinDist(q) > r) continue;
-      if (stats != nullptr) ++stats->points_evaluated;
-      double cdf = prob::DistanceCdf(p, q, r);
-      if (cdf >= 1.0) return -kInf;  // Certainly within r: survival 0.
-      acc += std::log1p(-cdf);
-    }
-    return acc;
-  }
-  double left = LogSurvivalRec(node.left, q, r, stats);
-  if (std::isinf(left)) return left;
-  return left + LogSurvivalRec(node.right, q, r, stats);
 }
 
 double QuantTree::LogSurvival(geom::Vec2 q, double r,
                               QueryStats* stats) const {
-  if (root_ < 0) return 0.0;
-  return LogSurvivalRec(root_, q, r, stats);
+  double acc = 0.0;
+  spatial::PrunedVisit(
+      tree_,
+      // Every support in the subtree is disjoint from ball(q, r): all
+      // cdfs are 0, all survival factors are 1, the log contribution 0.
+      [&](int n) {
+        if (MinDistLowerBound(n, q) > r) return true;
+        if (stats != nullptr) ++stats->nodes_visited;
+        return false;
+      },
+      [&](int n) {
+        for (int j = tree_.begin(n); j < tree_.end(n); ++j) {
+          int id = tree_.item(j);
+          const UncertainPoint& p = (*points_)[id];
+          if (p.MinDist(q) > r) continue;
+          if (stats != nullptr) ++stats->points_evaluated;
+          double cdf = prob::DistanceCdf(p, q, r);
+          if (cdf >= 1.0) {  // Certainly within r: survival 0.
+            acc = -kInf;
+            return false;
+          }
+          acc += std::log1p(-cdf);
+        }
+        return true;
+      });
+  return acc;
 }
 
 double QuantTree::LogSurvivalScan(const std::vector<UncertainPoint>& points,
@@ -192,34 +147,26 @@ int QuantTree::ArgminPointwise(geom::Vec2 q,
                                QueryStats* stats) const {
   int best_id = -1;
   double best_v = kInf;
-  if (root_ < 0) return best_id;
-  std::priority_queue<HeapEntry> heap;
-  heap.push({MinDistLowerBound(nodes_[root_], q), root_});
-  while (!heap.empty()) {
-    HeapEntry e = heap.top();
-    heap.pop();
-    // Strict comparison: a subtree at lb == best_v may still hold an
-    // exact tie with a smaller id, which the linear scan would report.
-    if (e.lb > best_v) break;
-    const Node& node = nodes_[e.node];
-    if (stats != nullptr) ++stats->nodes_visited;
-    if (node.left < 0) {
-      for (int j = node.begin; j < node.end; ++j) {
-        int id = order_[j];
-        double v = value(id);
-        if (stats != nullptr) ++stats->points_evaluated;
-        if (v < best_v || (v == best_v && id < best_id)) {
-          best_v = v;
-          best_id = id;
+  spatial::BestFirstScan(
+      tree_, [&](int n) { return MinDistLowerBound(n, q); },
+      // Strict comparison: a subtree at lb == best_v may still hold an
+      // exact tie with a smaller id, which the linear scan would report.
+      [&](double lb) { return lb > best_v; },
+      [&](int n) {
+        if (stats != nullptr) ++stats->nodes_visited;
+        if (tree_.is_leaf(n)) {
+          for (int j = tree_.begin(n); j < tree_.end(n); ++j) {
+            int id = tree_.item(j);
+            double v = value(id);
+            if (stats != nullptr) ++stats->points_evaluated;
+            if (v < best_v || (v == best_v && id < best_id)) {
+              best_v = v;
+              best_id = id;
+            }
+          }
         }
-      }
-    } else {
-      for (int child : {node.left, node.right}) {
-        double lb = MinDistLowerBound(nodes_[child], q);
-        if (lb <= best_v) heap.push({lb, child});
-      }
-    }
-  }
+        return true;
+      });
   return best_id;
 }
 

@@ -6,6 +6,7 @@
 
 #include "core/uncertain_point.h"
 #include "geom/vec2.h"
+#include "spatial/flat_tree.h"
 
 /// \file quant_tree.h
 /// The quantification index: a kd-style hierarchy over the support regions
@@ -42,9 +43,9 @@
 /// scans, so MaxDistEnvelope reproduces core::TwoSmallestMaxDist
 /// bit-identically (including argmin tie-breaking toward the smaller id)
 /// and ArgminPointwise reproduces the definition-level scan's argmin
-/// exactly. LogSurvival accumulates the same per-point terms in tree
-/// order, so it matches a linear log-space scan up to floating-point
-/// associativity (~1e-15 relative).
+/// exactly. LogSurvival accumulates the same per-point terms in leaf
+/// visit order, so it matches a linear log-space scan up to
+/// floating-point associativity (~1e-15 relative).
 ///
 /// Thread safety: immutable after construction; every query method is
 /// const, allocates only local state, and may be called concurrently.
@@ -54,6 +55,32 @@
 
 namespace unn {
 namespace core {
+
+/// Tracks whether every point in a subtree is a disk model, so the
+/// quantification bounds know when the tighter all-disk lower bound
+/// Delta_i(q) = d(q, center_i) + radius_i applies. A spatial augmentation
+/// (see spatial/augment.h), composed with the min/max support radius.
+class AllDiskAugment {
+ public:
+  AllDiskAugment() = default;
+  explicit AllDiskAugment(const std::vector<UncertainPoint>* points)
+      : points_(points) {}
+
+  void Reserve(int nodes) { all_disk_.reserve(nodes); }
+  void AddNode() { all_disk_.push_back(1); }
+  void AbsorbRange(int node, const int* ids, int count) {
+    bool all = all_disk_[node] != 0;
+    for (int i = 0; i < count; ++i) all = all && (*points_)[ids[i]].is_disk();
+    all_disk_[node] = all;
+  }
+  void Seal() { points_ = nullptr; }
+
+  bool all_disk(int node) const { return all_disk_[node] != 0; }
+
+ private:
+  const std::vector<UncertainPoint>* points_ = nullptr;  ///< Build-only.
+  std::vector<char> all_disk_;
+};
 
 class QuantTree {
  public:
@@ -104,24 +131,12 @@ class QuantTree {
                       QueryStats* stats = nullptr) const;
 
  private:
-  struct Node {
-    geom::Box box;        ///< Box over the anchors in the subtree.
-    double r_min = 0.0;   ///< Min support radius in the subtree.
-    double r_max = 0.0;   ///< Max support radius in the subtree.
-    bool all_disk = true;  ///< Every point in the subtree is a disk model.
-    int left = -1;        ///< Internal children; -1 for leaves.
-    int right = -1;
-    int begin = 0;        ///< Leaf range [begin, end) into order_.
-    int end = 0;
-  };
+  using Augment = spatial::PairAugment<spatial::MinMaxAugment, AllDiskAugment>;
 
-  int BuildRange(int begin, int end);
   /// Lower bound on min_{i in node} Delta_i(q); valid for mixed models.
-  double MaxDistLowerBound(const Node& node, geom::Vec2 q) const;
+  double MaxDistLowerBound(int node, geom::Vec2 q) const;
   /// Lower bound on min_{i in node} delta_i(q).
-  double MinDistLowerBound(const Node& node, geom::Vec2 q) const;
-  double LogSurvivalRec(int node, geom::Vec2 q, double r,
-                        QueryStats* stats) const;
+  double MinDistLowerBound(int node, geom::Vec2 q) const;
 
   const std::vector<UncertainPoint>* points_;
   /// Per-point anchor: a point of the support's convex hull (disk center
@@ -131,9 +146,9 @@ class QuantTree {
   /// support, so Delta_i(q) <= d(q, anchor) + radius and
   /// delta_i(q) >= d(q, anchor) - radius.
   std::vector<double> radii_;
-  std::vector<int> order_;  ///< Point ids, permuted so leaves are contiguous.
-  std::vector<Node> nodes_;
-  int root_ = -1;
+  /// Widest-axis kd-tree over the anchors (shared spatial core),
+  /// augmented with min/max support radius and the all-disk flag.
+  spatial::FlatKdTree<Augment> tree_;
 };
 
 }  // namespace core

@@ -1,0 +1,49 @@
+#ifndef UNN_GEOM_BOX_METRICS_H_
+#define UNN_GEOM_BOX_METRICS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+
+#include "geom/vec2.h"
+
+/// \file box_metrics.h
+/// Point-to-box and point-to-point distance helpers shared by the spatial
+/// core (src/spatial/) and the remaining ad-hoc geometry callers, so every
+/// tree prunes against one definition. The Euclidean point-to-box
+/// min/max distances live on geom::Box itself (Box::DistSqTo /
+/// Box::MaxDistTo); this header adds the square-root form, the Chebyshev
+/// (L_inf) variants, and box-of-range computation.
+
+namespace unn {
+namespace geom {
+
+/// Euclidean distance from `q` to the box (0 if inside). The sqrt form of
+/// Box::DistSqTo, the lower bound every L2 tree prunes with.
+inline double MinDistToBox(Vec2 q, const Box& b) {
+  return std::sqrt(b.DistSqTo(q));
+}
+
+/// Chebyshev (L_inf) distance between points.
+inline double ChebyshevDist(Vec2 a, Vec2 b) {
+  return std::max(std::abs(a.x - b.x), std::abs(a.y - b.y));
+}
+
+/// Chebyshev distance from `q` to the box (0 if inside).
+inline double ChebyshevDistToBox(Vec2 q, const Box& b) {
+  double dx = std::max({b.lo.x - q.x, 0.0, q.x - b.hi.x});
+  double dy = std::max({b.lo.y - q.y, 0.0, q.y - b.hi.y});
+  return std::max(dx, dy);
+}
+
+/// Bounding box of a point set.
+inline Box BoxOf(std::span<const Vec2> pts) {
+  Box b;
+  for (Vec2 p : pts) b.Expand(p);
+  return b;
+}
+
+}  // namespace geom
+}  // namespace unn
+
+#endif  // UNN_GEOM_BOX_METRICS_H_

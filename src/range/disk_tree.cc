@@ -1,10 +1,10 @@
 #include "range/disk_tree.h"
 
 #include <algorithm>
-#include <cmath>
 #include <limits>
-#include <numeric>
 
+#include "geom/box_metrics.h"
+#include "spatial/traverse.h"
 #include "util/check.h"
 
 namespace unn {
@@ -12,105 +12,55 @@ namespace range {
 
 using geom::Vec2;
 
-namespace {
-constexpr int kLeafSize = 8;
-}
-
 DiskTree::DiskTree(std::vector<Vec2> centers, std::vector<double> radii)
     : centers_(std::move(centers)), radii_(std::move(radii)) {
   UNN_CHECK(centers_.size() == radii_.size());
-  order_.resize(centers_.size());
-  std::iota(order_.begin(), order_.end(), 0);
-  if (!centers_.empty()) {
-    root_ = BuildRange(0, static_cast<int>(centers_.size()), 0);
-  }
-}
-
-int DiskTree::BuildRange(int begin, int end, int depth) {
-  Node node;
-  node.r_min = std::numeric_limits<double>::infinity();
-  node.r_max = 0;
-  for (int i = begin; i < end; ++i) {
-    node.box.Expand(centers_[order_[i]]);
-    node.r_min = std::min(node.r_min, radii_[order_[i]]);
-    node.r_max = std::max(node.r_max, radii_[order_[i]]);
-  }
-  int id = static_cast<int>(nodes_.size());
-  nodes_.push_back(node);
-  if (end - begin <= kLeafSize) {
-    nodes_[id].begin = begin;
-    nodes_[id].end = end;
-    return id;
-  }
-  int mid = (begin + end) / 2;
-  bool by_x = (depth % 2 == 0);
-  std::nth_element(
-      order_.begin() + begin, order_.begin() + mid, order_.begin() + end,
-      [&](int a, int b) {
-        return by_x ? centers_[a].x < centers_[b].x : centers_[a].y < centers_[b].y;
-      });
-  int l = BuildRange(begin, mid, depth + 1);
-  int r = BuildRange(mid, end, depth + 1);
-  nodes_[id].left = l;
-  nodes_[id].right = r;
-  return id;
-}
-
-void DiskTree::MinMaxRec(int node, Vec2 q, double* best, int* argmin) const {
-  const Node& n = nodes_[node];
-  // Lower bound for min (d(q,c)+r) over the subtree.
-  double lb = std::sqrt(n.box.DistSqTo(q)) + n.r_min;
-  if (lb >= *best) return;
-  if (n.left < 0) {
-    for (int i = n.begin; i < n.end; ++i) {
-      int id = order_[i];
-      double v = Dist(q, centers_[id]) + radii_[id];
-      if (v < *best) {
-        *best = v;
-        if (argmin != nullptr) *argmin = id;
-      }
-    }
-    return;
-  }
-  double ll = std::sqrt(nodes_[n.left].box.DistSqTo(q)) + nodes_[n.left].r_min;
-  double lr = std::sqrt(nodes_[n.right].box.DistSqTo(q)) + nodes_[n.right].r_min;
-  if (ll <= lr) {
-    MinMaxRec(n.left, q, best, argmin);
-    MinMaxRec(n.right, q, best, argmin);
-  } else {
-    MinMaxRec(n.right, q, best, argmin);
-    MinMaxRec(n.left, q, best, argmin);
-  }
+  tree_ = spatial::FlatKdTree<spatial::MinMaxAugment>(
+      centers_, {.leaf_size = 8, .split = spatial::SplitRule::kAlternate},
+      spatial::MinMaxAugment(&radii_));
 }
 
 double DiskTree::MinMaxDist(Vec2 q, int* argmin) const {
   double best = std::numeric_limits<double>::infinity();
-  if (root_ >= 0) MinMaxRec(root_, q, &best, argmin);
+  // Lower bound for min (d(q,c)+r) over a subtree: closest box point plus
+  // the smallest radius in the subtree.
+  auto lb = [&](int n) {
+    return geom::MinDistToBox(q, tree_.box(n)) + tree_.aug().min(n);
+  };
+  spatial::PrunedVisitOrdered(
+      tree_, lb, [&](int n) { return lb(n) >= best; },
+      [&](int n) {
+        for (int i = tree_.begin(n); i < tree_.end(n); ++i) {
+          int id = tree_.item(i);
+          double v = Dist(q, centers_[id]) + radii_[id];
+          if (v < best) {
+            best = v;
+            if (argmin != nullptr) *argmin = id;
+          }
+        }
+      });
   return best;
-}
-
-void DiskTree::ReportRec(int node, Vec2 q, double bound,
-                         std::vector<int>* out) const {
-  const Node& n = nodes_[node];
-  // Prune when even the closest disk of the subtree is too far:
-  // min over subtree of (d(q,c) - r) >= d(q,box) - r_max.
-  if (std::sqrt(n.box.DistSqTo(q)) - n.r_max >= bound) return;
-  if (n.left < 0) {
-    for (int i = n.begin; i < n.end; ++i) {
-      int id = order_[i];
-      if (std::max(Dist(q, centers_[id]) - radii_[id], 0.0) < bound) {
-        out->push_back(id);
-      }
-    }
-    return;
-  }
-  ReportRec(n.left, q, bound, out);
-  ReportRec(n.right, q, bound, out);
 }
 
 void DiskTree::ReportMinDistLess(Vec2 q, double bound,
                                  std::vector<int>* out) const {
-  if (root_ >= 0) ReportRec(root_, q, bound, out);
+  // Prune when even the closest disk of the subtree is too far:
+  // min over subtree of (d(q,c) - r) >= d(q,box) - r_max.
+  spatial::PrunedVisit(
+      tree_,
+      [&](int n) {
+        return geom::MinDistToBox(q, tree_.box(n)) - tree_.aug().max(n) >=
+               bound;
+      },
+      [&](int n) {
+        for (int i = tree_.begin(n); i < tree_.end(n); ++i) {
+          int id = tree_.item(i);
+          if (std::max(Dist(q, centers_[id]) - radii_[id], 0.0) < bound) {
+            out->push_back(id);
+          }
+        }
+        return true;
+      });
 }
 
 }  // namespace range

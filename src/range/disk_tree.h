@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "geom/vec2.h"
+#include "spatial/flat_tree.h"
 
 /// \file disk_tree.h
 /// A balanced spatial tree over disks supporting the two primitives of the
@@ -14,6 +15,9 @@
 /// This is the practical stand-in for the [KMR+16] dynamic-lower-envelope
 /// structure (see DESIGN.md section 3): identical query semantics, measured
 /// near-logarithmic behaviour on bounded-density inputs (experiment E6).
+/// Built on the shared spatial core: a FlatKdTree over the centers with a
+/// min/max-radius augmentation, queried through the shared pruned-DFS
+/// engines.
 
 namespace unn {
 namespace range {
@@ -32,26 +36,9 @@ class DiskTree {
                          std::vector<int>* out) const;
 
  private:
-  struct Node {
-    geom::Box box;       ///< Box of centers in the subtree.
-    double r_min = 0.0;  ///< Min radius in the subtree.
-    double r_max = 0.0;  ///< Max radius in the subtree.
-    int left = -1;
-    int right = -1;
-    int begin = 0;
-    int end = 0;
-  };
-
-  int BuildRange(int begin, int end, int depth);
-  void MinMaxRec(int node, geom::Vec2 q, double* best, int* argmin) const;
-  void ReportRec(int node, geom::Vec2 q, double bound,
-                 std::vector<int>* out) const;
-
   std::vector<geom::Vec2> centers_;
   std::vector<double> radii_;
-  std::vector<int> order_;
-  std::vector<Node> nodes_;
-  int root_ = -1;
+  spatial::FlatKdTree<spatial::MinMaxAugment> tree_;
 };
 
 }  // namespace range

@@ -1,84 +1,33 @@
 #include "range/kdtree.h"
 
-#include <algorithm>
-#include <cmath>
 #include <limits>
-#include <numeric>
-
-#include "util/check.h"
 
 namespace unn {
 namespace range {
 
 using geom::Vec2;
 
-namespace {
-constexpr int kLeafSize = 8;
-}
-
-KdTree::KdTree(std::vector<Vec2> pts) : pts_(std::move(pts)) {
-  order_.resize(pts_.size());
-  std::iota(order_.begin(), order_.end(), 0);
-  if (!pts_.empty()) {
-    root_ = BuildRange(0, static_cast<int>(pts_.size()), 0);
-  }
-}
-
-int KdTree::BuildRange(int begin, int end, int depth) {
-  Node node;
-  for (int i = begin; i < end; ++i) node.box.Expand(pts_[order_[i]]);
-  int id = static_cast<int>(nodes_.size());
-  nodes_.push_back(node);
-  if (end - begin <= kLeafSize) {
-    nodes_[id].begin = begin;
-    nodes_[id].end = end;
-    return id;
-  }
-  int mid = (begin + end) / 2;
-  bool by_x = (depth % 2 == 0);
-  // Split on the wider axis when the default axis is degenerate.
-  if (nodes_[id].box.Width() < 1e-12 * nodes_[id].box.Height()) by_x = false;
-  if (nodes_[id].box.Height() < 1e-12 * nodes_[id].box.Width()) by_x = true;
-  std::nth_element(order_.begin() + begin, order_.begin() + mid,
-                   order_.begin() + end, [&](int a, int b) {
-                     return by_x ? pts_[a].x < pts_[b].x : pts_[a].y < pts_[b].y;
-                   });
-  int l = BuildRange(begin, mid, depth + 1);
-  int r = BuildRange(mid, end, depth + 1);
-  nodes_[id].left = l;
-  nodes_[id].right = r;
-  return id;
-}
-
-void KdTree::NearestRec(int node, Vec2 q, int* best, double* best_d) const {
-  const Node& n = nodes_[node];
-  if (n.box.DistSqTo(q) >= *best_d * *best_d) return;
-  if (n.left < 0) {
-    for (int i = n.begin; i < n.end; ++i) {
-      double d = Dist(q, pts_[order_[i]]);
-      if (d < *best_d) {
-        *best_d = d;
-        *best = order_[i];
-      }
-    }
-    return;
-  }
-  double dl = nodes_[n.left].box.DistSqTo(q);
-  double dr = nodes_[n.right].box.DistSqTo(q);
-  if (dl <= dr) {
-    NearestRec(n.left, q, best, best_d);
-    NearestRec(n.right, q, best, best_d);
-  } else {
-    NearestRec(n.right, q, best, best_d);
-    NearestRec(n.left, q, best, best_d);
-  }
-}
+KdTree::KdTree(std::vector<Vec2> pts)
+    : pts_(std::move(pts)),
+      tree_(pts_, {.leaf_size = 8,
+                   .split = spatial::SplitRule::kAlternateWideGuard}) {}
 
 int KdTree::Nearest(Vec2 q, double* dist) const {
-  if (root_ < 0) return -1;
+  if (tree_.root() < 0) return -1;
   int best = -1;
   double best_d = std::numeric_limits<double>::infinity();
-  NearestRec(root_, q, &best, &best_d);
+  spatial::PrunedVisitOrdered(
+      tree_, [&](int n) { return tree_.box(n).DistSqTo(q); },
+      [&](int n) { return tree_.box(n).DistSqTo(q) >= best_d * best_d; },
+      [&](int n) {
+        for (int i = tree_.begin(n); i < tree_.end(n); ++i) {
+          double d = Dist(q, pts_[tree_.item(i)]);
+          if (d < best_d) {
+            best_d = d;
+            best = tree_.item(i);
+          }
+        }
+      });
   if (dist != nullptr) *dist = best_d;
   return best;
 }
@@ -94,57 +43,22 @@ std::vector<int> KdTree::KNearest(Vec2 q, int k) const {
   return out;
 }
 
-void KdTree::RangeRec(int node, Vec2 q, double r, bool inclusive,
-                      std::vector<int>* out) const {
-  const Node& n = nodes_[node];
-  if (n.box.DistSqTo(q) > r * r) return;
-  if (n.left < 0) {
-    for (int i = n.begin; i < n.end; ++i) {
-      double d = Dist(q, pts_[order_[i]]);
-      if (d < r || (inclusive && d == r)) out->push_back(order_[i]);
-    }
-    return;
-  }
-  RangeRec(n.left, q, r, inclusive, out);
-  RangeRec(n.right, q, r, inclusive, out);
-}
-
 void KdTree::RangeCircle(Vec2 q, double r, std::vector<int>* out,
                          bool inclusive) const {
-  if (root_ < 0) return;
-  RangeRec(root_, q, r, inclusive, out);
+  spatial::PrunedVisit(
+      tree_, [&](int n) { return tree_.box(n).DistSqTo(q) > r * r; },
+      [&](int n) {
+        for (int i = tree_.begin(n); i < tree_.end(n); ++i) {
+          int id = tree_.item(i);
+          double d = Dist(q, pts_[id]);
+          if (d < r || (inclusive && d == r)) out->push_back(id);
+        }
+        return true;
+      });
 }
 
 KdTree::Enumerator::Enumerator(const KdTree& tree, Vec2 q)
-    : tree_(tree), q_(q) {
-  if (tree.root_ >= 0) {
-    heap_.push({std::sqrt(tree.nodes_[tree.root_].box.DistSqTo(q)),
-                tree.root_, -1});
-  }
-}
-
-int KdTree::Enumerator::Next(double* dist) {
-  while (!heap_.empty()) {
-    Entry e = heap_.top();
-    heap_.pop();
-    if (e.node < 0) {
-      if (dist != nullptr) *dist = e.key;
-      return e.point;
-    }
-    const Node& n = tree_.nodes_[e.node];
-    if (n.left < 0) {
-      for (int i = n.begin; i < n.end; ++i) {
-        int id = tree_.order_[i];
-        heap_.push({Dist(q_, tree_.pts_[id]), -1, id});
-      }
-    } else {
-      heap_.push({std::sqrt(tree_.nodes_[n.left].box.DistSqTo(q_)), n.left, -1});
-      heap_.push(
-          {std::sqrt(tree_.nodes_[n.right].box.DistSqTo(q_)), n.right, -1});
-    }
-  }
-  return -1;
-}
+    : impl_(tree.tree_, Keys{&tree, q}) {}
 
 }  // namespace range
 }  // namespace unn

@@ -1,17 +1,21 @@
 #ifndef UNN_RANGE_KDTREE_H_
 #define UNN_RANGE_KDTREE_H_
 
-#include <queue>
+#include <cmath>
 #include <vector>
 
 #include "geom/vec2.h"
+#include "spatial/flat_tree.h"
+#include "spatial/traverse.h"
 
 /// \file kdtree.h
 /// A static planar kd-tree over points. Provides nearest neighbor, k-NN,
 /// circular range reporting, and incremental ("spiral") nearest-neighbor
 /// enumeration — the quad-tree/branch-and-bound alternative the paper's
 /// Section 4.3 Remark (ii) endorses in place of the impractical [AC09]
-/// structure.
+/// structure. Built on the shared spatial core (spatial::FlatKdTree with
+/// no augmentation); the enumeration is a spatial::BestFirstEnumerator
+/// keyed by point distance.
 
 namespace unn {
 namespace range {
@@ -39,39 +43,24 @@ class KdTree {
   class Enumerator {
    public:
     Enumerator(const KdTree& tree, geom::Vec2 q);
-    /// Next-closest point id, or -1 when exhausted. `dist` optional out.
-    int Next(double* dist = nullptr);
+    /// Next-closest point id, or -1 when exhausted (and forever after).
+    int Next(double* dist = nullptr) { return impl_.Next(dist); }
 
    private:
-    struct Entry {
-      double key;
-      int node;   ///< Internal node id, or -1 when `point` is a leaf point.
-      int point;
-      bool operator<(const Entry& o) const { return key > o.key; }
+    struct Keys {
+      const KdTree* tree;
+      geom::Vec2 q;
+      double NodeKey(int node) const {
+        return std::sqrt(tree->tree_.box(node).DistSqTo(q));
+      }
+      double ItemKey(int id) const { return Dist(q, tree->pts_[id]); }
     };
-    const KdTree& tree_;
-    geom::Vec2 q_;
-    std::priority_queue<Entry> heap_;
+    spatial::BestFirstEnumerator<spatial::FlatKdTree<>, Keys> impl_;
   };
 
  private:
-  struct Node {
-    geom::Box box;
-    int left = -1;    ///< Internal children; -1 for leaves.
-    int right = -1;
-    int begin = 0;    ///< Leaf point range [begin, end) into order_.
-    int end = 0;
-  };
-
-  int BuildRange(int begin, int end, int depth);
-  void NearestRec(int node, geom::Vec2 q, int* best, double* best_d) const;
-  void RangeRec(int node, geom::Vec2 q, double r, bool inclusive,
-                std::vector<int>* out) const;
-
   std::vector<geom::Vec2> pts_;
-  std::vector<int> order_;  ///< Point ids, permuted so leaves are contiguous.
-  std::vector<Node> nodes_;
-  int root_ = -1;
+  spatial::FlatKdTree<> tree_;
 
   friend class Enumerator;
 };

@@ -1,0 +1,164 @@
+#ifndef UNN_SPATIAL_TRAVERSE_H_
+#define UNN_SPATIAL_TRAVERSE_H_
+
+#include <queue>
+#include <utility>
+
+/// \file traverse.h
+/// The two traversal engines shared by every tree built on
+/// spatial::FlatKdTree, replacing the per-structure copies of the same
+/// best-first heap and pruned recursion:
+///
+///   * BestFirstScan / BestFirstEnumerator — priority-queue
+///     branch-and-bound in increasing lower-bound order (the engine
+///     behind KdTree::KNearest/Enumerator and the quantification index's
+///     two-smallest envelope and pointwise-argmin searches);
+///   * PrunedVisit / PrunedVisitOrdered — pruned DFS (the engine behind
+///     RangeCircle, ReportMinDistLess, the L_inf index, the discrete
+///     group tree, LogSurvival's ball-intersection walk, and the
+///     nearest/min-max descents, which visit the nearer child first).
+///
+/// Visit order is part of each consumer's contract: argmin ties resolve
+/// to the first strict minimum encountered, so the engines guarantee
+/// deterministic, insertion-stable orders — DFS descends left-first (or
+/// by the caller's ordering key), and the best-first heap breaks key
+/// ties by heap order alone, exactly as the hand-rolled versions did.
+/// All engines are allocation-free except the best-first heap and are
+/// safe for concurrent use on a const tree.
+
+namespace unn {
+namespace spatial {
+
+/// Min-heap entry for the best-first engines: a frontier node with a
+/// lower bound, or (in the enumerator) a resolved item with its exact
+/// key. The single definition of the heap ordering every consumer
+/// previously duplicated.
+struct HeapEntry {
+  double key = 0.0;
+  int node = -1;  ///< Node id, or -1 when `item` is a resolved item.
+  int item = -1;
+  /// Inverted: std::priority_queue is a max-heap, we pop smallest keys.
+  bool operator<(const HeapEntry& o) const { return key > o.key; }
+};
+
+/// Best-first branch-and-bound over nodes. Pops frontier nodes in
+/// increasing `key_lb` order; `prunable(key)` must be monotone in key so
+/// the first prunable entry ends the search. `visit(node)` runs for
+/// every surviving node (internal and leaf — leaf item evaluation
+/// happens inside it) and returns false to abort. Children of surviving
+/// internal nodes re-enter the frontier unless already prunable.
+template <typename Tree, typename KeyLb, typename Prunable, typename Visit>
+void BestFirstScan(const Tree& tree, KeyLb&& key_lb, Prunable&& prunable,
+                   Visit&& visit) {
+  if (tree.root() < 0) return;
+  std::priority_queue<HeapEntry> heap;
+  heap.push({key_lb(tree.root()), tree.root(), -1});
+  while (!heap.empty()) {
+    HeapEntry e = heap.top();
+    heap.pop();
+    if (prunable(e.key)) break;
+    if (!visit(e.node)) return;
+    if (!tree.is_leaf(e.node)) {
+      for (int child : {tree.left(e.node), tree.right(e.node)}) {
+        double k = key_lb(child);
+        if (!prunable(k)) heap.push({k, child, -1});
+      }
+    }
+  }
+}
+
+/// Incremental best-first enumeration: Next() yields item ids in
+/// nondecreasing key order, -1 once exhausted (and forever after,
+/// including on an empty tree). `Keys` provides
+/// `double NodeKey(int node)` (a lower bound on every item key in the
+/// subtree) and `double ItemKey(int item)` (the exact key).
+template <typename Tree, typename Keys>
+class BestFirstEnumerator {
+ public:
+  BestFirstEnumerator(const Tree& tree, Keys keys)
+      : tree_(tree), keys_(std::move(keys)) {
+    if (tree_.root() >= 0) {
+      heap_.push({keys_.NodeKey(tree_.root()), tree_.root(), -1});
+    }
+  }
+
+  /// Next item id, or -1 when exhausted. `key` optional out.
+  int Next(double* key = nullptr) {
+    while (!heap_.empty()) {
+      HeapEntry e = heap_.top();
+      heap_.pop();
+      if (e.node < 0) {
+        if (key != nullptr) *key = e.key;
+        return e.item;
+      }
+      if (tree_.is_leaf(e.node)) {
+        for (int s = tree_.begin(e.node); s < tree_.end(e.node); ++s) {
+          int id = tree_.item(s);
+          heap_.push({keys_.ItemKey(id), -1, id});
+        }
+      } else {
+        int l = tree_.left(e.node);
+        int r = tree_.right(e.node);
+        heap_.push({keys_.NodeKey(l), l, -1});
+        heap_.push({keys_.NodeKey(r), r, -1});
+      }
+    }
+    return -1;
+  }
+
+ private:
+  const Tree& tree_;
+  Keys keys_;
+  std::priority_queue<HeapEntry> heap_;
+};
+
+/// Pruned DFS, left child first. `prune(node)` is checked on entry (it
+/// may consult mutable caller state, e.g. a tightening envelope);
+/// `leaf(node)` returns false to abort the whole walk. Returns false iff
+/// aborted.
+template <typename Tree, typename Prune, typename Leaf>
+bool PrunedVisit(const Tree& tree, int node, Prune&& prune, Leaf&& leaf) {
+  if (prune(node)) return true;
+  if (tree.is_leaf(node)) return leaf(node);
+  return PrunedVisit(tree, tree.left(node), prune, leaf) &&
+         PrunedVisit(tree, tree.right(node), prune, leaf);
+}
+
+/// PrunedVisit from the root; no-op on an empty tree.
+template <typename Tree, typename Prune, typename Leaf>
+bool PrunedVisit(const Tree& tree, Prune&& prune, Leaf&& leaf) {
+  if (tree.root() < 0) return true;
+  return PrunedVisit(tree, tree.root(), prune, leaf);
+}
+
+/// Pruned DFS that descends the child with the smaller `order_key`
+/// first — the classic nearest-neighbor descent, where following the
+/// more promising subtree first tightens the bound before the sibling is
+/// re-tested by its own entry prune.
+template <typename Tree, typename OrderKey, typename Prune, typename Leaf>
+void PrunedVisitOrdered(const Tree& tree, int node, OrderKey&& order_key,
+                        Prune&& prune, Leaf&& leaf) {
+  if (prune(node)) return;
+  if (tree.is_leaf(node)) {
+    leaf(node);
+    return;
+  }
+  int l = tree.left(node);
+  int r = tree.right(node);
+  if (order_key(l) > order_key(r)) std::swap(l, r);
+  PrunedVisitOrdered(tree, l, order_key, prune, leaf);
+  PrunedVisitOrdered(tree, r, order_key, prune, leaf);
+}
+
+/// PrunedVisitOrdered from the root; no-op on an empty tree.
+template <typename Tree, typename OrderKey, typename Prune, typename Leaf>
+void PrunedVisitOrdered(const Tree& tree, OrderKey&& order_key, Prune&& prune,
+                        Leaf&& leaf) {
+  if (tree.root() < 0) return;
+  PrunedVisitOrdered(tree, tree.root(), order_key, prune, leaf);
+}
+
+}  // namespace spatial
+}  // namespace unn
+
+#endif  // UNN_SPATIAL_TRAVERSE_H_

@@ -1,0 +1,358 @@
+// The spatial core (src/spatial/): build determinism — the same input
+// must produce the identical node layout and `order` permutation across
+// rebuilds, for every split rule — plus oracle parity for every migrated
+// structure on degenerate inputs (empty, singleton, all-coincident
+// points, duplicate radii), so argmin tie semantics are pinned at the
+// core layer rather than per consumer. Also the shared best-first
+// enumerator's exhaustion contract: Next() keeps returning -1 after the
+// tree is drained, including on an empty tree.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/expected_nn.h"
+#include "core/linf_nonzero_index.h"
+#include "core/quant_tree.h"
+#include "core/uncertain_point.h"
+#include "geom/box_metrics.h"
+#include "range/disk_tree.h"
+#include "range/kdtree.h"
+#include "spatial/augment.h"
+#include "spatial/flat_tree.h"
+#include "spatial/traverse.h"
+
+namespace unn {
+namespace spatial {
+namespace {
+
+using geom::Vec2;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<Vec2> RandomPoints(int n, uint64_t seed, double spread = 10) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(-spread, spread);
+  std::vector<Vec2> pts(n);
+  for (auto& p : pts) p = {u(rng), u(rng)};
+  return pts;
+}
+
+template <typename Augment>
+void ExpectIdenticalLayout(const FlatKdTree<Augment>& a,
+                           const FlatKdTree<Augment>& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.root(), b.root());
+  EXPECT_EQ(a.order(), b.order());
+  for (int n = 0; n < a.num_nodes(); ++n) {
+    EXPECT_EQ(a.left(n), b.left(n));
+    EXPECT_EQ(a.right(n), b.right(n));
+    EXPECT_EQ(a.begin(n), b.begin(n));
+    EXPECT_EQ(a.end(n), b.end(n));
+    EXPECT_EQ(a.box(n).lo, b.box(n).lo);
+    EXPECT_EQ(a.box(n).hi, b.box(n).hi);
+  }
+}
+
+TEST(FlatKdTree, BuildIsDeterministicAcrossRebuilds) {
+  for (SplitRule rule : {SplitRule::kAlternate, SplitRule::kAlternateWideGuard,
+                         SplitRule::kWidest}) {
+    for (int n : {0, 1, 8, 9, 100, 500}) {
+      auto pts = RandomPoints(n, 42 + n);
+      BuildOptions opts{8, rule};
+      FlatKdTree<> a(pts, opts);
+      FlatKdTree<> b(pts, opts);
+      ExpectIdenticalLayout(a, b);
+      EXPECT_EQ(a.size(), n);
+    }
+  }
+}
+
+TEST(FlatKdTree, BuildIsDeterministicOnCoincidentPoints) {
+  // Duplicate anchors make every comparator key equal; the positional
+  // median split must still produce an identical (and balanced) layout.
+  std::vector<Vec2> pts(64, Vec2{1.5, -2.5});
+  for (SplitRule rule : {SplitRule::kAlternate, SplitRule::kAlternateWideGuard,
+                         SplitRule::kWidest}) {
+    BuildOptions opts{8, rule};
+    FlatKdTree<> a(pts, opts);
+    FlatKdTree<> b(pts, opts);
+    ExpectIdenticalLayout(a, b);
+    // Leaves partition [0, n) into runs of at most leaf_size.
+    int leaf_items = 0;
+    for (int n = 0; n < a.num_nodes(); ++n) {
+      if (a.is_leaf(n)) {
+        EXPECT_LE(a.end(n) - a.begin(n), opts.leaf_size);
+        leaf_items += a.end(n) - a.begin(n);
+      }
+    }
+    EXPECT_EQ(leaf_items, 64);
+  }
+}
+
+TEST(FlatKdTree, EmptyTree) {
+  FlatKdTree<> tree;
+  EXPECT_EQ(tree.root(), -1);
+  EXPECT_EQ(tree.size(), 0);
+  FlatKdTree<> built(std::vector<Vec2>{}, BuildOptions{});
+  EXPECT_EQ(built.root(), -1);
+  EXPECT_EQ(built.num_nodes(), 0);
+}
+
+TEST(FlatKdTree, AugmentStatsMatchBruteForce) {
+  auto pts = RandomPoints(200, 7);
+  std::vector<double> values(200);
+  std::mt19937_64 rng(8);
+  std::uniform_real_distribution<double> u(0.0, 3.0);
+  for (auto& v : values) v = u(rng);
+  FlatKdTree<MinMaxAugment> tree(pts, BuildOptions{8, SplitRule::kAlternate},
+                                 MinMaxAugment(&values));
+  for (int n = 0; n < tree.num_nodes(); ++n) {
+    double want_min = kInf, want_max = 0.0;
+    geom::Box want_box;
+    for (int i = tree.begin(n); i < tree.end(n); ++i) {
+      want_min = std::min(want_min, values[tree.item(i)]);
+      want_max = std::max(want_max, values[tree.item(i)]);
+      want_box.Expand(pts[tree.item(i)]);
+    }
+    EXPECT_EQ(tree.aug().min(n), want_min);
+    EXPECT_EQ(tree.aug().max(n), want_max);
+    EXPECT_EQ(tree.box(n).lo, want_box.lo);
+    EXPECT_EQ(tree.box(n).hi, want_box.hi);
+  }
+}
+
+TEST(Traverse, PrunedVisitCoversEveryLeafWithoutPruning) {
+  auto pts = RandomPoints(300, 9);
+  FlatKdTree<> tree(pts, BuildOptions{});
+  std::vector<bool> seen(pts.size(), false);
+  PrunedVisit(
+      tree, [](int) { return false; },
+      [&](int n) {
+        for (int i = tree.begin(n); i < tree.end(n); ++i) {
+          EXPECT_FALSE(seen[tree.item(i)]);
+          seen[tree.item(i)] = true;
+        }
+        return true;
+      });
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(Traverse, PrunedVisitLeafAbortStopsTheWalk) {
+  auto pts = RandomPoints(100, 10);
+  FlatKdTree<> tree(pts, BuildOptions{});
+  int visited = 0;
+  bool finished = PrunedVisit(
+      tree, [](int) { return false; },
+      [&](int) {
+        ++visited;
+        return visited < 3;
+      });
+  EXPECT_FALSE(finished);
+  EXPECT_EQ(visited, 3);
+}
+
+TEST(Traverse, BestFirstScanFindsNearestLikeBruteForce) {
+  auto pts = RandomPoints(250, 11);
+  FlatKdTree<> tree(pts, BuildOptions{});
+  std::mt19937_64 rng(12);
+  std::uniform_real_distribution<double> u(-12, 12);
+  for (int t = 0; t < 50; ++t) {
+    Vec2 q{u(rng), u(rng)};
+    double best = kInf;
+    BestFirstScan(
+        tree, [&](int n) { return tree.box(n).DistSqTo(q); },
+        [&](double lb) { return lb >= best; },
+        [&](int n) {
+          if (tree.is_leaf(n)) {
+            for (int i = tree.begin(n); i < tree.end(n); ++i) {
+              best = std::min(best, DistSq(q, pts[tree.item(i)]));
+            }
+          }
+          return true;
+        });
+    double want = kInf;
+    for (Vec2 p : pts) want = std::min(want, DistSq(q, p));
+    EXPECT_EQ(best, want);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Migrated structures on degenerate inputs
+// ---------------------------------------------------------------------------
+
+TEST(MigratedKdTree, EmptyAndExhaustion) {
+  range::KdTree empty{std::vector<Vec2>{}};
+  EXPECT_EQ(empty.Nearest({0, 0}), -1);
+  EXPECT_TRUE(empty.KNearest({0, 0}, 5).empty());
+  std::vector<int> out;
+  empty.RangeCircle({0, 0}, 10, &out);
+  EXPECT_TRUE(out.empty());
+  // Exhaustion on an empty tree: -1 immediately and forever.
+  range::KdTree::Enumerator en(empty, {0, 0});
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(en.Next(), -1);
+}
+
+TEST(MigratedKdTree, EnumeratorKeepsReturningMinusOneAfterDrain) {
+  auto pts = RandomPoints(23, 13);
+  range::KdTree tree(pts);
+  range::KdTree::Enumerator en(tree, {0.5, -0.5});
+  for (int i = 0; i < 23; ++i) ASSERT_GE(en.Next(), 0);
+  double sentinel = -7.0;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(en.Next(&sentinel), -1);
+    EXPECT_EQ(sentinel, -7.0);  // dist out-param untouched on exhaustion.
+  }
+}
+
+TEST(MigratedKdTree, AllCoincidentPoints) {
+  std::vector<Vec2> pts(40, Vec2{2, 3});
+  range::KdTree a(pts);
+  range::KdTree b(pts);
+  double d = 0;
+  int got_a = a.Nearest({5, 7}, &d);
+  EXPECT_EQ(d, 5.0);
+  EXPECT_EQ(got_a, b.Nearest({5, 7}));  // Tie argmin is deterministic.
+  EXPECT_EQ(a.KNearest({5, 7}, 40).size(), 40u);
+  std::vector<int> all;
+  a.RangeCircle({2, 3}, 0.0, &all);  // Inclusive boundary at r = 0.
+  EXPECT_EQ(all.size(), 40u);
+}
+
+TEST(MigratedDiskTree, DuplicateRadiiAndCoincidentCenters) {
+  std::vector<Vec2> centers(16, Vec2{1, 1});
+  centers.push_back({4, 5});
+  std::vector<double> radii(16, 2.0);
+  radii.push_back(0.5);
+  range::DiskTree a(centers, radii);
+  range::DiskTree b(centers, radii);
+  int arg_a = -1, arg_b = -1;
+  double got = a.MinMaxDist({1, 1}, &arg_a);
+  EXPECT_EQ(got, 2.0);  // min (d + r) over 16 coincident disks.
+  b.MinMaxDist({1, 1}, &arg_b);
+  EXPECT_EQ(arg_a, arg_b);  // Tie argmin deterministic across rebuilds.
+  ASSERT_GE(arg_a, 0);
+  EXPECT_EQ(Dist(Vec2{1, 1}, centers[arg_a]) + radii[arg_a], 2.0);
+
+  std::vector<int> rep;
+  a.ReportMinDistLess({1, 1}, 0.1, &rep);
+  std::sort(rep.begin(), rep.end());
+  std::vector<int> want;
+  for (int i = 0; i < 16; ++i) want.push_back(i);  // delta = 0 < 0.1.
+  EXPECT_EQ(rep, want);
+}
+
+TEST(MigratedDiskTree, EmptyTree) {
+  range::DiskTree tree({}, {});
+  int arg = -1;
+  EXPECT_EQ(tree.MinMaxDist({0, 0}, &arg), kInf);
+  EXPECT_EQ(arg, -1);
+  std::vector<int> rep;
+  tree.ReportMinDistLess({0, 0}, 100.0, &rep);
+  EXPECT_TRUE(rep.empty());
+}
+
+TEST(MigratedExpectedNn, SingletonAndCoincidentMeans) {
+  std::vector<core::UncertainPoint> one = {
+      core::UncertainPoint::Disk({2, 1}, 0.5)};
+  core::ExpectedNn nn_one(one);
+  EXPECT_EQ(nn_one.QuerySquared({0, 0}), 0);
+
+  // Coincident means with different variances: the smallest variance
+  // wins everywhere; with equal variances the argmin is deterministic.
+  std::vector<core::UncertainPoint> pts;
+  for (int i = 0; i < 12; ++i) {
+    pts.push_back(core::UncertainPoint::Disk({3, 3}, i == 7 ? 0.1 : 1.0));
+  }
+  core::ExpectedNn nn(pts);
+  EXPECT_EQ(nn.QuerySquared({-2, 6}), 7);
+  std::vector<core::UncertainPoint> ties(
+      9, core::UncertainPoint::Disk({3, 3}, 1.0));
+  core::ExpectedNn tie_a(ties);
+  core::ExpectedNn tie_b(ties);
+  int got = tie_a.QuerySquared({1, 1});
+  EXPECT_EQ(got, tie_b.QuerySquared({1, 1}));
+  EXPECT_EQ(tie_a.ExpectedSquaredDistance(got, {1, 1}),
+            tie_a.ExpectedSquaredDistance(0, {1, 1}));
+}
+
+TEST(MigratedLinfIndex, CoincidentSquaresDuplicateHalfSides) {
+  std::vector<core::SquareRegion> sq(5, core::SquareRegion{{0, 0}, 1.0});
+  sq.push_back({{10, 10}, 0.5});
+  core::LinfNonzeroIndex ix(sq);
+  // All five coincident squares contain any q with cheb(q) < their
+  // common Delta threshold; the far square does not qualify near origin.
+  std::vector<int> got = ix.Query({0.2, -0.3});
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(ix.Delta({0, 0}), 1.0);
+
+  // Brute-force oracle on a degenerate + random mix, exact semantics:
+  // i qualifies iff delta_i < min_{j != i} Delta_j.
+  std::mt19937_64 rng(14);
+  std::uniform_real_distribution<double> u(-3, 3);
+  std::uniform_real_distribution<double> h(0.0, 2.0);
+  std::vector<core::SquareRegion> mix;
+  for (int i = 0; i < 40; ++i) {
+    double hs = i % 3 == 0 ? 1.0 : h(rng);  // Duplicate half-sides.
+    mix.push_back({{u(rng), u(rng)}, hs});
+  }
+  for (int i = 0; i < 4; ++i) mix.push_back(mix[i]);  // Coincident copies.
+  core::LinfNonzeroIndex index(mix);
+  for (int t = 0; t < 60; ++t) {
+    Vec2 q{u(rng), u(rng)};
+    std::vector<int> want;
+    for (size_t i = 0; i < mix.size(); ++i) {
+      double threshold = kInf;
+      for (size_t j = 0; j < mix.size(); ++j) {
+        if (j == i) continue;
+        threshold = std::min(
+            threshold, ChebyshevDist(q, mix[j].center) + mix[j].half_side);
+      }
+      double delta = std::max(
+          ChebyshevDist(q, mix[i].center) - mix[i].half_side, 0.0);
+      if (delta < threshold) want.push_back(static_cast<int>(i));
+    }
+    EXPECT_EQ(index.Query(q), want) << "t=" << t;
+  }
+}
+
+TEST(MigratedQuantTree, CoincidentSupportsDuplicateRadiiPinSmallestId) {
+  // The envelope's argmin tie rule (smallest id among minimizers) is the
+  // contract the sharded merge layer depends on; pin it on coincident
+  // supports with duplicate radii.
+  std::vector<core::UncertainPoint> pts(
+      6, core::UncertainPoint::Disk({2, -1}, 1.5));
+  pts.push_back(core::UncertainPoint::Disk({2, -1}, 1.5));
+  core::QuantTree tree(&pts);
+  for (Vec2 q : {Vec2{0, 0}, Vec2{2, -1}, Vec2{50, 50}}) {
+    core::DeltaEnvelope want = core::TwoSmallestMaxDist(pts, q);
+    core::DeltaEnvelope got = tree.MaxDistEnvelope(q);
+    EXPECT_EQ(got.best, want.best);
+    EXPECT_EQ(got.second, want.second);
+    EXPECT_EQ(got.argbest, want.argbest);
+    EXPECT_EQ(got.argbest, 0);
+    auto value = [&](int i) { return pts[i].MaxDist(q); };
+    EXPECT_EQ(tree.ArgminPointwise(q, value), 0);
+  }
+}
+
+TEST(BoxMetrics, ChebyshevAndBoxHelpers) {
+  geom::Box b{{0, 0}, {2, 1}};
+  EXPECT_EQ(geom::ChebyshevDist({0, 0}, {3, -1}), 3.0);
+  EXPECT_EQ(geom::ChebyshevDistToBox({1, 0.5}, b), 0.0);   // Inside.
+  EXPECT_EQ(geom::ChebyshevDistToBox({5, 0.5}, b), 3.0);   // Right of box.
+  EXPECT_EQ(geom::ChebyshevDistToBox({-1, -2}, b), 2.0);   // Corner.
+  EXPECT_EQ(geom::MinDistToBox({5, 1}, b), 3.0);
+  std::vector<Vec2> pts = {{1, 2}, {-1, 0}, {4, -3}};
+  geom::Box bb = geom::BoxOf(pts);
+  EXPECT_EQ(bb.lo, (Vec2{-1, -3}));
+  EXPECT_EQ(bb.hi, (Vec2{4, 2}));
+}
+
+}  // namespace
+}  // namespace spatial
+}  // namespace unn
