@@ -12,10 +12,16 @@
 // qps. Merged answers are exact re-quantifications, so they may
 // legitimately differ from the single spiral-search estimator within
 // eps; a sampled check against the exact oracle validates them.
+// Part 3: the snapshot-keyed result cache under a Zipf-skewed request
+// stream (the repeated-query traffic caches exist for): batch throughput
+// with the cache off vs on, the steady-state hit rate, per-request
+// p50/p99 latency split by Response::source, and a sampled check that
+// cache hits are bit-identical to recomputation on the same snapshot.
 
 #include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -183,6 +189,124 @@ int main(int argc, char** argv) {
     json.Metric("sharded_query_latency_ms",
                 ms / static_cast<double>(num_queries));
     json.Metric("sampled_violations", static_cast<double>(violations));
+  }
+
+  // Part 3: result cache under Zipf-skewed traffic.
+  {
+    const int universe = args.tiny ? 200 : 1000;
+    const int stream_n = args.tiny ? 4000 : 20000;
+    const double alpha = 1.0;
+    auto zipf = workload::ZipfIndices(stream_n, universe, alpha, 77);
+    std::vector<serve::Request> stream(stream_n);
+    for (int i = 0; i < stream_n; ++i) {
+      stream[i].q = queries[zipf[i]];
+      stream[i].spec = spec;
+    }
+    printf("\nResult cache, Zipf(alpha=%.1f) stream (%d requests over %d "
+           "distinct points):\n",
+           alpha, stream_n, universe);
+
+    serve::QueryServer::Options off;
+    off.num_threads = 7;
+    off.warm = {spec.type};
+    serve::QueryServer::Options on = off;
+    on.cache.max_bytes = 64u << 20;
+
+    auto engine_ptr = std::make_shared<const Engine>(pts, Engine::Config{});
+
+    serve::QueryServer no_cache(engine_ptr, off);
+    no_cache.QueryBatch(stream);  // Placement pass.
+    bench::Timer t_off;
+    no_cache.QueryBatch(stream);
+    double off_ms = t_off.Ms();
+
+    serve::QueryServer cached(engine_ptr, on);
+    bench::Timer t_cold;
+    cached.QueryBatch(stream);  // Cold pass: every distinct point misses.
+    double cold_ms = t_cold.Ms();
+    auto mid = cached.stats();
+    bench::Timer t_warm;
+    auto warm_responses = cached.QueryBatch(stream);
+    double warm_ms = t_warm.Ms();
+    auto after = cached.stats();
+
+    double warm_hits =
+        static_cast<double>(after.cache.hits - mid.cache.hits);
+    double hit_rate = warm_hits / stream_n;
+    double speedup = off_ms / warm_ms;
+    printf("  cache off: %.1f ms   cache cold: %.1f ms   cache warm: %.1f "
+           "ms (hit rate %.3f, speedup %.2fx)\n",
+           off_ms, cold_ms, warm_ms, hit_rate, speedup);
+
+    // Per-request latency split by source, measured on the Submit path
+    // of a fresh cache-enabled server (so the Zipf stream produces both
+    // misses and hits); each future is awaited before the next submit,
+    // so latencies are uncontended per-request costs, exact rather than
+    // histogram-bucketed.
+    serve::QueryServer probe_server(engine_ptr, on);
+    const int probe_n = std::min(stream_n, args.tiny ? 1000 : 5000);
+    std::vector<double> hit_us, computed_us;
+    for (int i = 0; i < probe_n; ++i) {
+      serve::Response r = probe_server.Submit(stream[i]).get();
+      double us = static_cast<double>(r.latency.count());
+      if (r.source == serve::ResultSource::kCache) {
+        hit_us.push_back(us);
+      } else if (r.source == serve::ResultSource::kComputed) {
+        computed_us.push_back(us);
+      }
+    }
+    auto pct = [](std::vector<double>& v, double p) {
+      if (v.empty()) return 0.0;
+      std::sort(v.begin(), v.end());
+      size_t i = static_cast<size_t>(p * (v.size() - 1));
+      return v[i];
+    };
+    double hit_p50 = pct(hit_us, 0.50), hit_p99 = pct(hit_us, 0.99);
+    double comp_p50 = pct(computed_us, 0.50),
+           comp_p99 = pct(computed_us, 0.99);
+    printf("  submit latency: cache-hit p50 %.1f us / p99 %.1f us (%zu), "
+           "computed p50 %.1f us / p99 %.1f us (%zu)\n",
+           hit_p50, hit_p99, hit_us.size(), comp_p50, comp_p99,
+           computed_us.size());
+
+    // Bit-identity: a sampled prefix of warm-pass answers must equal a
+    // fresh computation on the same snapshot, field for field.
+    auto snap = cached.sharded_snapshot();
+    size_t identity_mismatches = 0;
+    const int identity_sample = std::min(stream_n, 200);
+    for (int i = 0; i < identity_sample; ++i) {
+      std::span<const Vec2> one(&stream[i].q, 1);
+      Engine::QueryResult fresh = snap->QueryMany(one, spec)[0];
+      const Engine::QueryResult& served = warm_responses[i].result;
+      if (fresh.nn != served.nn || fresh.ranked != served.ranked ||
+          fresh.ids != served.ids) {
+        ++identity_mismatches;
+      }
+    }
+    printf("  bit-identity sample (%d requests): %zu mismatches%s\n",
+           identity_sample, identity_mismatches,
+           identity_mismatches ? "  MISMATCH" : "");
+
+    const auto& lat = after.latency(spec.type);
+    json.StartRow();
+    json.Metric("zipf_alpha", alpha);
+    json.Metric("zipf_universe", universe);
+    json.Metric("zipf_stream", stream_n);
+    json.Metric("cache_off_ms", off_ms);
+    json.Metric("cache_cold_ms", cold_ms);
+    json.Metric("cache_warm_ms", warm_ms);
+    json.Metric("cache_hit_rate", hit_rate);
+    json.Metric("cache_speedup", speedup);
+    json.Metric("cache_entries", static_cast<double>(after.cache.entries));
+    json.Metric("cache_bytes", static_cast<double>(after.cache.bytes));
+    json.Metric("hit_p50_us", hit_p50);
+    json.Metric("hit_p99_us", hit_p99);
+    json.Metric("computed_p50_us", comp_p50);
+    json.Metric("computed_p99_us", comp_p99);
+    json.Metric("server_hist_p50_us", lat.p50_us);
+    json.Metric("server_hist_p99_us", lat.p99_us);
+    json.Metric("identity_mismatches",
+                static_cast<double>(identity_mismatches));
   }
 
   json.Write(args.json_path);

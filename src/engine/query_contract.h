@@ -12,12 +12,51 @@
 /// \file query_contract.h
 /// The batched-query contract shared by every QueryMany implementation
 /// (Engine, ShardedEngine): one definition of the presentation order for
-/// ranking queries and one definition of the degenerate-parameter
-/// answers, so the sharded and unsharded paths cannot drift. See
-/// docs/QUERY_SEMANTICS.md for the contract in prose.
+/// ranking queries, one classification of degenerate spec parameters, and
+/// one definition of the degenerate-parameter answers, so the sharded
+/// path, the unsharded path, the serving layer's result-cache keying and
+/// its admission control cannot drift. See docs/QUERY_SEMANTICS.md for
+/// the contract in prose.
 
 namespace unn {
 namespace query_contract {
+
+/// What a QuerySpec's parameters mean for dispatch. Exactly one
+/// definition of "degenerate" exists in the library; Engine::QueryMany,
+/// ShardedEngine::QueryMany, the serving result cache (degenerate specs
+/// are never cached) and QueryServer admission control (definition-level
+/// answers are never shed or degraded) all consult it.
+enum class SpecClass {
+  /// Regular parameters: dispatch to a backend.
+  kRegular,
+  /// The answer is empty by definition, touching no backend: `kTopK` with
+  /// `k <= 0`, `kThreshold` with `tau > 1` or NaN tau (no pi exceeds 1),
+  /// or a QueryType value outside the defined set.
+  kTrivialEmpty,
+  /// `kThreshold` with `tau <= 0`: every id qualifies (every pi_i >= 0),
+  /// answered from one Probabilities pass per query.
+  kTrivialAll,
+};
+
+inline SpecClass Classify(const Engine::QuerySpec& spec) {
+  switch (spec.type) {
+    case Engine::QueryType::kMostProbableNn:
+    case Engine::QueryType::kExpectedDistanceNn:
+    case Engine::QueryType::kNonzeroNn:
+      return SpecClass::kRegular;
+    case Engine::QueryType::kTopK:
+      return spec.k <= 0 ? SpecClass::kTrivialEmpty : SpecClass::kRegular;
+    case Engine::QueryType::kThreshold:
+      // `!(tau <= 1)` rather than `tau > 1` so a NaN tau lands in the
+      // empty class instead of falling through to Threshold's CHECK.
+      if (!(spec.tau <= 1)) return SpecClass::kTrivialEmpty;
+      if (spec.tau <= 0) return SpecClass::kTrivialAll;
+      return SpecClass::kRegular;
+  }
+  // A QueryType cast from an out-of-range integer: defined empty answer
+  // instead of undefined dispatch.
+  return SpecClass::kTrivialEmpty;
+}
 
 /// Presentation order of every ranking query: by decreasing estimate,
 /// ties toward the smaller id.
@@ -28,14 +67,14 @@ inline void SortByEstimate(std::vector<std::pair<int, double>>* v) {
   });
 }
 
-/// Answers the degenerate-parameter cases of QueryMany definition-level:
-/// empty span, `kTopK` with `k <= 0`, `kThreshold` with `tau > 1` or NaN
-/// (all answered with default results, touching no backend), and
-/// `kThreshold` with `tau <= 0` (every id of the `n`-point dataset with
-/// its estimate — `probabilities(q)` supplies the positive (id,
-/// estimate) pairs). Returns true when the whole batch was answered into
-/// `results`; false when the spec is non-degenerate and `results` holds
-/// default-initialized slots for the caller to fill.
+/// Answers the degenerate-parameter cases of QueryMany definition-level,
+/// per Classify above: empty span and `kTrivialEmpty` specs are answered
+/// with default results touching no backend; `kTrivialAll` reports every
+/// id of the `n`-point dataset with its estimate (`probabilities(q)`
+/// supplies the positive (id, estimate) pairs). Returns true when the
+/// whole batch was answered into `results`; false when the spec is
+/// kRegular and `results` holds default-initialized slots for the caller
+/// to fill.
 template <class ProbFn>
 bool AnswerDegenerate(std::span<const geom::Vec2> queries,
                       const Engine::QuerySpec& spec, int n,
@@ -43,13 +82,9 @@ bool AnswerDegenerate(std::span<const geom::Vec2> queries,
                       std::vector<Engine::QueryResult>* results) {
   results->assign(queries.size(), Engine::QueryResult{});
   if (queries.empty()) return true;
-  if (spec.type == Engine::QueryType::kTopK && spec.k <= 0) return true;
-  // `!(tau <= 1)` rather than `tau > 1` so a NaN tau lands in the empty
-  // branch instead of falling through to Threshold's CHECK.
-  if (spec.type == Engine::QueryType::kThreshold && !(spec.tau <= 1)) {
-    return true;
-  }
-  if (spec.type == Engine::QueryType::kThreshold && spec.tau <= 0) {
+  SpecClass cls = Classify(spec);
+  if (cls == SpecClass::kTrivialEmpty) return true;
+  if (cls == SpecClass::kTrivialAll) {
     // Every pi_i(q) >= 0 >= tau: report all ids with their estimates. The
     // id skeleton is built once for the whole batch; each query copies it
     // (ids and zero estimates in one memcpy-able stroke) instead of

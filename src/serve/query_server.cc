@@ -1,7 +1,10 @@
 #include "serve/query_server.h"
 
+#include <algorithm>
+#include <chrono>
 #include <utility>
 
+#include "engine/query_contract.h"
 #include "util/check.h"
 
 namespace unn {
@@ -42,11 +45,61 @@ ShardingOptions ImpliedSharding(const ShardedEngine& engine) {
   return s;
 }
 
+/// Reassembles the full dataset of a shard set in global-id order (the
+/// degraded engine answers over the whole dataset, not one shard).
+std::vector<core::UncertainPoint> CollectPoints(const ShardedEngine& engine) {
+  std::vector<std::pair<int, const core::UncertainPoint*>> tagged;
+  tagged.reserve(engine.size());
+  for (int s = 0; s < engine.num_shards(); ++s) {
+    const std::vector<int>& ids = engine.global_ids(s);
+    const std::vector<core::UncertainPoint>& local = engine.shard(s).points();
+    for (size_t j = 0; j < ids.size(); ++j) {
+      tagged.emplace_back(ids[j], &local[j]);
+    }
+  }
+  std::sort(tagged.begin(), tagged.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<core::UncertainPoint> points;
+  points.reserve(tagged.size());
+  for (const auto& [id, p] : tagged) points.push_back(*p);
+  return points;
+}
+
+std::chrono::microseconds ElapsedUs(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - t0);
+}
+
+TaskPriority ToTaskPriority(Priority p) {
+  switch (p) {
+    case Priority::kHigh:
+      return TaskPriority::kHigh;
+    case Priority::kLow:
+      return TaskPriority::kLow;
+    case Priority::kNormal:
+      break;
+  }
+  return TaskPriority::kNormal;
+}
+
+bool IsRegular(const Engine::QuerySpec& spec) {
+  return query_contract::Classify(spec) ==
+         query_contract::SpecClass::kRegular;
+}
+
+/// Raw spec equality — good enough for batching decisions (canonical
+/// equivalence, e.g. TopK specs differing only in tau, is the cache
+/// key's business).
+bool SpecEquals(const Engine::QuerySpec& a, const Engine::QuerySpec& b) {
+  return a.type == b.type && a.tau == b.tau && a.k == b.k;
+}
+
 }  // namespace
 
 QueryServer::QueryServer(std::shared_ptr<const ShardedEngine> engine,
                          const Options& options)
     : options_(options),
+      cache_(options.cache),
       sharding_(options.sharding),
       pool_(options.num_threads) {
   UNN_CHECK(engine != nullptr);
@@ -54,8 +107,12 @@ QueryServer::QueryServer(std::shared_ptr<const ShardedEngine> engine,
   // calls keep the shape of the engine the server was given (a server
   // seeded with 4 shards must not silently rebuild monolithic).
   if (sharding_.num_shards <= 1) sharding_ = ImpliedSharding(*engine);
-  WarmSnapshot(*engine);
-  engine_.store(std::move(engine), std::memory_order_release);
+  std::shared_ptr<const Engine> degraded;
+  if (DegradeEnabled()) {
+    degraded = BuildDegraded(CollectPoints(*engine), engine->config());
+  }
+  state_.store(MakeSnapshot(std::move(engine), std::move(degraded), 1),
+               std::memory_order_release);
 }
 
 QueryServer::QueryServer(std::shared_ptr<const Engine> engine,
@@ -69,20 +126,55 @@ QueryServer::QueryServer(std::shared_ptr<const Engine> engine)
 QueryServer::QueryServer(std::vector<core::UncertainPoint> points,
                          const Engine::Config& config, const Options& options)
     : options_(options),
+      cache_(options.cache),
       sharding_(options.sharding),
       pool_(options.num_threads) {
-  auto engine = std::make_shared<const ShardedEngine>(
-      std::move(points), config, sharding_, &pool_);
-  WarmSnapshot(*engine);
-  engine_.store(std::move(engine), std::memory_order_release);
+  std::vector<core::UncertainPoint> degrade_points;
+  if (DegradeEnabled()) degrade_points = points;  // Copy before the move.
+  auto engine = std::make_shared<const ShardedEngine>(std::move(points),
+                                                      config, sharding_,
+                                                      &pool_);
+  std::shared_ptr<const Engine> degraded;
+  if (DegradeEnabled()) {
+    degraded = BuildDegraded(std::move(degrade_points), config);
+  }
+  state_.store(MakeSnapshot(std::move(engine), std::move(degraded), 1),
+               std::memory_order_release);
 }
 
 QueryServer::QueryServer(std::vector<core::UncertainPoint> points,
                          const Engine::Config& config)
     : QueryServer(std::move(points), config, Options{}) {}
 
-void QueryServer::WarmSnapshot(const ShardedEngine& engine) {
-  for (Engine::QueryType type : options_.warm) engine.Warmup(type, &pool_);
+void QueryServer::WarmSnapshot(const Snapshot& snap) {
+  for (Engine::QueryType type : options_.warm) {
+    snap.engine->Warmup(type, &pool_);
+    if (snap.degraded != nullptr) snap.degraded->Warmup(type);
+  }
+}
+
+std::shared_ptr<const Engine> QueryServer::BuildDegraded(
+    std::vector<core::UncertainPoint> points,
+    const Engine::Config& base) const {
+  Engine::Config config = base;
+  config.backend = Backend::kMonteCarlo;
+  // Loosen accuracy to the degrade floor (never tighten; Engine requires
+  // eps < 1) and cap the sample count: the point of this engine is a
+  // bounded, small per-query cost under overload.
+  config.eps = std::min(0.9, std::max(base.eps, options_.degrade_eps));
+  config.mc_samples_override = options_.degrade_mc_samples;
+  return std::make_shared<const Engine>(std::move(points), config);
+}
+
+std::shared_ptr<const QueryServer::Snapshot> QueryServer::MakeSnapshot(
+    std::shared_ptr<const ShardedEngine> engine,
+    std::shared_ptr<const Engine> degraded, uint64_t generation) {
+  auto snap = std::make_shared<Snapshot>();
+  snap->engine = std::move(engine);
+  snap->degraded = std::move(degraded);
+  snap->generation = generation;
+  WarmSnapshot(*snap);
+  return snap;
 }
 
 QueryServer::~QueryServer() {
@@ -100,27 +192,112 @@ QueryServer::~QueryServer() {
   }
 }
 
-std::future<Engine::QueryResult> QueryServer::Submit(
-    geom::Vec2 q, const Engine::QuerySpec& spec) {
-  InflightGuard inflight(inflight_, draining_);
+void QueryServer::CountQuery(const Engine::QuerySpec& spec) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  const int t = static_cast<int>(spec.type);
+  if (t >= 0 && t < kNumQueryTypes) {
+    queries_by_type_[t].fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void QueryServer::RecordLatency(Engine::QueryType type,
+                                std::chrono::microseconds us) {
+  const int t = static_cast<int>(type);
+  if (t >= 0 && t < kNumQueryTypes) latency_[t].Record(us);
+}
+
+void QueryServer::SubmitImpl(const Request& request,
+                             std::function<void(Response&&)> deliver) {
+  const auto t0 = std::chrono::steady_clock::now();
   // Pin the snapshot at submission: the request is answered against the
-  // dataset that was current when the server accepted it, even if a swap
-  // lands before a worker picks it up.
-  std::shared_ptr<const ShardedEngine> snap = sharded_snapshot();
-  auto promise = std::make_shared<std::promise<Engine::QueryResult>>();
-  std::future<Engine::QueryResult> result = promise->get_future();
+  // dataset (and cache generation) that was current when the server
+  // accepted it, even if a swap lands before a worker picks it up.
+  std::shared_ptr<const Snapshot> snap =
+      state_.load(std::memory_order_acquire);
+  CountQuery(request.spec);
+
+  // Deadline check one: already dead on arrival.
+  if (request.deadline != kNoDeadline && t0 >= request.deadline) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    deliver(Response{{}, ResultSource::kDeadlineExceeded, ElapsedUs(t0)});
+    return;
+  }
+
+  const bool regular = IsRegular(request.spec);
+  const bool cacheable = regular && !cache_.disabled();
+
+  // Cache probe: a hit answers on the submitting thread, touching no
+  // backend and no admission state.
+  if (cacheable) {
+    Response resp;
+    if (cache_.Lookup(cache_.Key(snap->generation, request.spec, request.q),
+                      &resp.result)) {
+      resp.source = ResultSource::kCache;
+      resp.latency = ElapsedUs(t0);
+      RecordLatency(request.spec.type, resp.latency);
+      deliver(std::move(resp));
+      return;
+    }
+  }
+
+  // Admission control. Definition-level answers (degenerate specs) are
+  // never refused: they cost no backend work worth protecting.
+  if (options_.max_inflight > 0 && regular &&
+      active_.load(std::memory_order_relaxed) >= options_.max_inflight) {
+    if (options_.overload == OverloadPolicy::kDegrade &&
+        snap->degraded != nullptr) {
+      // On the submitting thread by design: overload relief must not add
+      // pool work, and the caller feels the backpressure.
+      std::span<const geom::Vec2> one(&request.q, 1);
+      Response resp;
+      resp.result =
+          std::move(snap->degraded->QueryMany(one, request.spec)[0]);
+      resp.source = ResultSource::kDegraded;
+      resp.latency = ElapsedUs(t0);
+      degraded_.fetch_add(1, std::memory_order_relaxed);
+      RecordLatency(request.spec.type, resp.latency);
+      deliver(std::move(resp));
+    } else {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      deliver(Response{{}, ResultSource::kShed, ElapsedUs(t0)});
+    }
+    return;
+  }
+
+  active_.fetch_add(1, std::memory_order_relaxed);
   // The worker fans a multi-shard query back out across the pool (nested
   // ParallelFor; on a stopping pool it degrades to the worker alone).
-  ThreadPool* fan = snap->num_shards() > 1 ? &pool_ : nullptr;
+  ThreadPool* fan = snap->engine->num_shards() > 1 ? &pool_ : nullptr;
   std::function<void()> task =
-      [snap = std::move(snap), promise = std::move(promise), q, spec, fan] {
-        // Route through QueryMany so degenerate spec parameters follow
-        // the documented definitions instead of tripping single-query
-        // CHECKs.
-        std::span<const geom::Vec2> one(&q, 1);
-        promise->set_value(std::move(snap->QueryMany(one, spec, fan)[0]));
+      [this, snap = std::move(snap), deliver = std::move(deliver), request,
+       cacheable, fan, t0] {
+        Response resp;
+        if (request.deadline != kNoDeadline &&
+            std::chrono::steady_clock::now() >= request.deadline) {
+          // Deadline check two: aged out while queued.
+          resp.source = ResultSource::kDeadlineExceeded;
+          deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          // Route through QueryMany so degenerate spec parameters follow
+          // the documented definitions instead of tripping single-query
+          // CHECKs.
+          std::span<const geom::Vec2> one(&request.q, 1);
+          resp.result =
+              std::move(snap->engine->QueryMany(one, request.spec, fan)[0]);
+          if (cacheable) {
+            cache_.Insert(
+                cache_.Key(snap->generation, request.spec, request.q),
+                resp.result);
+          }
+        }
+        active_.fetch_sub(1, std::memory_order_relaxed);
+        resp.latency = ElapsedUs(t0);
+        if (resp.source == ResultSource::kComputed) {
+          RecordLatency(request.spec.type, resp.latency);
+        }
+        deliver(std::move(resp));
       };
-  if (!pool_.TryPost(std::move(task))) {
+  if (!pool_.TryPost(std::move(task), ToTaskPriority(request.priority))) {
     // A submit racing server shutdown: once the pool's destructor has
     // begun no task can be enqueued, so answer inline on the submitting
     // thread against the snapshot pinned above (the nested fan-out
@@ -129,17 +306,186 @@ std::future<Engine::QueryResult> QueryServer::Submit(
     // always satisfied and nothing aborts.
     task();
   }
-  queries_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::future<Response> QueryServer::Submit(const Request& request) {
+  InflightGuard inflight(inflight_, draining_);
+  auto promise = std::make_shared<std::promise<Response>>();
+  std::future<Response> result = promise->get_future();
+  SubmitImpl(request, [promise = std::move(promise)](Response&& resp) {
+    promise->set_value(std::move(resp));
+  });
   return result;
+}
+
+std::future<Engine::QueryResult> QueryServer::Submit(
+    geom::Vec2 q, const Engine::QuerySpec& spec) {
+  InflightGuard inflight(inflight_, draining_);
+  auto promise = std::make_shared<std::promise<Engine::QueryResult>>();
+  std::future<Engine::QueryResult> result = promise->get_future();
+  SubmitImpl(Request{q, spec},
+             [promise = std::move(promise)](Response&& resp) {
+               promise->set_value(std::move(resp.result));
+             });
+  return result;
+}
+
+std::vector<Response> QueryServer::QueryBatch(
+    std::span<const Request> requests) {
+  InflightGuard inflight(inflight_, draining_);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::shared_ptr<const Snapshot> snap =
+      state_.load(std::memory_order_acquire);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<Response> responses(requests.size());
+  if (requests.empty()) return responses;
+
+  // Pass one, serial: per-request deadline check and cache probe;
+  // everything unanswered is a miss headed for a backend.
+  std::vector<size_t> compute;   // Misses for the full backend.
+  std::vector<size_t> overload;  // Regular misses hit the in-flight limit.
+  compute.reserve(requests.size());
+  // Batch-level admission: the limit decides the batch's fate once, on
+  // the way in (a batch the server accepts is not split).
+  const bool at_limit =
+      options_.max_inflight > 0 &&
+      active_.load(std::memory_order_relaxed) >= options_.max_inflight;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const Request& r = requests[i];
+    CountQuery(r.spec);
+    if (r.deadline != kNoDeadline && t0 >= r.deadline) {
+      responses[i].source = ResultSource::kDeadlineExceeded;
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    const bool regular = IsRegular(r.spec);
+    if (regular && !cache_.disabled() &&
+        cache_.Lookup(cache_.Key(snap->generation, r.spec, r.q),
+                      &responses[i].result)) {
+      responses[i].source = ResultSource::kCache;
+      responses[i].latency = ElapsedUs(t0);
+      RecordLatency(r.spec.type, responses[i].latency);
+      continue;
+    }
+    if (at_limit && regular) {
+      overload.push_back(i);
+    } else {
+      compute.push_back(i);
+    }
+  }
+
+  // Overload handling for the batch's regular misses, as a unit.
+  std::vector<size_t> degrade;
+  if (!overload.empty()) {
+    if (options_.overload == OverloadPolicy::kDegrade &&
+        snap->degraded != nullptr) {
+      degrade = std::move(overload);
+    } else {
+      for (size_t i : overload) responses[i].source = ResultSource::kShed;
+      shed_.fetch_add(overload.size(), std::memory_order_relaxed);
+    }
+  }
+
+  // Answers one index list on one backend, results scattered into
+  // `responses`. A uniform-spec list (the common case, and always the
+  // legacy wrapper) goes through serve::QueryMany so per-spec batch
+  // amortizations (warm once, block splitting) are kept; mixed specs
+  // warm each distinct spec once, then fan per request.
+  auto run = [&](const std::vector<size_t>& idx, const auto& backend) {
+    bool uniform = true;
+    for (size_t i : idx) {
+      if (!SpecEquals(requests[i].spec, requests[idx[0]].spec)) {
+        uniform = false;
+        break;
+      }
+    }
+    if (uniform) {
+      std::vector<geom::Vec2> points(idx.size());
+      for (size_t j = 0; j < idx.size(); ++j) points[j] = requests[idx[j]].q;
+      std::vector<Engine::QueryResult> results =
+          QueryMany(backend, points, requests[idx[0]].spec, &pool_);
+      for (size_t j = 0; j < idx.size(); ++j) {
+        responses[idx[j]].result = std::move(results[j]);
+      }
+      return;
+    }
+    // Mixed specs: warm each distinct spec once (a handful at most, so
+    // the quadratic dedup scan is cheaper than hashing), then fan the
+    // requests across the pool, one backend call per request.
+    std::vector<Engine::QuerySpec> distinct;
+    for (size_t i : idx) {
+      bool seen = false;
+      for (const Engine::QuerySpec& s : distinct) {
+        if (SpecEquals(s, requests[i].spec)) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) distinct.push_back(requests[i].spec);
+    }
+    for (const Engine::QuerySpec& s : distinct) backend.Warmup(s);
+    pool_.ParallelFor(idx.size(), [&](size_t begin, size_t end) {
+      for (size_t j = begin; j < end; ++j) {
+        const Request& r = requests[idx[j]];
+        std::span<const geom::Vec2> one(&r.q, 1);
+        responses[idx[j]].result =
+            std::move(backend.QueryMany(one, r.spec)[0]);
+      }
+    });
+  };
+
+  if (!compute.empty()) {
+    active_.fetch_add(static_cast<int>(compute.size()),
+                      std::memory_order_relaxed);
+    run(compute, *snap->engine);
+    for (size_t i : compute) responses[i].source = ResultSource::kComputed;
+    if (!cache_.disabled()) {
+      for (size_t i : compute) {
+        const Request& r = requests[i];
+        if (IsRegular(r.spec)) {
+          cache_.Insert(cache_.Key(snap->generation, r.spec, r.q),
+                        responses[i].result);
+        }
+      }
+    }
+    active_.fetch_sub(static_cast<int>(compute.size()),
+                      std::memory_order_relaxed);
+  }
+  if (!degrade.empty()) {
+    // Degraded answers are estimates at the relaxed accuracy: they are
+    // labeled, and never inserted into the exact-result cache.
+    run(degrade, *snap->degraded);
+    for (size_t i : degrade) responses[i].source = ResultSource::kDegraded;
+    degraded_.fetch_add(degrade.size(), std::memory_order_relaxed);
+  }
+
+  // Completion latency for everything decided by this batch (cache hits
+  // keep their probe-time latency); histograms get answered requests
+  // only.
+  const std::chrono::microseconds batch_latency = ElapsedUs(t0);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (responses[i].source == ResultSource::kCache) continue;
+    responses[i].latency = batch_latency;
+    if (responses[i].source == ResultSource::kComputed ||
+        responses[i].source == ResultSource::kDegraded) {
+      RecordLatency(requests[i].spec.type, batch_latency);
+    }
+  }
+  return responses;
 }
 
 std::vector<Engine::QueryResult> QueryServer::QueryBatch(
     std::span<const geom::Vec2> queries, const Engine::QuerySpec& spec) {
-  InflightGuard inflight(inflight_, draining_);
-  std::shared_ptr<const ShardedEngine> snap = sharded_snapshot();
-  auto results = QueryMany(*snap, queries, spec, &pool_);
-  batches_.fetch_add(1, std::memory_order_relaxed);
-  queries_.fetch_add(queries.size(), std::memory_order_relaxed);
+  std::vector<Request> requests(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    requests[i].q = queries[i];
+    requests[i].spec = spec;
+  }
+  std::vector<Response> batch = QueryBatch(requests);
+  std::vector<Engine::QueryResult> results(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    results[i] = std::move(batch[i].result);
+  }
   return results;
 }
 
@@ -189,17 +535,32 @@ void QueryServer::ReplaceShardedEngine(
 void QueryServer::InstallLocked(std::shared_ptr<const ShardedEngine> engine) {
   // Build and warm entirely off to the side; the swap itself is one
   // atomic store. In-flight queries hold the old snapshot's shared_ptr,
-  // so it dies only when the last of them finishes.
-  WarmSnapshot(*engine);
-  engine_.store(std::move(engine), std::memory_order_release);
+  // so it dies only when the last of them finishes — and the generation
+  // bump retires every cached result of the old snapshot without a
+  // sweep.
+  std::shared_ptr<const Engine> degraded;
+  if (DegradeEnabled()) {
+    degraded = BuildDegraded(CollectPoints(*engine), engine->config());
+  }
+  state_.store(MakeSnapshot(std::move(engine), std::move(degraded),
+                            next_generation_++),
+               std::memory_order_release);
   swaps_.fetch_add(1, std::memory_order_relaxed);
 }
 
-QueryServer::Stats QueryServer::stats() const {
-  Stats s;
+ServerStats QueryServer::stats() const {
+  ServerStats s;
   s.queries = queries_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
   s.swaps = swaps_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.degraded = degraded_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  for (int t = 0; t < kNumQueryTypes; ++t) {
+    s.queries_by_type[t] = queries_by_type_[t].load(std::memory_order_relaxed);
+    s.latency_by_type[t] = latency_[t].Summarize();
+  }
+  s.cache = cache_.stats();
   return s;
 }
 

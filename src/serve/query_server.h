@@ -1,8 +1,11 @@
 #ifndef UNN_SERVE_QUERY_SERVER_H_
 #define UNN_SERVE_QUERY_SERVER_H_
 
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -11,6 +14,9 @@
 
 #include "engine/engine.h"
 #include "serve/parallel.h"
+#include "serve/request.h"
+#include "serve/result_cache.h"
+#include "serve/server_stats.h"
 #include "serve/sharding.h"
 #include "serve/thread_pool.h"
 
@@ -32,9 +38,41 @@
 /// sense). Replacements may change the shard count and partitioner
 /// mid-flight; concurrent replacements serialize on a small mutex that
 /// readers never touch.
+///
+/// The primary serving API is `Submit(Request)` / `QueryBatch(span<
+/// Request>)` over the types in request.h; the historical `(Vec2,
+/// QuerySpec)` signatures forward to them. On top of the snapshot the
+/// server layers three QoS mechanisms (docs/ARCHITECTURE.md, "Serving
+/// QoS"):
+///
+///   * a snapshot-keyed result cache (result_cache.h): every answer is a
+///     pure function of (snapshot, spec, point), snapshots carry a
+///     monotone generation, and `ReplaceDataset` bumps it — so stale
+///     entries die by unreachability, with no invalidation sweep;
+///   * admission control: past `Options::max_inflight` in-flight
+///     backend queries, new regular requests are shed
+///     (`ResultSource::kShed`) or degraded to a cheap Monte-Carlo
+///     engine built beside each snapshot (`Options::overload`);
+///     definition-level (degenerate-spec) answers are never refused;
+///   * deadlines + priorities: a request past its deadline is dropped
+///     without touching a backend — checked at admission and again at
+///     dispatch — and `Request::priority` maps onto the pool's strict
+///     priority queue.
 
 namespace unn {
 namespace serve {
+
+/// What to do with a regular request admitted while the server is past
+/// its in-flight limit.
+enum class OverloadPolicy {
+  /// Refuse it: `ResultSource::kShed`, empty result, ~0 latency.
+  kShed,
+  /// Answer it from the cheap Monte-Carlo engine built beside each
+  /// snapshot, on the *submitting* thread (deliberate backpressure):
+  /// `ResultSource::kDegraded`. Falls back to kShed when the degraded
+  /// engine is unavailable.
+  kDegrade,
+};
 
 class QueryServer {
  public:
@@ -52,6 +90,21 @@ class QueryServer {
     /// built in parallel on the pool, merged per query
     /// (docs/QUERY_SEMANTICS.md).
     ShardingOptions sharding;
+    /// Result-cache configuration. Opt-in: the default budget of 0
+    /// disables caching; set `cache.max_bytes > 0` to serve repeated
+    /// (snapshot, spec, point) requests from memory.
+    ResultCache::Options cache{.max_bytes = 0};
+    /// Admission control: maximum backend queries in flight (queued +
+    /// executing) before overload handling kicks in; 0 disables. Cache
+    /// hits and definition-level answers never count against it.
+    int max_inflight = 0;
+    /// What happens to regular requests past the in-flight limit.
+    OverloadPolicy overload = OverloadPolicy::kShed;
+    /// Accuracy of the degraded Monte-Carlo engine (only built when
+    /// `overload == kDegrade` and `max_inflight > 0`): sample count
+    /// override and the eps floor it is allowed to relax to.
+    int degrade_mc_samples = 48;
+    double degrade_eps = 0.25;
   };
 
   /// Serves an already-built engine as a single shard (shared: other
@@ -80,42 +133,69 @@ class QueryServer {
   /// as they like; it stays valid (and immutable) across any number of
   /// ReplaceDataset calls. O(1), thread-safe.
   std::shared_ptr<const Engine> snapshot() const {
-    std::shared_ptr<const ShardedEngine> s =
-        engine_.load(std::memory_order_acquire);
-    return s->num_shards() == 1 ? s->shard_ptr(0) : nullptr;
+    std::shared_ptr<const Snapshot> s =
+        state_.load(std::memory_order_acquire);
+    return s->engine->num_shards() == 1 ? s->engine->shard_ptr(0) : nullptr;
   }
 
   /// The shard set currently serving (always non-null; one shard in the
   /// unsharded case). Same lifetime guarantees as snapshot(). O(1),
   /// thread-safe.
   std::shared_ptr<const ShardedEngine> sharded_snapshot() const {
-    return engine_.load(std::memory_order_acquire);
+    return state_.load(std::memory_order_acquire)->engine;
   }
 
-  /// Async single query against the snapshot current at submission time.
-  /// A sharded snapshot fans the query out to all shards across the pool.
-  /// Degenerate spec parameters follow Engine::QueryMany's definitions.
-  /// Thread-safe. Shutdown note: a Submit that races server destruction
-  /// no longer aborts — once the pool refuses new tasks the query runs
-  /// inline on the submitting thread against the pinned snapshot (the
-  /// same degradation ParallelFor applies to QueryBatch). Two backstops
-  /// narrow the race: the destructor first drains every
-  /// Submit/QueryBatch/Replace* that has already entered (atomic
-  /// in-flight count), and the pool is the first member destroyed, so a
-  /// call that slips in while the destructor is blocked joining the
-  /// workers still finds every other member alive (the shutdown stress
-  /// test pins that window). These narrow the race but cannot license
-  /// it: a call not ordered before destruction can still land after the
-  /// drain and a fast join, racing member teardown — undefined behavior,
-  /// as for any object. Callers must stop submitting before destroying
-  /// the server; the backstops exist to fail loudly less and corrupt
-  /// quietly never in the windows they cover.
+  /// The current snapshot generation: 1 for the snapshot the server was
+  /// constructed with, +1 per replacement. Result-cache keys carry it,
+  /// which is the entire invalidation story. O(1), thread-safe.
+  uint64_t generation() const {
+    return state_.load(std::memory_order_acquire)->generation;
+  }
+
+  /// Async single query under the full QoS contract: deadline check at
+  /// admission and dispatch, result-cache probe, admission control, then
+  /// pool dispatch at `Request::priority` against the snapshot current
+  /// at submission time (a sharded snapshot fans the query out to all
+  /// shards across the pool). The future is always satisfied — refusals
+  /// are Responses (`kShed` / `kDeadlineExceeded`), never exceptions.
+  /// Degenerate spec parameters follow Engine::QueryMany's definitions
+  /// and are never cached, shed or degraded. Thread-safe. Shutdown note:
+  /// a Submit that races server destruction no longer aborts — once the
+  /// pool refuses new tasks the query runs inline on the submitting
+  /// thread against the pinned snapshot (the same degradation
+  /// ParallelFor applies to QueryBatch). Two backstops narrow the race:
+  /// the destructor first drains every Submit/QueryBatch/Replace* that
+  /// has already entered (atomic in-flight count), and the pool is the
+  /// first member destroyed, so a call that slips in while the
+  /// destructor is blocked joining the workers still finds every other
+  /// member alive (the shutdown stress test pins that window). These
+  /// narrow the race but cannot license it: a call not ordered before
+  /// destruction can still land after the drain and a fast join, racing
+  /// member teardown — undefined behavior, as for any object. Callers
+  /// must stop submitting before destroying the server; the backstops
+  /// exist to fail loudly less and corrupt quietly never in the windows
+  /// they cover.
+  std::future<Response> Submit(const Request& request);
+
+  /// Forwarding wrapper: `Submit({q, spec})` with no deadline at normal
+  /// priority, delivering just the result (cache and admission control
+  /// still apply; a shed request delivers an empty QueryResult).
+  /// Thread-safe.
   std::future<Engine::QueryResult> Submit(geom::Vec2 q,
                                           const Engine::QuerySpec& spec);
 
-  /// Blocking batched API: splits the queries across the pool (plus the
-  /// calling thread) and returns when every answer is in; results[i]
-  /// answers queries[i]. The whole batch runs on one snapshot.
+  /// Blocking batched API: probes the cache per request, then computes
+  /// the misses across the pool (plus the calling thread); responses[i]
+  /// answers requests[i]. The whole batch runs on one snapshot.
+  /// Per-request deadlines are checked once, at batch admission.
+  /// Admission control is batch-level: when the server is already at
+  /// its in-flight limit the batch's regular misses are all shed or all
+  /// degraded (a batch the server accepts is not split). Cache-hit
+  /// responses carry their probe-time latency; computed ones the batch
+  /// completion latency. Thread-safe.
+  std::vector<Response> QueryBatch(std::span<const Request> requests);
+
+  /// Forwarding wrapper: one spec for every point, results only.
   /// Thread-safe.
   std::vector<Engine::QueryResult> QueryBatch(
       std::span<const geom::Vec2> queries, const Engine::QuerySpec& spec);
@@ -125,10 +205,11 @@ class QueryServer {
   /// resharding ReplaceDataset overload, or the shape of a
   /// caller-installed shard set — builds the new shard set on the pool
   /// (same Engine config as the current snapshot), warms Options::warm,
-  /// then swaps. Queries submitted before the swap finish on the old
-  /// snapshot; queries submitted after see the new one. Safe to call
-  /// concurrently with queries and with other replacements
-  /// (replacements serialize).
+  /// then swaps and bumps the snapshot generation (cached results of the
+  /// old snapshot become unreachable; no sweep). Queries submitted
+  /// before the swap finish on the old snapshot; queries submitted after
+  /// see the new one. Safe to call concurrently with queries and with
+  /// other replacements (replacements serialize).
   void ReplaceDataset(std::vector<core::UncertainPoint> points);
   /// Same, additionally changing the sharding (shard count and/or
   /// partitioner) for this and future replacements — resharding
@@ -148,35 +229,85 @@ class QueryServer {
   /// work). Thread-safe.
   ThreadPool& pool() { return pool_; }
 
-  struct Stats {
-    uint64_t queries = 0;  ///< Single queries + batched queries answered.
-    uint64_t batches = 0;  ///< QueryBatch calls.
-    uint64_t swaps = 0;    ///< Dataset replacements.
-  };
-  /// Relaxed counters — monotone, but a concurrent reader may observe a
-  /// swap before the queries that preceded it. O(1), thread-safe.
-  Stats stats() const;
+  /// The historical name for the stats snapshot; see ServerStats
+  /// (server_stats.h) for the fields and the relaxed-counter ordering
+  /// contract.
+  using Stats = ServerStats;
+
+  /// One stats snapshot: traffic counters, per-type counts, QoS
+  /// outcomes, cache counters and latency percentiles. Every underlying
+  /// counter is relaxed-atomic — individually monotone and never lossy,
+  /// but a concurrent reader may observe increments in any relative
+  /// order (e.g. a swap before the queries that preceded it); a snapshot
+  /// taken after the server quiesces is exact. O(histogram buckets),
+  /// thread-safe.
+  ServerStats stats() const;
+
+  /// The result cache (counters, configuration). Thread-safe.
+  const ResultCache& result_cache() const { return cache_; }
 
  private:
-  void WarmSnapshot(const ShardedEngine& engine);
+  /// One immutable serving state: the shard set, the optional degraded
+  /// engine beside it, and the generation cache keys carry. Swapped as a
+  /// unit so a request can never pair engine A with generation B.
+  struct Snapshot {
+    std::shared_ptr<const ShardedEngine> engine;
+    std::shared_ptr<const Engine> degraded;  ///< Null unless kDegrade.
+    uint64_t generation = 0;
+  };
+
+  void WarmSnapshot(const Snapshot& snap);
+  bool DegradeEnabled() const {
+    return options_.max_inflight > 0 &&
+           options_.overload == OverloadPolicy::kDegrade;
+  }
+  /// The cheap engine answering degraded traffic for a snapshot over
+  /// `points` (Monte-Carlo backend, loosened eps, small sample count).
+  std::shared_ptr<const Engine> BuildDegraded(
+      std::vector<core::UncertainPoint> points,
+      const Engine::Config& base) const;
+  /// Assembles + warms a Snapshot and returns it ready to install.
+  std::shared_ptr<const Snapshot> MakeSnapshot(
+      std::shared_ptr<const ShardedEngine> engine,
+      std::shared_ptr<const Engine> degraded, uint64_t generation);
   /// Shared replacement path: optional resharding, build on the pool,
   /// then InstallLocked. Takes replace_mu_.
   void ReplaceImpl(std::vector<core::UncertainPoint> points,
                    const ShardingOptions* sharding);
   /// Warm + atomic swap + swap count; replace_mu_ must be held.
   void InstallLocked(std::shared_ptr<const ShardedEngine> engine);
+  /// The full Submit flow with a pluggable delivery (the two public
+  /// Submit overloads differ only in what they promise).
+  void SubmitImpl(const Request& request,
+                  std::function<void(Response&&)> deliver);
+  void CountQuery(const Engine::QuerySpec& spec);
+  void RecordLatency(Engine::QueryType type, std::chrono::microseconds us);
 
   Options options_;
-  std::atomic<std::shared_ptr<const ShardedEngine>> engine_;
+  ResultCache cache_;
+  std::atomic<std::shared_ptr<const Snapshot>> state_;
   /// Serializes replacements and guards sharding_ (readers never take it).
   std::mutex replace_mu_;
   /// Replacement sharding for self-built snapshots: the most recent of
   /// Options::sharding, the resharding ReplaceDataset overload, or the
   /// shape of a caller-installed shard set. Updated under replace_mu_.
   ShardingOptions sharding_;
+  /// Next generation to assign (constructor installs 1). Bumped under
+  /// replace_mu_.
+  uint64_t next_generation_ = 2;
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> swaps_{0};
+  std::array<std::atomic<uint64_t>, kNumQueryTypes> queries_by_type_{};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> degraded_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  /// Backend queries in flight (admission control's load signal):
+  /// Submit-dispatched queries from post to completion, batch misses for
+  /// the span of their parallel compute. Cache hits, refusals and
+  /// degraded answers never count.
+  std::atomic<int> active_{0};
+  std::array<LatencyHistogram, kNumQueryTypes> latency_{};
   /// Submit/QueryBatch calls currently inside the server; the destructor
   /// drains it to zero (atomic wait) before member teardown. draining_
   /// gates the exit-side notify so the hot path never pays a wake.
@@ -184,8 +315,8 @@ class QueryServer {
   std::atomic<bool> draining_{false};
   /// Declared last, so it is the first member destroyed: while the
   /// destructor blocks joining the workers, every other member a
-  /// late-racing Submit/QueryBatch touches (snapshot, counters) is still
-  /// alive. See the shutdown note on Submit.
+  /// late-racing Submit/QueryBatch touches (snapshot, cache, counters)
+  /// is still alive. See the shutdown note on Submit.
   ThreadPool pool_;
 };
 

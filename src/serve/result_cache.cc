@@ -1,0 +1,185 @@
+#include "serve/result_cache.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "engine/query_contract.h"
+#include "util/check.h"
+
+namespace unn {
+namespace serve {
+
+namespace {
+
+/// splitmix64: the standard cheap 64-bit finalizer, good avalanche.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Coordinate canonicalization: with a quantum, the grid index of the
+/// nearest lattice point (so every query in a quantum-sized cell shares a
+/// key); without one, the exact bit pattern with -0.0 folded onto +0.0
+/// (distances cannot tell them apart, so neither may the key).
+uint64_t CanonicalCoord(double v, double quantum) {
+  if (quantum > 0) {
+    return static_cast<uint64_t>(
+        static_cast<int64_t>(std::llround(v / quantum)));
+  }
+  if (v == 0.0) v = 0.0;  // Collapses -0.0.
+  return std::bit_cast<uint64_t>(v);
+}
+
+/// The bytes an entry charges against the budget: the list node, the map
+/// node (approximated) and the heap the result owns.
+size_t EntryBytes(const Engine::QueryResult& r) {
+  constexpr size_t kNodeOverhead = 128;  // list + map node, amortized.
+  return kNodeOverhead +
+         r.ranked.capacity() * sizeof(std::pair<int, double>) +
+         r.ids.capacity() * sizeof(int);
+}
+
+uint32_t RoundUpPow2(uint32_t v) {
+  uint32_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+size_t ResultCache::KeyHash::operator()(const CacheKey& k) const {
+  uint64_t h = Mix(k.generation);
+  h = Mix(h ^ (static_cast<uint64_t>(k.type) << 32) ^ k.param);
+  h = Mix(h ^ k.qx);
+  h = Mix(h ^ k.qy);
+  return static_cast<size_t>(h);
+}
+
+ResultCache::ResultCache(const Options& options) : options_(options) {
+  int shards = options_.num_shards < 1 ? 1 : options_.num_shards;
+  if (shards > 256) shards = 256;
+  uint32_t n = RoundUpPow2(static_cast<uint32_t>(shards));
+  shard_mask_ = n - 1;
+  per_shard_budget_ = options_.max_bytes / n;
+  shards_ = std::make_unique<Shard[]>(n);
+}
+
+CacheKey ResultCache::MakeKey(uint64_t generation,
+                              const Engine::QuerySpec& spec, geom::Vec2 q,
+                              double coord_quantum) {
+  UNN_DCHECK(query_contract::Classify(spec) ==
+             query_contract::SpecClass::kRegular);
+  CacheKey key;
+  key.generation = generation;
+  key.type = static_cast<uint32_t>(spec.type);
+  // Zero the parameters the type ignores, so equivalent specs collide:
+  // only Threshold reads tau, only TopK reads k.
+  switch (spec.type) {
+    case Engine::QueryType::kThreshold:
+      key.param = std::bit_cast<uint64_t>(spec.tau);
+      break;
+    case Engine::QueryType::kTopK:
+      key.param = static_cast<uint64_t>(spec.k);
+      break;
+    default:
+      key.param = 0;
+      break;
+  }
+  key.qx = CanonicalCoord(q.x, coord_quantum);
+  key.qy = CanonicalCoord(q.y, coord_quantum);
+  return key;
+}
+
+ResultCache::Shard& ResultCache::ShardFor(const CacheKey& key) {
+  return shards_[KeyHash{}(key) & shard_mask_];
+}
+
+bool ResultCache::Lookup(const CacheKey& key, Engine::QueryResult* out) {
+  if (disabled()) return false;  // Not a miss: there is no cache.
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      *out = it->second->result;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void ResultCache::EvictToFit(Shard& shard, size_t budget) {
+  while (shard.bytes > budget && !shard.lru.empty()) {
+    Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    bytes_.fetch_sub(victim.bytes, std::memory_order_relaxed);
+    entries_.fetch_sub(1, std::memory_order_relaxed);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    shard.map.erase(victim.key);
+    shard.lru.pop_back();
+  }
+}
+
+void ResultCache::Insert(const CacheKey& key,
+                         const Engine::QueryResult& result) {
+  if (disabled()) return;
+  size_t bytes = EntryBytes(result);
+  if (bytes > per_shard_budget_) return;  // Would evict the whole shard.
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    // Racing computes of the same key: refresh in place.
+    Entry& e = *it->second;
+    shard.bytes -= e.bytes;
+    bytes_.fetch_sub(e.bytes, std::memory_order_relaxed);
+    e.result = result;
+    e.bytes = bytes;
+    shard.bytes += bytes;
+    bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    EvictToFit(shard, per_shard_budget_);
+    return;
+  }
+  shard.lru.push_front(Entry{key, result, bytes});
+  shard.map.emplace(key, shard.lru.begin());
+  shard.bytes += bytes;
+  bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  entries_.fetch_add(1, std::memory_order_relaxed);
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  EvictToFit(shard, per_shard_budget_);
+}
+
+void ResultCache::Clear() {
+  if (disabled()) return;
+  for (uint32_t s = 0; s <= shard_mask_; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    bytes_.fetch_sub(shard.bytes, std::memory_order_relaxed);
+    entries_.fetch_sub(shard.map.size(), std::memory_order_relaxed);
+    shard.map.clear();
+    shard.lru.clear();
+    shard.bytes = 0;
+  }
+}
+
+CacheStats ResultCache::stats() const {
+  CacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.entries = entries_.load(std::memory_order_relaxed);
+  s.bytes = bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace serve
+}  // namespace unn

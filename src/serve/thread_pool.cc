@@ -32,17 +32,25 @@ void ThreadPool::BeginShutdown() {
   cv_.notify_all();
 }
 
-void ThreadPool::Post(std::function<void()> fn) {
-  UNN_CHECK_MSG(TryPost(std::move(fn)), "Post on a stopping ThreadPool");
+void ThreadPool::Post(std::function<void()> fn, TaskPriority priority) {
+  UNN_CHECK_MSG(TryPost(std::move(fn), priority),
+                "Post on a stopping ThreadPool");
 }
 
-bool ThreadPool::TryPost(std::function<void()>&& fn) {
+bool ThreadPool::TryPost(std::function<void()>&& fn, TaskPriority priority) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) return false;
-    queue_.push_back(std::move(fn));
+    queues_[static_cast<int>(priority)].push_back(std::move(fn));
   }
   cv_.notify_one();
+  return true;
+}
+
+bool ThreadPool::QueuesEmptyLocked() const {
+  for (const auto& q : queues_) {
+    if (!q.empty()) return false;
+  }
   return true;
 }
 
@@ -51,10 +59,15 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained.
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      cv_.wait(lock, [this] { return stopping_ || !QueuesEmptyLocked(); });
+      if (QueuesEmptyLocked()) return;  // stopping_ and drained.
+      for (auto& q : queues_) {         // Highest class first.
+        if (!q.empty()) {
+          task = std::move(q.front());
+          q.pop_front();
+          break;
+        }
+      }
     }
     task();
   }

@@ -1,6 +1,7 @@
 #ifndef UNN_SERVE_THREAD_POOL_H_
 #define UNN_SERVE_THREAD_POOL_H_
 
+#include <array>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -22,12 +23,26 @@
 ///                           too, so a pool of T threads applies T + 1
 ///                           workers and a 1-thread pool still overlaps.
 ///
+/// The queue is priority-ordered: three strict classes (kHigh / kNormal /
+/// kLow, see TaskPriority), FIFO within a class, workers always draining
+/// the highest non-empty class first. QueryServer maps serve::Priority
+/// onto this, which is what lets low-priority traffic queue behind
+/// interactive traffic under load without any extra scheduler. Priorities
+/// order dispatch; they never preempt a running task.
+///
 /// Tasks must not throw (queries propagate errors through their results);
 /// the pool std::terminates on an escaping exception, like a joining
 /// thread would.
 
 namespace unn {
 namespace serve {
+
+/// Dispatch class of a posted task; strict priority, FIFO within a class.
+enum class TaskPriority {
+  kHigh = 0,
+  kNormal = 1,
+  kLow = 2,
+};
 
 class ThreadPool {
  public:
@@ -47,9 +62,12 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
-  /// Enqueues one task for any worker. Safe from any thread, including
-  /// from inside a running task. O(1); CHECK-fails on a stopping pool.
-  void Post(std::function<void()> fn);
+  /// Enqueues one task for any worker at the given priority (dispatched
+  /// after every queued task of a higher class, before any of a lower
+  /// one). Safe from any thread, including from inside a running task.
+  /// O(1); CHECK-fails on a stopping pool.
+  void Post(std::function<void()> fn,
+            TaskPriority priority = TaskPriority::kNormal);
 
   /// Post that reports instead of CHECK-failing on a stopping pool:
   /// returns false when the destructor has already begun, which is how
@@ -57,7 +75,8 @@ class ThreadPool {
   /// (QueryServer::Submit) or alone (ParallelFor). `fn` is consumed only
   /// on success — on failure it is left intact, so the caller can still
   /// run it itself. O(1).
-  bool TryPost(std::function<void()>&& fn);
+  bool TryPost(std::function<void()>&& fn,
+               TaskPriority priority = TaskPriority::kNormal);
 
   /// Splits [0, n) into contiguous blocks (about 2 per participant, so a
   /// straggler block cannot dominate the makespan), runs `fn(begin, end)`
@@ -70,10 +89,13 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
+  /// True when every priority class is empty; mu_ must be held.
+  bool QueuesEmptyLocked() const;
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  /// One FIFO per TaskPriority, drained in class order.
+  std::array<std::deque<std::function<void()>>, 3> queues_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

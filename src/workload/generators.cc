@@ -1,5 +1,6 @@
 #include "workload/generators.h"
 
+#include <algorithm>
 #include <cmath>
 #include <random>
 
@@ -151,6 +152,37 @@ std::vector<UncertainPoint> LowerBoundVprQuartic(int n, uint64_t seed) {
     pts.push_back(UncertainPoint::Discrete({near, far}, {0.5, 0.5}));
   }
   return pts;
+}
+
+std::vector<int> ZipfIndices(int count, int universe, double alpha,
+                             uint64_t seed) {
+  UNN_CHECK(universe > 0);
+  UNN_CHECK(alpha >= 0);
+  std::mt19937_64 rng(seed);
+  // Inverse-CDF sampling over the explicit rank weights (universe is a
+  // query-set size, not the web): cdf[r] = sum_{s<=r} 1/(s+1)^alpha.
+  std::vector<double> cdf(universe);
+  double total = 0;
+  for (int r = 0; r < universe; ++r) {
+    total += std::pow(static_cast<double>(r + 1), -alpha);
+    cdf[r] = total;
+  }
+  // Scatter popularity across the universe: without this, "popular" would
+  // always mean "first", and index locality would masquerade as skew.
+  std::vector<int> rank_to_index(universe);
+  for (int r = 0; r < universe; ++r) rank_to_index[r] = r;
+  std::shuffle(rank_to_index.begin(), rank_to_index.end(), rng);
+
+  std::uniform_real_distribution<double> u(0.0, total);
+  std::vector<int> out;
+  out.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    int r = static_cast<int>(
+        std::lower_bound(cdf.begin(), cdf.end(), u(rng)) - cdf.begin());
+    if (r >= universe) r = universe - 1;
+    out.push_back(rank_to_index[r]);
+  }
+  return out;
 }
 
 }  // namespace workload

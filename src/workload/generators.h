@@ -53,6 +53,15 @@ std::vector<core::UncertainPoint> DisjointDisks(int n, double lambda,
 /// Omega(n^4) faces: one location in the unit disk, one far away.
 std::vector<core::UncertainPoint> LowerBoundVprQuartic(int n, uint64_t seed);
 
+/// `count` indices into [0, universe) drawn Zipf-style: index rank r is
+/// drawn with probability proportional to 1 / (r + 1)^alpha under a random
+/// rank permutation (so the popular indices are scattered, not the low
+/// ones). alpha = 0 is uniform; alpha ~ 1 is the classic web-workload
+/// skew. The serving benchmarks use this to model repeated-query traffic
+/// against the result cache. Deterministic for a fixed seed.
+std::vector<int> ZipfIndices(int count, int universe, double alpha,
+                             uint64_t seed);
+
 }  // namespace workload
 }  // namespace unn
 

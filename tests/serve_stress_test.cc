@@ -231,5 +231,135 @@ TEST(QueryServerStress, SubmitRacingShutdownAnswersInline) {
   for (auto& fut : queued) EXPECT_EQ(fut.get().nn, want);
 }
 
+TEST(QueryServerStress, CacheHitsRacingSnapshotSwaps) {
+  // The cache invalidation story under fire: clients hammer a small
+  // repeated query set (high hit rate) while the main thread swaps the
+  // dataset back and forth. Every response must match one of the two
+  // datasets' oracles — a hit must never surface a result from the wrong
+  // generation — and sources must be computed/cache only.
+  auto pts_a = workload::RandomDiscrete(30, 3, 103);
+  auto pts_b = workload::RandomDiscrete(36, 2, 104);
+  auto qs = StressQueries(16);
+
+  Engine::Config cfg;
+  Engine oracle_a(pts_a, cfg);
+  Engine oracle_b(pts_b, cfg);
+  std::vector<int> ans_a, ans_b;
+  for (Vec2 q : qs) {
+    ans_a.push_back(oracle_a.MostProbableNn(q));
+    ans_b.push_back(oracle_b.MostProbableNn(q));
+  }
+
+  serve::QueryServer::Options options;
+  options.num_threads = 4;
+  options.warm = {Engine::QueryType::kMostProbableNn};
+  options.cache.max_bytes = 1u << 20;
+  serve::QueryServer server(pts_a, cfg, options);
+
+  std::atomic<int> mismatches{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      serve::Request req;
+      for (int i = 0; !stop.load(); ++i) {
+        size_t j = (i + t * 5) % qs.size();
+        req.q = qs[j];
+        serve::Response r = server.Submit(req).get();
+        if (r.source != serve::ResultSource::kComputed &&
+            r.source != serve::ResultSource::kCache) {
+          ++mismatches;
+        }
+        if (r.result.nn != ans_a[j] && r.result.nn != ans_b[j]) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+
+  for (int swap = 0; swap < 6; ++swap) {
+    server.ReplaceDataset(swap % 2 == 0 ? pts_b : pts_a);
+  }
+  // Let the clients reach steady state on the final generation: once a
+  // hit lands, the cache has demonstrably served across the swap storm.
+  while (server.stats().cache.hits == 0) std::this_thread::yield();
+  stop.store(true);
+  for (auto& th : clients) th.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  auto s = server.stats();
+  EXPECT_EQ(s.swaps, 6u);
+  EXPECT_EQ(server.generation(), 7u);
+  EXPECT_GT(s.cache.hits, 0u);
+}
+
+TEST(QueryServerStress, ShedDeadlineAndComputedAccountingUnderOverload) {
+  // Admission control under contention: clients submit with a mix of no
+  // deadline, generous deadlines and already-expired deadlines against a
+  // tiny in-flight limit. Every future must resolve, client-side tallies
+  // by source must equal the server's counters after quiescing, and
+  // nothing may race (TSan runs this).
+  auto pts = workload::RandomDiscrete(24, 3, 106);
+  serve::QueryServer::Options options;
+  options.num_threads = 2;
+  options.warm = {Engine::QueryType::kMostProbableNn};
+  options.max_inflight = 2;
+  serve::QueryServer server(pts, {}, options);
+
+  auto qs = StressQueries(20);
+  constexpr int kPerThread = 120;
+  std::atomic<uint64_t> computed{0}, shed{0}, deadline{0}, cached{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        serve::Request req;
+        req.q = qs[(i + t * 7) % qs.size()];
+        req.priority = static_cast<serve::Priority>(i % 3);
+        if (i % 5 == 3) {
+          req.deadline = std::chrono::steady_clock::now() -
+                         std::chrono::milliseconds(1);
+        } else if (i % 5 == 4) {
+          req.deadline = serve::DeadlineAfter(std::chrono::minutes(5));
+        }
+        switch (server.Submit(req).get().source) {
+          case serve::ResultSource::kComputed:
+            ++computed;
+            break;
+          case serve::ResultSource::kShed:
+            ++shed;
+            break;
+          case serve::ResultSource::kDeadlineExceeded:
+            ++deadline;
+            break;
+          case serve::ResultSource::kCache:
+            ++cached;
+            break;
+          default:
+            ADD_FAILURE() << "unexpected source";
+        }
+      }
+    });
+  }
+  for (auto& th : clients) th.join();
+
+  auto s = server.stats();
+  const uint64_t total = static_cast<uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(s.queries, total);
+  EXPECT_EQ(computed.load() + shed.load() + deadline.load() + cached.load(),
+            total);
+  EXPECT_EQ(s.shed, shed.load());
+  EXPECT_EQ(s.deadline_exceeded, deadline.load());
+  EXPECT_GE(s.deadline_exceeded, static_cast<uint64_t>(kThreads));
+  // Answered requests (and only those) entered the histograms.
+  uint64_t hist = 0;
+  for (int t = 0; t < serve::kNumQueryTypes; ++t) {
+    hist += s.latency_by_type[t].count;
+  }
+  EXPECT_EQ(hist, computed.load() + cached.load());
+  // The cache is off in this config.
+  EXPECT_EQ(cached.load(), 0u);
+}
+
 }  // namespace
 }  // namespace unn

@@ -1,6 +1,9 @@
 #include <atomic>
+#include <chrono>
 #include <future>
+#include <mutex>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -208,6 +211,295 @@ TEST(QueryServer, ReplaceDatasetSwapsSnapshotAndKeepsOldAlive) {
   Engine oracle_b(pts_b, {});
   auto r = server.Submit(q, {Engine::QueryType::kMostProbableNn}).get();
   EXPECT_EQ(r.nn, oracle_b.MostProbableNn(q));
+}
+
+// ---------------------------------------------------------------------------
+// QueryServer: Request/Response API, result cache, QoS
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, StrictPriorityOrdersDispatch) {
+  serve::ThreadPool pool(1);
+  // Park the single worker so posted tasks queue up, then release and
+  // watch the dispatch order: every high before every normal before
+  // every low, FIFO within a class.
+  std::atomic<bool> release{false};
+  std::promise<void> parked;
+  pool.Post([&] {
+    parked.set_value();
+    while (!release.load()) std::this_thread::yield();
+  });
+  parked.get_future().get();
+
+  std::mutex mu;
+  std::vector<int> order;
+  std::promise<void> done;
+  auto record = [&](int tag) {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(tag);
+    if (order.size() == 6) done.set_value();
+  };
+  pool.Post([&] { record(20); }, serve::TaskPriority::kLow);
+  pool.Post([&] { record(10); }, serve::TaskPriority::kNormal);
+  pool.Post([&] { record(0); }, serve::TaskPriority::kHigh);
+  pool.Post([&] { record(21); }, serve::TaskPriority::kLow);
+  pool.Post([&] { record(1); }, serve::TaskPriority::kHigh);
+  pool.Post([&] { record(11); }, serve::TaskPriority::kNormal);
+  release.store(true);
+  done.get_future().get();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 10, 11, 20, 21}));
+}
+
+TEST(QueryServer, RequestSubmitReportsComputedSource) {
+  auto pts = workload::RandomDiscrete(15, 3, 93);
+  serve::QueryServer server(pts, {}, {.num_threads = 2, .warm = {}});
+  Engine oracle(pts, {});
+
+  serve::Request req;
+  req.q = {1.0, -2.0};
+  serve::Response resp = server.Submit(req).get();
+  EXPECT_EQ(resp.source, serve::ResultSource::kComputed);
+  EXPECT_TRUE(resp.ok());
+  EXPECT_EQ(resp.result.nn, oracle.MostProbableNn(req.q));
+  EXPECT_GE(resp.latency.count(), 0);
+  EXPECT_EQ(server.stats().queries, 1u);
+}
+
+TEST(QueryServer, CacheHitIsBitIdenticalAndLabeled) {
+  auto pts = workload::RandomDiscrete(15, 3, 93);
+  serve::QueryServer::Options options;
+  options.num_threads = 2;
+  options.warm = {Engine::QueryType::kTopK};
+  options.cache.max_bytes = 1u << 20;
+  serve::QueryServer server(pts, {}, options);
+
+  serve::Request req;
+  req.q = {0.5, 0.5};
+  req.spec = {Engine::QueryType::kTopK, 0.5, 3};
+  serve::Response first = server.Submit(req).get();
+  EXPECT_EQ(first.source, serve::ResultSource::kComputed);
+  serve::Response second = server.Submit(req).get();
+  EXPECT_EQ(second.source, serve::ResultSource::kCache);
+  // Bit-identical: every field equal, not merely close.
+  EXPECT_EQ(second.result.nn, first.result.nn);
+  EXPECT_EQ(second.result.ranked, first.result.ranked);
+  EXPECT_EQ(second.result.ids, first.result.ids);
+
+  // A TopK spec that differs only in its (ignored) tau is the same key.
+  serve::Request same_key = req;
+  same_key.spec.tau = 0.123;
+  EXPECT_EQ(server.Submit(same_key).get().source,
+            serve::ResultSource::kCache);
+
+  auto s = server.stats();
+  EXPECT_EQ(s.cache.hits, 2u);
+  EXPECT_EQ(s.cache.misses, 1u);
+  EXPECT_EQ(s.cache.insertions, 1u);
+}
+
+TEST(QueryServer, ReplaceDatasetBumpsGenerationAndInvalidates) {
+  auto pts_a = workload::RandomDiscrete(10, 2, 96);
+  auto pts_b = workload::RandomDiscrete(14, 3, 97);
+  serve::QueryServer::Options options;
+  options.num_threads = 2;
+  options.cache.max_bytes = 1u << 20;
+  serve::QueryServer server(pts_a, {}, options);
+  EXPECT_EQ(server.generation(), 1u);
+
+  serve::Request req;
+  req.q = {1.0, 2.0};
+  EXPECT_EQ(server.Submit(req).get().source,
+            serve::ResultSource::kComputed);
+  EXPECT_EQ(server.Submit(req).get().source, serve::ResultSource::kCache);
+
+  server.ReplaceDataset(pts_b);
+  EXPECT_EQ(server.generation(), 2u);
+  // The old entry is unreachable under the new generation: the same
+  // request recomputes, against the new dataset.
+  serve::Response after = server.Submit(req).get();
+  EXPECT_EQ(after.source, serve::ResultSource::kComputed);
+  Engine oracle_b(pts_b, {});
+  EXPECT_EQ(after.result.nn, oracle_b.MostProbableNn(req.q));
+}
+
+TEST(QueryServer, ExpiredDeadlineIsRefusedWithoutComputing) {
+  auto pts = workload::RandomDiscrete(12, 2, 95);
+  serve::QueryServer server(pts, {}, {.num_threads = 2, .warm = {}});
+
+  serve::Request dead;
+  dead.q = {0.0, 0.0};
+  dead.deadline = std::chrono::steady_clock::now() -
+                  std::chrono::milliseconds(1);
+  serve::Response resp = server.Submit(dead).get();
+  EXPECT_EQ(resp.source, serve::ResultSource::kDeadlineExceeded);
+  EXPECT_FALSE(resp.ok());
+  EXPECT_EQ(resp.result.nn, -1);
+
+  serve::Request alive = dead;
+  alive.deadline = serve::DeadlineAfter(std::chrono::hours(1));
+  EXPECT_EQ(server.Submit(alive).get().source,
+            serve::ResultSource::kComputed);
+
+  auto s = server.stats();
+  EXPECT_EQ(s.deadline_exceeded, 1u);
+  EXPECT_EQ(s.queries, 2u);
+  // Refusals never enter the latency histograms.
+  EXPECT_EQ(s.latency(Engine::QueryType::kMostProbableNn).count, 1u);
+}
+
+/// Parks every pool worker behind a gate so the admission-control tests
+/// can hold the server at a known in-flight level deterministically.
+class PoolGate {
+ public:
+  PoolGate(serve::ThreadPool& pool, int workers) {
+    for (int i = 0; i < workers; ++i) {
+      pool.Post([this] {
+        gated_.fetch_add(1);
+        while (!release_.load()) std::this_thread::yield();
+      });
+    }
+    while (gated_.load() < workers) std::this_thread::yield();
+  }
+  void Release() { release_.store(true); }
+
+ private:
+  std::atomic<int> gated_{0};
+  std::atomic<bool> release_{false};
+};
+
+TEST(QueryServer, AdmissionControlShedsPastInflightLimit) {
+  auto pts = workload::RandomDiscrete(12, 2, 95);
+  serve::QueryServer::Options options;
+  options.num_threads = 1;
+  options.warm = {Engine::QueryType::kMostProbableNn};
+  options.max_inflight = 1;
+  serve::QueryServer server(pts, {}, options);
+
+  PoolGate gate(server.pool(), 1);
+  serve::Request req;
+  req.q = {0.5, -0.5};
+  // Occupies the one in-flight slot (queued behind the gate).
+  std::future<serve::Response> admitted = server.Submit(req);
+  // At the limit: these are refused on the submitting thread.
+  for (int i = 0; i < 3; ++i) {
+    serve::Response shed = server.Submit(req).get();
+    EXPECT_EQ(shed.source, serve::ResultSource::kShed);
+    EXPECT_FALSE(shed.ok());
+  }
+  gate.Release();
+  EXPECT_EQ(admitted.get().source, serve::ResultSource::kComputed);
+  auto s = server.stats();
+  EXPECT_EQ(s.shed, 3u);
+  EXPECT_EQ(s.queries, 4u);
+}
+
+TEST(QueryServer, AdmissionControlDegradesToCheapBackend) {
+  auto pts = workload::RandomDiscrete(20, 3, 98);
+  serve::QueryServer::Options options;
+  options.num_threads = 1;
+  options.warm = {Engine::QueryType::kMostProbableNn};
+  options.max_inflight = 1;
+  options.overload = serve::OverloadPolicy::kDegrade;
+  serve::QueryServer server(pts, {}, options);
+
+  PoolGate gate(server.pool(), 1);
+  serve::Request req;
+  req.q = {0.25, 0.25};
+  std::future<serve::Response> admitted = server.Submit(req);
+  // Past the limit: answered inline by the degraded Monte-Carlo engine —
+  // a labeled estimate, available while the full backend is wedged.
+  serve::Response degraded = server.Submit(req).get();
+  EXPECT_EQ(degraded.source, serve::ResultSource::kDegraded);
+  EXPECT_TRUE(degraded.ok());
+  EXPECT_GE(degraded.result.nn, 0);
+  EXPECT_LT(degraded.result.nn, static_cast<int>(pts.size()));
+  gate.Release();
+  EXPECT_EQ(admitted.get().source, serve::ResultSource::kComputed);
+  EXPECT_EQ(server.stats().degraded, 1u);
+}
+
+TEST(QueryServer, DegenerateSpecsBypassCacheAndAdmission) {
+  auto pts = workload::RandomDiscrete(12, 2, 95);
+  serve::QueryServer::Options options;
+  options.num_threads = 1;
+  options.max_inflight = 1;
+  options.cache.max_bytes = 1u << 20;
+  serve::QueryServer server(pts, {}, options);
+
+  PoolGate gate(server.pool(), 1);
+  serve::Request req;
+  req.q = {0.0, 0.0};
+  std::future<serve::Response> admitted = server.Submit(req);
+
+  // tau > 1 is definition-level empty: it must be answered (never shed)
+  // even at the in-flight limit, and never cached.
+  serve::Request degenerate;
+  degenerate.q = {0.0, 0.0};
+  degenerate.spec = {Engine::QueryType::kThreshold, 1.5, 1};
+  std::future<serve::Response> trivial = server.Submit(degenerate);
+  gate.Release();
+  serve::Response resp = trivial.get();
+  EXPECT_EQ(resp.source, serve::ResultSource::kComputed);
+  EXPECT_TRUE(resp.result.ranked.empty());
+  admitted.get();
+
+  auto s = server.stats();
+  EXPECT_EQ(s.shed, 0u);
+  EXPECT_EQ(s.cache.insertions, 1u);  // The regular request; not tau=1.5.
+}
+
+TEST(QueryServer, RequestBatchMixedSpecsMatchOracle) {
+  auto pts = workload::RandomDiscrete(18, 3, 99);
+  serve::QueryServer server(pts, {}, {.num_threads = 3, .warm = {}});
+  Engine oracle(pts, {});
+
+  auto qs = GridQueries(5);
+  std::vector<serve::Request> reqs;
+  for (Vec2 q : qs) {
+    reqs.push_back({q, {Engine::QueryType::kMostProbableNn, 0.5, 1}});
+    reqs.push_back({q, {Engine::QueryType::kTopK, 0.5, 2}});
+    reqs.push_back({q, {Engine::QueryType::kNonzeroNn, 0.5, 1}});
+    reqs.push_back({q, {Engine::QueryType::kTopK, 0.5, 0}});  // Degenerate.
+  }
+  auto responses = server.QueryBatch(reqs);
+  ASSERT_EQ(responses.size(), reqs.size());
+  for (size_t i = 0; i < qs.size(); ++i) {
+    const Vec2 q = qs[i];
+    EXPECT_EQ(responses[4 * i].result.nn, oracle.MostProbableNn(q));
+    EXPECT_EQ(responses[4 * i + 1].result.ranked, oracle.TopK(q, 2));
+    EXPECT_EQ(responses[4 * i + 2].result.ids, oracle.NonzeroNn(q));
+    EXPECT_TRUE(responses[4 * i + 3].result.ranked.empty());
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_EQ(responses[4 * i + j].source,
+                serve::ResultSource::kComputed);
+    }
+  }
+  auto s = server.stats();
+  EXPECT_EQ(s.batches, 1u);
+  EXPECT_EQ(s.queries, reqs.size());
+  EXPECT_EQ(s.queries_by_type[static_cast<int>(Engine::QueryType::kTopK)],
+            2 * qs.size());
+}
+
+TEST(QueryServer, RequestBatchServesRepeatsFromCache) {
+  auto pts = workload::RandomDiscrete(15, 3, 93);
+  serve::QueryServer::Options options;
+  options.num_threads = 2;
+  options.warm = {Engine::QueryType::kMostProbableNn};
+  options.cache.max_bytes = 1u << 20;
+  serve::QueryServer server(pts, {}, options);
+
+  auto qs = GridQueries(12);
+  std::vector<serve::Request> reqs;
+  for (Vec2 q : qs) reqs.push_back({q, {}});
+  auto first = server.QueryBatch(reqs);
+  auto second = server.QueryBatch(reqs);
+  ASSERT_EQ(second.size(), first.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].source, serve::ResultSource::kComputed);
+    EXPECT_EQ(second[i].source, serve::ResultSource::kCache);
+    EXPECT_EQ(second[i].result.nn, first[i].result.nn);
+  }
+  EXPECT_EQ(server.stats().cache.hits, qs.size());
 }
 
 }  // namespace
