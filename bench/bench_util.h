@@ -12,12 +12,17 @@
 #include "geom/vec2.h"
 
 /// \file bench_util.h
-/// Shared helpers for the experiment drivers (E1..E12). Each driver prints
+/// Shared helpers for the experiment drivers (E1..E13). Each driver prints
 /// a self-contained table; EXPERIMENTS.md records the paper's expectation
-/// next to these measurements. Every driver also understands two flags:
+/// next to these measurements. Every driver also understands three flags:
 ///   --tiny          shrink the input sweep (the CI bench-smoke job);
 ///   --json <path>   additionally write the measurements as JSON — the
 ///                   BENCH_pr.json artifact that seeds the perf trajectory.
+///                   Every document is stamped with provenance (git_sha,
+///                   build_type, wall-clock time) so artifacts stay
+///                   attributable across PRs;
+///   --metrics <path> drivers that stand up a QueryServer write its
+///                   Prometheus DumpMetrics() exposition here (e13).
 
 namespace unn {
 namespace bench {
@@ -32,6 +37,7 @@ std::vector<T> Sweep(bool tiny, std::vector<T> small, std::vector<T> full) {
 struct Args {
   bool tiny = false;
   std::string json_path;
+  std::string metrics_path;
 };
 
 inline Args ParseArgs(int argc, char** argv) {
@@ -44,9 +50,45 @@ inline Args ParseArgs(int argc, char** argv) {
       a.json_path = argv[++i];
     } else if (s.rfind("--json=", 0) == 0) {
       a.json_path = s.substr(7);
+    } else if (s == "--metrics" && i + 1 < argc) {
+      a.metrics_path = argv[++i];
+    } else if (s.rfind("--metrics=", 0) == 0) {
+      a.metrics_path = s.substr(10);
     }
   }
   return a;
+}
+
+/// Build provenance baked in by CMake (bench targets only); "unknown"
+/// when built outside the repo's own build (e.g. a tarball checkout).
+inline const char* GitSha() {
+#ifdef UNN_GIT_SHA
+  return UNN_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+inline const char* BuildType() {
+#ifdef UNN_BUILD_TYPE
+  return (UNN_BUILD_TYPE)[0] != '\0' ? UNN_BUILD_TYPE : "unknown";
+#else
+  return "unknown";
+#endif
+}
+
+/// Writes the Prometheus exposition text to `path`; no-op when empty.
+inline bool WriteMetricsDump(const std::string& path,
+                             const std::string& text) {
+  if (path.empty()) return true;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "WriteMetricsDump: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return true;
 }
 
 /// Collects named measurements row by row and serializes them as
@@ -78,7 +120,17 @@ class JsonEmitter {
   }
 
   std::string ToJson() const {
-    std::string out = "{\"experiment\": \"" + experiment_ + "\", \"rows\": [";
+    std::string out = "{\"experiment\": \"" + experiment_ + "\",";
+    out += " \"git_sha\": \"" + std::string(GitSha()) + "\",";
+    out += " \"build_type\": \"" + std::string(BuildType()) + "\",";
+    char stamp[32];
+    std::snprintf(stamp, sizeof stamp, "%lld",
+                  static_cast<long long>(
+                      std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::system_clock::now().time_since_epoch())
+                          .count()));
+    out += " \"unix_time_ms\": " + std::string(stamp) + ",";
+    out += " \"rows\": [";
     for (size_t r = 0; r < rows_.size(); ++r) {
       out += r == 0 ? "\n" : ",\n";
       out += "  {";

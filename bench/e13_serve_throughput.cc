@@ -17,6 +17,10 @@
 // with the cache off vs on, the steady-state hit rate, per-request
 // p50/p99 latency split by Response::source, and a sampled check that
 // cache hits are bit-identical to recomputation on the same snapshot.
+// Part 4: observability overhead — the bare batch path vs the QueryServer
+// with obs idle (gated at <= 5% by CI bench-smoke) vs tracing + profiling
+// forced on; with --metrics <path> the obs-on server's Prometheus
+// exposition is written as a CI artifact.
 
 #include <algorithm>
 #include <cstdio>
@@ -26,9 +30,12 @@
 #include <thread>
 #include <vector>
 
+#include <chrono>
+
 #include "baselines/brute_force.h"
 #include "bench_util.h"
 #include "engine/engine.h"
+#include "obs/profile.h"
 #include "serve/parallel.h"
 #include "serve/query_server.h"
 #include "serve/sharding.h"
@@ -307,6 +314,74 @@ int main(int argc, char** argv) {
     json.Metric("server_hist_p99_us", lat.p99_us);
     json.Metric("identity_mismatches",
                 static_cast<double>(identity_mismatches));
+  }
+
+  // Part 4: observability overhead. The obs layer's contract is that the
+  // disabled mode costs nothing measurable: every span site is one null
+  // test and every traversal hook one relaxed load. Three configurations
+  // over the same warmed snapshot and query batch, best-of-R to shave
+  // scheduler noise: the bare batch path with no serving front end
+  // (baseline), the QueryServer with observability idle (obs off — the
+  // default production shape; CI gates its overhead at <= 5%), and the
+  // QueryServer with per-request tracing, the slow-query log and
+  // traversal profiling all forced on (obs on — the debugging shape,
+  // reported but ungated).
+  {
+    auto engine_ptr = std::make_shared<const Engine>(pts, Engine::Config{});
+    engine_ptr->Warmup(spec);
+    const int reps = 5;
+
+    auto best_of = [&](auto&& run) {
+      run();  // Placement pass.
+      double best = -1.0;
+      for (int r = 0; r < reps; ++r) {
+        bench::Timer t;
+        run();
+        double ms = t.Ms();
+        if (best < 0 || ms < best) best = ms;
+      }
+      return best;
+    };
+
+    serve::ThreadPool pool(7);
+    double baseline_ms = best_of(
+        [&] { serve::QueryMany(*engine_ptr, queries, spec, &pool); });
+
+    serve::QueryServer::Options off_opts;
+    off_opts.num_threads = 7;
+    off_opts.warm = {spec.type};
+    serve::QueryServer obs_off(engine_ptr, off_opts);
+    double off_ms = best_of([&] { obs_off.QueryBatch(queries, spec); });
+
+    serve::QueryServer::Options on_opts = off_opts;
+    on_opts.slow_query_threshold = std::chrono::microseconds(1);
+    serve::QueryServer obs_on(engine_ptr, on_opts);
+    obs::EnableTraversalProfiling(true);
+    double on_ms = best_of([&] { obs_on.QueryBatch(queries, spec); });
+    // Exercise the instrumented merge hooks so the dump below carries
+    // traversal counters alongside the serving metrics.
+    for (int i = 0; i < 32; ++i) {
+      obs_on.sharded_snapshot()->shard(0).MaxDistEnvelope(queries[i]);
+    }
+    obs::EnableTraversalProfiling(false);
+
+    double off_overhead = off_ms / baseline_ms;
+    double on_overhead = on_ms / baseline_ms;
+    printf("\nObservability overhead (best of %d, %d queries):\n", reps,
+           num_queries);
+    printf("  baseline (no server) %.1f ms   obs off %.1f ms (%.3fx)   "
+           "obs on %.1f ms (%.3fx)\n",
+           baseline_ms, off_ms, off_overhead, on_ms, on_overhead);
+    json.StartRow();
+    json.Metric("obs_baseline_ms", baseline_ms);
+    json.Metric("obs_off_ms", off_ms);
+    json.Metric("obs_on_ms", on_ms);
+    json.Metric("obs_off_overhead", off_overhead);
+    json.Metric("obs_on_overhead", on_overhead);
+    json.Metric("slow_queries_logged",
+                static_cast<double>(obs_on.SlowQueries().size()));
+
+    bench::WriteMetricsDump(args.metrics_path, obs_on.DumpMetrics());
   }
 
   json.Write(args.json_path);

@@ -88,7 +88,6 @@ DeltaEnvelope QuantTree::MaxDistEnvelope(geom::Vec2 q,
       // lb, so the first prunable entry ends the whole search.
       [&](double lb) { return EnvelopePrunable(lb, env); },
       [&](int n) {
-        if (stats != nullptr) ++stats->nodes_visited;
         if (tree_.is_leaf(n)) {
           for (int j = tree_.begin(n); j < tree_.end(n); ++j) {
             int id = tree_.item(j);
@@ -97,7 +96,8 @@ DeltaEnvelope QuantTree::MaxDistEnvelope(geom::Vec2 q,
           }
         }
         return true;
-      });
+      },
+      stats);
   return env;
 }
 
@@ -108,11 +108,7 @@ double QuantTree::LogSurvival(geom::Vec2 q, double r,
       tree_,
       // Every support in the subtree is disjoint from ball(q, r): all
       // cdfs are 0, all survival factors are 1, the log contribution 0.
-      [&](int n) {
-        if (MinDistLowerBound(n, q) > r) return true;
-        if (stats != nullptr) ++stats->nodes_visited;
-        return false;
-      },
+      [&](int n) { return MinDistLowerBound(n, q) > r; },
       [&](int n) {
         for (int j = tree_.begin(n); j < tree_.end(n); ++j) {
           int id = tree_.item(j);
@@ -127,7 +123,8 @@ double QuantTree::LogSurvival(geom::Vec2 q, double r,
           acc += std::log1p(-cdf);
         }
         return true;
-      });
+      },
+      stats);
   return acc;
 }
 
@@ -153,7 +150,6 @@ int QuantTree::ArgminPointwise(geom::Vec2 q,
       // exact tie with a smaller id, which the linear scan would report.
       [&](double lb) { return lb > best_v; },
       [&](int n) {
-        if (stats != nullptr) ++stats->nodes_visited;
         if (tree_.is_leaf(n)) {
           for (int j = tree_.begin(n); j < tree_.end(n); ++j) {
             int id = tree_.item(j);
@@ -166,7 +162,8 @@ int QuantTree::ArgminPointwise(geom::Vec2 q,
           }
         }
         return true;
-      });
+      },
+      stats);
   return best_id;
 }
 

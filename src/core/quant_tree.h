@@ -7,6 +7,7 @@
 #include "core/uncertain_point.h"
 #include "geom/vec2.h"
 #include "spatial/flat_tree.h"
+#include "spatial/traverse.h"
 
 /// \file quant_tree.h
 /// The quantification index: a kd-style hierarchy over the support regions
@@ -85,11 +86,12 @@ class AllDiskAugment {
 class QuantTree {
  public:
   /// Per-query search-effort counters (caller-owned, so queries stay
-  /// const and thread-safe). A sublinear query visits o(n) of each.
-  struct QueryStats {
-    int nodes_visited = 0;
-    int points_evaluated = 0;
-  };
+  /// const and thread-safe). A sublinear query visits o(n) of each. Now
+  /// the shared spatial::TraversalStats, so the traversal engines fill
+  /// nodes_visited / leaves_scanned / prunes / heap_pushes and the obs
+  /// profiler (obs/profile.h) can aggregate them; points_evaluated is
+  /// still counted here, at actual per-point evaluations.
+  using QueryStats = spatial::TraversalStats;
 
   /// Builds the hierarchy in O(n log n). `points` must outlive the tree.
   explicit QuantTree(const std::vector<UncertainPoint>* points);

@@ -6,6 +6,7 @@
 #include "baselines/brute_force.h"
 #include "core/exact_pnn.h"
 #include "engine/query_contract.h"
+#include "obs/profile.h"
 #include "util/check.h"
 
 namespace unn {
@@ -261,8 +262,14 @@ int Engine::ExpectedDistanceNn(geom::Vec2 q) const {
   // up to the documented near-tie caveat: quadrature-approximated values
   // within Config::tol of each other may tie-break either way
   // (docs/QUERY_SEMANTICS.md says the same of the unpruned path).
-  return GetQuantTree().ArgminPointwise(
-      q, [&](int i) { return index.ExpectedDistance(i, q, config_.tol); });
+  auto value = [&](int i) { return index.ExpectedDistance(i, q, config_.tol); };
+  if (obs::TraversalProfilingEnabled()) {
+    core::QuantTree::QueryStats st;
+    int nn = GetQuantTree().ArgminPointwise(q, value, &st);
+    obs::RecordTraversal(obs::TraversalOp::kQuantArgmin, st);
+    return nn;
+  }
+  return GetQuantTree().ArgminPointwise(q, value);
 }
 
 // ---------------------------------------------------------------------------
@@ -275,6 +282,12 @@ double Engine::ExpectedDistance(int i, geom::Vec2 q) const {
 }
 
 core::DeltaEnvelope Engine::MaxDistEnvelope(geom::Vec2 q) const {
+  if (obs::TraversalProfilingEnabled()) {
+    core::QuantTree::QueryStats st;
+    core::DeltaEnvelope env = GetQuantTree().MaxDistEnvelope(q, &st);
+    obs::RecordTraversal(obs::TraversalOp::kQuantEnvelope, st);
+    return env;
+  }
   return GetQuantTree().MaxDistEnvelope(q);
 }
 
@@ -283,6 +296,12 @@ double Engine::SurvivalProbability(geom::Vec2 q, double r) const {
 }
 
 double Engine::LogSurvivalProbability(geom::Vec2 q, double r) const {
+  if (obs::TraversalProfilingEnabled()) {
+    core::QuantTree::QueryStats st;
+    double v = GetQuantTree().LogSurvival(q, r, &st);
+    obs::RecordTraversal(obs::TraversalOp::kQuantSurvival, st);
+    return v;
+  }
   return GetQuantTree().LogSurvival(q, r);
 }
 

@@ -1,0 +1,227 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+namespace unn {
+namespace obs {
+
+namespace {
+
+const char* KindName(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+std::string FormatNumber(double v) {
+  char buf[64];
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  // Exact-integer values (counter totals, bucket counts) print without a
+  // fractional part; everything else keeps full round-trip precision.
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+  }
+  return buf;
+}
+
+std::string EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// `{k="v",...}` with optional extra (le) pair appended; empty labels and
+/// no extra render as nothing.
+std::string RenderLabels(const Labels& labels, const char* extra_key = nullptr,
+                         const std::string& extra_value = "") {
+  if (labels.empty() && extra_key == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += EscapeLabelValue(v);
+    out += '"';
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += extra_value;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string FormatBoundary(double upper) {
+  if (std::isinf(upper)) return "+Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", upper);
+  return buf;
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (std::isinf(v) || std::isnan(v)) {
+    std::string out = "\"";  // JSON has no Inf/NaN literals; quote them.
+    out += FormatNumber(v);
+    out += '"';
+    return out;
+  }
+  return FormatNumber(v);
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const std::vector<MetricSnapshot>& metrics) {
+  // Group snapshots sharing a name (one per label set) under a single
+  // HELP/TYPE header, preserving first-appearance order.
+  std::vector<std::string> names;
+  std::map<std::string, std::vector<const MetricSnapshot*>> by_name;
+  for (const MetricSnapshot& m : metrics) {
+    auto [it, inserted] = by_name.try_emplace(m.name);
+    if (inserted) names.push_back(m.name);
+    it->second.push_back(&m);
+  }
+  std::string out;
+  for (const std::string& name : names) {
+    const auto& group = by_name[name];
+    const MetricSnapshot& head = *group.front();
+    if (!head.help.empty()) {
+      out += "# HELP " + name + " " + head.help + "\n";
+    }
+    out += "# TYPE " + name + " ";
+    out += KindName(head.kind);
+    out += '\n';
+    for (const MetricSnapshot* mp : group) {
+      const MetricSnapshot& m = *mp;
+      if (m.kind != MetricKind::kHistogram) {
+        out += name + RenderLabels(m.labels) + " " + FormatNumber(m.value) +
+               "\n";
+        continue;
+      }
+      // Cumulative buckets; empty buckets are elided (the cumulative
+      // value is unchanged) except the required +Inf bucket.
+      std::uint64_t cum = 0;
+      for (int i = 0; i < static_cast<int>(m.buckets.size()); ++i) {
+        bool last = i + 1 == static_cast<int>(m.buckets.size());
+        if (m.buckets[i] == 0 && !last) continue;
+        cum += m.buckets[i];
+        out += name + "_bucket" +
+               RenderLabels(m.labels, "le",
+                            FormatBoundary(Histogram::BucketUpper(i))) +
+               " " + FormatNumber(static_cast<double>(cum)) + "\n";
+      }
+      out += name + "_sum" + RenderLabels(m.labels) + " " +
+             FormatNumber(m.sum) + "\n";
+      out += name + "_count" + RenderLabels(m.labels) + " " +
+             FormatNumber(static_cast<double>(m.count)) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string ToJson(const std::vector<MetricSnapshot>& metrics) {
+  std::string out = "[\n";
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    const MetricSnapshot& m = metrics[i];
+    out += "  {\"name\": \"";
+    out += EscapeJson(m.name);
+    out += "\", \"kind\": \"";
+    out += KindName(m.kind);
+    out += '"';
+    if (!m.labels.empty()) {
+      out += ", \"labels\": {";
+      for (size_t j = 0; j < m.labels.size(); ++j) {
+        if (j > 0) out += ", ";
+        out += '"';
+        out += EscapeJson(m.labels[j].first);
+        out += "\": \"";
+        out += EscapeJson(m.labels[j].second);
+        out += '"';
+      }
+      out += '}';
+    }
+    auto field = [&out](const char* key, const std::string& value) {
+      out += ", \"";
+      out += key;
+      out += "\": ";
+      out += value;
+    };
+    if (m.kind == MetricKind::kHistogram) {
+      field("count", JsonNumber(static_cast<double>(m.count)));
+      field("sum", JsonNumber(m.sum));
+      field("max", JsonNumber(m.max));
+      field("p50", JsonNumber(m.summary.p50));
+      field("p95", JsonNumber(m.summary.p95));
+      field("p99", JsonNumber(m.summary.p99));
+    } else {
+      field("value", JsonNumber(m.value));
+    }
+    out += i + 1 < metrics.size() ? "},\n" : "}\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+std::string Export(const std::vector<MetricSnapshot>& metrics,
+                   MetricsFormat format) {
+  return format == MetricsFormat::kPrometheus ? ToPrometheusText(metrics)
+                                              : ToJson(metrics);
+}
+
+}  // namespace obs
+}  // namespace unn

@@ -1,0 +1,81 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace unn {
+namespace obs {
+
+std::int32_t TraceContext::StartSpan(const char* name, std::int32_t parent,
+                                     std::int64_t tag) {
+  std::int64_t now = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  Span s;
+  s.id = static_cast<std::int32_t>(spans_.size());
+  s.parent = parent;
+  s.name = name;
+  s.tag = tag;
+  s.start_ns = now;
+  spans_.push_back(s);
+  return s.id;
+}
+
+void TraceContext::EndSpan(std::int32_t id) {
+  std::int64_t now = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= 0 && id < static_cast<std::int32_t>(spans_.size())) {
+    spans_[id].end_ns = now;
+  }
+}
+
+std::vector<Span> TraceContext::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+namespace {
+
+void RenderSpan(const std::vector<Span>& spans,
+                const std::vector<std::vector<int>>& children, int id,
+                int depth, std::string* out) {
+  const Span& s = spans[id];
+  char buf[256];
+  std::string label(static_cast<size_t>(depth) * 2, ' ');
+  label += s.name;
+  if (s.tag >= 0) {
+    std::snprintf(buf, sizeof(buf), " [tag=%lld]",
+                  static_cast<long long>(s.tag));
+    label += buf;
+  }
+  double start_us = static_cast<double>(s.start_ns) / 1e3;
+  if (s.end_ns >= 0) {
+    double end_us = static_cast<double>(s.end_ns) / 1e3;
+    std::snprintf(buf, sizeof(buf), "%-32s %9.1fus .. %9.1fus  (%9.1fus)\n",
+                  label.c_str(), start_us, end_us, end_us - start_us);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%-32s %9.1fus .. (open)\n", label.c_str(),
+                  start_us);
+  }
+  *out += buf;
+  for (int c : children[id]) RenderSpan(spans, children, c, depth + 1, out);
+}
+
+}  // namespace
+
+std::string RenderSpanTree(const std::vector<Span>& spans) {
+  std::string out;
+  int n = static_cast<int>(spans.size());
+  std::vector<std::vector<int>> children(n);
+  for (int i = 0; i < n; ++i) {
+    int p = spans[i].parent;
+    if (p >= 0 && p < n) children[p].push_back(i);
+  }
+  for (int i = 0; i < n; ++i) {
+    if (spans[i].parent < 0 || spans[i].parent >= n) {
+      RenderSpan(spans, children, i, 0, &out);
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace unn

@@ -1,0 +1,124 @@
+#ifndef UNN_OBS_TRACE_H_
+#define UNN_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+/// \file trace.h
+/// Request tracing: a TraceContext records a span tree (admission -> cache
+/// lookup -> shard fan-out -> per-shard engine query -> merge) with
+/// monotonic-clock timings relative to the context's epoch.
+///
+/// The disabled mode is the design center: every tracing call site takes a
+/// TraceNode — a {context, parent-span} pair — and when the context
+/// pointer is null, ScopedSpan construction/destruction is a pointer test
+/// and nothing else: no allocation, no clock read, no lock. Code threads
+/// TraceNode values down the call chain (QueryServer -> ShardedEngine ->
+/// per-shard tasks) instead of using thread-local "current span" state, so
+/// spans parent correctly across thread-pool hops.
+///
+/// Thread safety: TraceContext serializes span starts/ends with an
+/// internal mutex (a traced request fans out across pool workers that
+/// record concurrently); distinct contexts never contend. Span names must
+/// be string literals (or otherwise outlive the context) — they are
+/// stored as const char* so tracing never copies strings on the hot path.
+
+namespace unn {
+namespace obs {
+
+/// One recorded span. Timings are nanoseconds since the owning context's
+/// epoch (steady clock); `end_ns < 0` means the span was never ended.
+/// `tag` carries a small integer payload (shard index, batch size, ...);
+/// -1 means none.
+struct Span {
+  std::int32_t id = -1;
+  std::int32_t parent = -1;  ///< Parent span id, -1 for a root span.
+  const char* name = "";
+  std::int64_t tag = -1;
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = -1;
+};
+
+/// Records the span tree for one request. Create one per traced request;
+/// cheap enough to keep off the hot path entirely when tracing is off
+/// (see TraceNode).
+class TraceContext {
+ public:
+  TraceContext() : epoch_(std::chrono::steady_clock::now()) {}
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+
+  /// Opens a span; returns its id for EndSpan / child parenting.
+  std::int32_t StartSpan(const char* name, std::int32_t parent = -1,
+                         std::int64_t tag = -1);
+  void EndSpan(std::int32_t id);
+
+  /// Snapshot of all spans recorded so far (ids are indices).
+  std::vector<Span> spans() const;
+
+  /// Nanoseconds since this context's epoch (monotonic).
+  std::int64_t NowNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+};
+
+/// An attachment point for child spans: which context (null = tracing
+/// disabled) and which span to parent under. Passed by value down call
+/// chains; the default-constructed node is the universal "not tracing"
+/// value, so instrumented APIs take `TraceNode trace = {}` and callers
+/// that do not trace pay one null test per span site.
+struct TraceNode {
+  TraceContext* ctx = nullptr;
+  std::int32_t parent = -1;
+};
+
+/// RAII span: opens on construction (no-op when `at.ctx` is null), ends on
+/// destruction or explicit End(). Use node() to parent children.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(TraceNode at, const char* name, std::int64_t tag = -1)
+      : ctx_(at.ctx) {
+    if (ctx_ != nullptr) id_ = ctx_->StartSpan(name, at.parent, tag);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() { End(); }
+
+  /// Attachment point for children of this span.
+  TraceNode node() const { return TraceNode{ctx_, id_}; }
+
+  void End() {
+    if (ctx_ != nullptr && id_ >= 0) {
+      ctx_->EndSpan(id_);
+      id_ = -1;
+    }
+  }
+
+ private:
+  TraceContext* ctx_ = nullptr;
+  std::int32_t id_ = -1;
+};
+
+/// ASCII rendering of a span tree (children indented under parents, in
+/// recording order) for logs and the slow-query dump:
+///
+///     request                          0.0us ..  2340.1us  ( 2340.1us)
+///       admission                      0.4us ..    12.0us  (   11.6us)
+///       engine_query [tag=0]          13.1us ..  2101.9us  ( 2088.8us)
+std::string RenderSpanTree(const std::vector<Span>& spans);
+
+}  // namespace obs
+}  // namespace unn
+
+#endif  // UNN_OBS_TRACE_H_

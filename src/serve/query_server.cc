@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 #include <utility>
 
 #include "engine/query_contract.h"
+#include "obs/profile.h"
 #include "util/check.h"
 
 namespace unn {
@@ -82,6 +84,12 @@ TaskPriority ToTaskPriority(Priority p) {
   return TaskPriority::kNormal;
 }
 
+/// Stable label values for the per-type metrics (indexed like
+/// Engine::QueryType).
+constexpr std::array<const char*, kNumQueryTypes> kQueryTypeNames = {
+    "most_probable_nn", "expected_distance_nn", "threshold", "top_k",
+    "nonzero_nn"};
+
 bool IsRegular(const Engine::QuerySpec& spec) {
   return query_contract::Classify(spec) ==
          query_contract::SpecClass::kRegular;
@@ -99,9 +107,10 @@ bool SpecEquals(const Engine::QuerySpec& a, const Engine::QuerySpec& b) {
 QueryServer::QueryServer(std::shared_ptr<const ShardedEngine> engine,
                          const Options& options)
     : options_(options),
-      cache_(options.cache),
+      cache_(options.cache, &registry_),
       sharding_(options.sharding),
       pool_(options.num_threads) {
+  InitMetrics();
   UNN_CHECK(engine != nullptr);
   // An explicitly sharded Options wins; otherwise future ReplaceDataset
   // calls keep the shape of the engine the server was given (a server
@@ -126,9 +135,10 @@ QueryServer::QueryServer(std::shared_ptr<const Engine> engine)
 QueryServer::QueryServer(std::vector<core::UncertainPoint> points,
                          const Engine::Config& config, const Options& options)
     : options_(options),
-      cache_(options.cache),
+      cache_(options.cache, &registry_),
       sharding_(options.sharding),
       pool_(options.num_threads) {
+  InitMetrics();
   std::vector<core::UncertainPoint> degrade_points;
   if (DegradeEnabled()) degrade_points = points;  // Copy before the move.
   auto engine = std::make_shared<const ShardedEngine>(std::move(points),
@@ -192,18 +202,71 @@ QueryServer::~QueryServer() {
   }
 }
 
-void QueryServer::CountQuery(const Engine::QuerySpec& spec) {
-  queries_.fetch_add(1, std::memory_order_relaxed);
-  const int t = static_cast<int>(spec.type);
-  if (t >= 0 && t < kNumQueryTypes) {
-    queries_by_type_[t].fetch_add(1, std::memory_order_relaxed);
+void QueryServer::InitMetrics() {
+  queries_ = registry_.GetCounter("unn_server_queries_total",
+                                  "Queries accepted (single + batched)");
+  batches_ = registry_.GetCounter("unn_server_batches_total",
+                                  "QueryBatch calls");
+  swaps_ = registry_.GetCounter("unn_server_swaps_total",
+                                "Dataset replacements installed");
+  shed_ = registry_.GetCounter("unn_server_shed_total",
+                               "Requests refused by admission control");
+  degraded_ = registry_.GetCounter(
+      "unn_server_degraded_total",
+      "Requests answered by the degraded (Monte-Carlo) backend");
+  deadline_exceeded_ = registry_.GetCounter(
+      "unn_server_deadline_exceeded_total",
+      "Requests dropped because their deadline passed");
+  for (int t = 0; t < kNumQueryTypes; ++t) {
+    obs::Labels labels{{"type", kQueryTypeNames[t]}};
+    queries_by_type_[t] =
+        registry_.GetCounter("unn_server_queries_by_type_total",
+                             "Queries accepted, by query type", labels);
+    latency_[t] = registry_.GetHistogram(
+        "unn_server_latency_us",
+        "Serving latency (admission to completion), microseconds", labels);
   }
+}
+
+void QueryServer::CountQuery(const Engine::QuerySpec& spec) {
+  queries_->Inc();
+  const int t = static_cast<int>(spec.type);
+  if (t >= 0 && t < kNumQueryTypes) queries_by_type_[t]->Inc();
 }
 
 void QueryServer::RecordLatency(Engine::QueryType type,
                                 std::chrono::microseconds us) {
   const int t = static_cast<int>(type);
-  if (t >= 0 && t < kNumQueryTypes) latency_[t].Record(us);
+  if (t >= 0 && t < kNumQueryTypes) {
+    latency_[t]->Record(static_cast<double>(us.count()));
+  }
+}
+
+void QueryServer::MaybeLogSlowQuery(geom::Vec2 q,
+                                    const Engine::QuerySpec& spec,
+                                    ResultSource source,
+                                    std::chrono::microseconds latency,
+                                    const obs::TraceContext* ctx,
+                                    int batch_size) {
+  if (options_.slow_query_threshold.count() <= 0) return;
+  if (latency < options_.slow_query_threshold) return;
+  SlowQuery entry;
+  entry.q = q;
+  entry.spec = spec;
+  entry.source = source;
+  entry.latency = latency;
+  entry.batch_size = batch_size;
+  if (ctx != nullptr) entry.spans = ctx->spans();
+  const size_t cap =
+      static_cast<size_t>(std::max(1, options_.slow_query_log_size));
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  slow_log_.push_back(std::move(entry));
+  while (slow_log_.size() > cap) slow_log_.pop_front();
+}
+
+std::vector<QueryServer::SlowQuery> QueryServer::SlowQueries() const {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  return {slow_log_.begin(), slow_log_.end()};
 }
 
 void QueryServer::SubmitImpl(const Request& request,
@@ -216,10 +279,39 @@ void QueryServer::SubmitImpl(const Request& request,
       state_.load(std::memory_order_acquire);
   CountQuery(request.spec);
 
+  // Tracing: the caller's context when the request carries one, a
+  // server-owned context when the slow-query log is on (so slow requests
+  // always come with a span tree), null otherwise — and null makes every
+  // span site below a pointer test (obs/trace.h).
+  obs::TraceContext* ctx = request.trace;
+  std::shared_ptr<obs::TraceContext> owned;
+  if (ctx == nullptr && options_.slow_query_threshold.count() > 0) {
+    owned = std::make_shared<obs::TraceContext>();
+    ctx = owned.get();
+  }
+  const std::int32_t root =
+      ctx != nullptr ? ctx->StartSpan("request") : -1;
+  const obs::TraceNode root_node{ctx, root};
+
+  // Every path delivers through here: close the root span, feed the
+  // slow-query log, hand the response to the caller. `owned` keeps a
+  // server-allocated context alive until then.
+  auto finish = [this, ctx, owned = std::move(owned), root, request,
+                 deliver = std::move(deliver)](Response&& resp) {
+    if (ctx != nullptr) ctx->EndSpan(root);
+    MaybeLogSlowQuery(request.q, request.spec, resp.source, resp.latency,
+                      ctx, 0);
+    deliver(std::move(resp));
+  };
+
+  // The admission span covers everything up to the dispatch decision.
+  obs::ScopedSpan admission(root_node, "admission");
+
   // Deadline check one: already dead on arrival.
   if (request.deadline != kNoDeadline && t0 >= request.deadline) {
-    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
-    deliver(Response{{}, ResultSource::kDeadlineExceeded, ElapsedUs(t0)});
+    deadline_exceeded_->Inc();
+    admission.End();
+    finish(Response{{}, ResultSource::kDeadlineExceeded, ElapsedUs(t0)});
     return;
   }
 
@@ -229,13 +321,16 @@ void QueryServer::SubmitImpl(const Request& request,
   // Cache probe: a hit answers on the submitting thread, touching no
   // backend and no admission state.
   if (cacheable) {
+    obs::ScopedSpan lookup(admission.node(), "cache_lookup");
     Response resp;
     if (cache_.Lookup(cache_.Key(snap->generation, request.spec, request.q),
                       &resp.result)) {
+      lookup.End();
+      admission.End();
       resp.source = ResultSource::kCache;
       resp.latency = ElapsedUs(t0);
       RecordLatency(request.spec.type, resp.latency);
-      deliver(std::move(resp));
+      finish(std::move(resp));
       return;
     }
   }
@@ -244,47 +339,60 @@ void QueryServer::SubmitImpl(const Request& request,
   // never refused: they cost no backend work worth protecting.
   if (options_.max_inflight > 0 && regular &&
       active_.load(std::memory_order_relaxed) >= options_.max_inflight) {
+    admission.End();
     if (options_.overload == OverloadPolicy::kDegrade &&
         snap->degraded != nullptr) {
       // On the submitting thread by design: overload relief must not add
       // pool work, and the caller feels the backpressure.
+      obs::ScopedSpan span(root_node, "degraded_query");
       std::span<const geom::Vec2> one(&request.q, 1);
       Response resp;
       resp.result =
           std::move(snap->degraded->QueryMany(one, request.spec)[0]);
+      span.End();
       resp.source = ResultSource::kDegraded;
       resp.latency = ElapsedUs(t0);
-      degraded_.fetch_add(1, std::memory_order_relaxed);
+      degraded_->Inc();
       RecordLatency(request.spec.type, resp.latency);
-      deliver(std::move(resp));
+      finish(std::move(resp));
     } else {
-      shed_.fetch_add(1, std::memory_order_relaxed);
-      deliver(Response{{}, ResultSource::kShed, ElapsedUs(t0)});
+      shed_->Inc();
+      finish(Response{{}, ResultSource::kShed, ElapsedUs(t0)});
     }
     return;
   }
 
+  admission.End();
   active_.fetch_add(1, std::memory_order_relaxed);
+  // Queue span: post to worker pickup (ended first thing in the task).
+  const std::int32_t queue_span =
+      ctx != nullptr ? ctx->StartSpan("queue", root) : -1;
   // The worker fans a multi-shard query back out across the pool (nested
   // ParallelFor; on a stopping pool it degrades to the worker alone).
   ThreadPool* fan = snap->engine->num_shards() > 1 ? &pool_ : nullptr;
   std::function<void()> task =
-      [this, snap = std::move(snap), deliver = std::move(deliver), request,
-       cacheable, fan, t0] {
+      [this, snap = std::move(snap), finish = std::move(finish), request,
+       cacheable, fan, t0, ctx, root, queue_span] {
+        if (ctx != nullptr) ctx->EndSpan(queue_span);
+        const obs::TraceNode root_at{ctx, root};
         Response resp;
         if (request.deadline != kNoDeadline &&
             std::chrono::steady_clock::now() >= request.deadline) {
           // Deadline check two: aged out while queued.
           resp.source = ResultSource::kDeadlineExceeded;
-          deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+          deadline_exceeded_->Inc();
         } else {
           // Route through QueryMany so degenerate spec parameters follow
           // the documented definitions instead of tripping single-query
           // CHECKs.
+          obs::ScopedSpan engine_span(root_at, "engine_query");
           std::span<const geom::Vec2> one(&request.q, 1);
-          resp.result =
-              std::move(snap->engine->QueryMany(one, request.spec, fan)[0]);
+          resp.result = std::move(
+              snap->engine->QueryMany(one, request.spec, fan,
+                                      engine_span.node())[0]);
+          engine_span.End();
           if (cacheable) {
+            obs::ScopedSpan insert(root_at, "cache_insert");
             cache_.Insert(
                 cache_.Key(snap->generation, request.spec, request.q),
                 resp.result);
@@ -295,7 +403,7 @@ void QueryServer::SubmitImpl(const Request& request,
         if (resp.source == ResultSource::kComputed) {
           RecordLatency(request.spec.type, resp.latency);
         }
-        deliver(std::move(resp));
+        finish(std::move(resp));
       };
   if (!pool_.TryPost(std::move(task), ToTaskPriority(request.priority))) {
     // A submit racing server shutdown: once the pool's destructor has
@@ -336,9 +444,21 @@ std::vector<Response> QueryServer::QueryBatch(
   const auto t0 = std::chrono::steady_clock::now();
   std::shared_ptr<const Snapshot> snap =
       state_.load(std::memory_order_acquire);
-  batches_.fetch_add(1, std::memory_order_relaxed);
+  batches_->Inc();
   std::vector<Response> responses(requests.size());
   if (requests.empty()) return responses;
+
+  // Batch tracing rides the slow-query log (Request::trace is a
+  // Submit-path feature): one context per batch, its root span tagged
+  // with the batch size.
+  std::unique_ptr<obs::TraceContext> ctx;
+  std::int32_t root = -1;
+  if (options_.slow_query_threshold.count() > 0) {
+    ctx = std::make_unique<obs::TraceContext>();
+    root = ctx->StartSpan("batch", -1,
+                          static_cast<std::int64_t>(requests.size()));
+  }
+  const obs::TraceNode root_node{ctx.get(), root};
 
   // Pass one, serial: per-request deadline check and cache probe;
   // everything unanswered is a miss headed for a backend.
@@ -350,27 +470,30 @@ std::vector<Response> QueryServer::QueryBatch(
   const bool at_limit =
       options_.max_inflight > 0 &&
       active_.load(std::memory_order_relaxed) >= options_.max_inflight;
-  for (size_t i = 0; i < requests.size(); ++i) {
-    const Request& r = requests[i];
-    CountQuery(r.spec);
-    if (r.deadline != kNoDeadline && t0 >= r.deadline) {
-      responses[i].source = ResultSource::kDeadlineExceeded;
-      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
-      continue;
-    }
-    const bool regular = IsRegular(r.spec);
-    if (regular && !cache_.disabled() &&
-        cache_.Lookup(cache_.Key(snap->generation, r.spec, r.q),
-                      &responses[i].result)) {
-      responses[i].source = ResultSource::kCache;
-      responses[i].latency = ElapsedUs(t0);
-      RecordLatency(r.spec.type, responses[i].latency);
-      continue;
-    }
-    if (at_limit && regular) {
-      overload.push_back(i);
-    } else {
-      compute.push_back(i);
+  {
+    obs::ScopedSpan admission(root_node, "batch_admission");
+    for (size_t i = 0; i < requests.size(); ++i) {
+      const Request& r = requests[i];
+      CountQuery(r.spec);
+      if (r.deadline != kNoDeadline && t0 >= r.deadline) {
+        responses[i].source = ResultSource::kDeadlineExceeded;
+        deadline_exceeded_->Inc();
+        continue;
+      }
+      const bool regular = IsRegular(r.spec);
+      if (regular && !cache_.disabled() &&
+          cache_.Lookup(cache_.Key(snap->generation, r.spec, r.q),
+                        &responses[i].result)) {
+        responses[i].source = ResultSource::kCache;
+        responses[i].latency = ElapsedUs(t0);
+        RecordLatency(r.spec.type, responses[i].latency);
+        continue;
+      }
+      if (at_limit && regular) {
+        overload.push_back(i);
+      } else {
+        compute.push_back(i);
+      }
     }
   }
 
@@ -382,7 +505,7 @@ std::vector<Response> QueryServer::QueryBatch(
       degrade = std::move(overload);
     } else {
       for (size_t i : overload) responses[i].source = ResultSource::kShed;
-      shed_.fetch_add(overload.size(), std::memory_order_relaxed);
+      shed_->Inc(overload.size());
     }
   }
 
@@ -437,9 +560,14 @@ std::vector<Response> QueryServer::QueryBatch(
   if (!compute.empty()) {
     active_.fetch_add(static_cast<int>(compute.size()),
                       std::memory_order_relaxed);
-    run(compute, *snap->engine);
+    {
+      obs::ScopedSpan span(root_node, "compute",
+                           static_cast<std::int64_t>(compute.size()));
+      run(compute, *snap->engine);
+    }
     for (size_t i : compute) responses[i].source = ResultSource::kComputed;
     if (!cache_.disabled()) {
+      obs::ScopedSpan span(root_node, "cache_insert");
       for (size_t i : compute) {
         const Request& r = requests[i];
         if (IsRegular(r.spec)) {
@@ -454,9 +582,12 @@ std::vector<Response> QueryServer::QueryBatch(
   if (!degrade.empty()) {
     // Degraded answers are estimates at the relaxed accuracy: they are
     // labeled, and never inserted into the exact-result cache.
+    obs::ScopedSpan span(root_node, "degraded_query",
+                         static_cast<std::int64_t>(degrade.size()));
     run(degrade, *snap->degraded);
+    span.End();
     for (size_t i : degrade) responses[i].source = ResultSource::kDegraded;
-    degraded_.fetch_add(degrade.size(), std::memory_order_relaxed);
+    degraded_->Inc(degrade.size());
   }
 
   // Completion latency for everything decided by this batch (cache hits
@@ -470,6 +601,16 @@ std::vector<Response> QueryServer::QueryBatch(
         responses[i].source == ResultSource::kDegraded) {
       RecordLatency(requests[i].spec.type, batch_latency);
     }
+  }
+  if (ctx != nullptr) {
+    ctx->EndSpan(root);
+    // One representative slow-log entry per slow batch: the first
+    // request stands in for the batch, the batch size disambiguates.
+    const ResultSource source = compute.empty() && !degrade.empty()
+                                    ? ResultSource::kDegraded
+                                    : ResultSource::kComputed;
+    MaybeLogSlowQuery(requests[0].q, requests[0].spec, source, batch_latency,
+                      ctx.get(), static_cast<int>(requests.size()));
   }
   return responses;
 }
@@ -545,23 +686,72 @@ void QueryServer::InstallLocked(std::shared_ptr<const ShardedEngine> engine) {
   state_.store(MakeSnapshot(std::move(engine), std::move(degraded),
                             next_generation_++),
                std::memory_order_release);
-  swaps_.fetch_add(1, std::memory_order_relaxed);
+  swaps_->Inc();
 }
 
 ServerStats QueryServer::stats() const {
   ServerStats s;
-  s.queries = queries_.load(std::memory_order_relaxed);
-  s.batches = batches_.load(std::memory_order_relaxed);
-  s.swaps = swaps_.load(std::memory_order_relaxed);
-  s.shed = shed_.load(std::memory_order_relaxed);
-  s.degraded = degraded_.load(std::memory_order_relaxed);
-  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  s.queries = queries_->Value();
+  s.batches = batches_->Value();
+  s.swaps = swaps_->Value();
+  s.shed = shed_->Value();
+  s.degraded = degraded_->Value();
+  s.deadline_exceeded = deadline_exceeded_->Value();
   for (int t = 0; t < kNumQueryTypes; ++t) {
-    s.queries_by_type[t] = queries_by_type_[t].load(std::memory_order_relaxed);
-    s.latency_by_type[t] = latency_[t].Summarize();
+    s.queries_by_type[t] = queries_by_type_[t]->Value();
+    const obs::HistogramSummary h = latency_[t]->Summarize();
+    s.latency_by_type[t] = LatencySummary{h.count, h.p50, h.p95, h.p99};
   }
   s.cache = cache_.stats();
   return s;
+}
+
+std::string QueryServer::DumpMetrics(obs::MetricsFormat format) {
+  // Refresh the point-in-time gauges before snapshotting. GetGauge is
+  // idempotent on (name, labels), so resolving here (a dump is never the
+  // hot path) keeps the handle plumbing out of the server's members.
+  registry_
+      .GetGauge("unn_pool_queue_depth",
+                "Tasks queued in the worker pool, all priority classes")
+      ->Set(pool_.queue_depth());
+  registry_.GetGauge("unn_pool_threads", "Worker threads in the serving pool")
+      ->Set(pool_.num_threads());
+  registry_
+      .GetGauge("unn_server_inflight",
+                "Backend queries in flight (admission control's signal)")
+      ->Set(active_.load(std::memory_order_relaxed));
+  registry_
+      .GetGauge("unn_server_generation", "Current snapshot generation")
+      ->Set(static_cast<double>(generation()));
+  const CacheStats c = cache_.stats();
+  const uint64_t lookups = c.hits + c.misses;
+  registry_
+      .GetGauge("unn_cache_hit_ratio",
+                "Result-cache hits over all lookups (0 when none)")
+      ->Set(lookups == 0
+                ? 0.0
+                : static_cast<double>(c.hits) / static_cast<double>(lookups));
+  for (int t = 0; t < kNumQueryTypes; ++t) {
+    const obs::Labels labels{{"type", kQueryTypeNames[t]}};
+    const obs::HistogramSummary h = latency_[t]->Summarize();
+    registry_
+        .GetGauge("unn_server_latency_p50_us",
+                  "p50 serving latency, microseconds", labels)
+        ->Set(h.p50);
+    registry_
+        .GetGauge("unn_server_latency_p95_us",
+                  "p95 serving latency, microseconds", labels)
+        ->Set(h.p95);
+    registry_
+        .GetGauge("unn_server_latency_p99_us",
+                  "p99 serving latency, microseconds", labels)
+        ->Set(h.p99);
+  }
+  std::vector<obs::MetricSnapshot> metrics = registry_.Snapshot();
+  // Traversal profiling totals are process-global (engines are shared
+  // across servers); append them so one dump covers the whole stack.
+  obs::AppendTraversalMetrics(&metrics);
+  return obs::Export(metrics, format);
 }
 
 }  // namespace serve

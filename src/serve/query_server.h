@@ -5,14 +5,19 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "engine/engine.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/parallel.h"
 #include "serve/request.h"
 #include "serve/result_cache.h"
@@ -105,6 +110,15 @@ class QueryServer {
     /// override and the eps floor it is allowed to relax to.
     int degrade_mc_samples = 48;
     double degrade_eps = 0.25;
+    /// Slow-query logging: a request (or batch) whose serving latency
+    /// reaches this threshold lands in the slow-query ring (SlowQueries)
+    /// with its span tree. A positive threshold also makes the server
+    /// trace every Submit request it owns (callers can trace selectively
+    /// via Request::trace instead); 0 — the default — disables the log
+    /// and the server-initiated tracing with it.
+    std::chrono::microseconds slow_query_threshold{0};
+    /// Capacity of the slow-query ring; oldest entries fall off.
+    int slow_query_log_size = 32;
   };
 
   /// Serves an already-built engine as a single shard (shared: other
@@ -246,6 +260,41 @@ class QueryServer {
   /// The result cache (counters, configuration). Thread-safe.
   const ResultCache& result_cache() const { return cache_; }
 
+  /// The server's unified metrics registry: serving counters and latency
+  /// histograms, the result-cache metrics, plus any metrics the caller
+  /// registers beside them (one DumpMetrics covers everything).
+  /// Thread-safe.
+  obs::Registry& metrics_registry() { return registry_; }
+
+  /// Renders every registered metric — serving counters, per-type latency
+  /// histograms, cache counters, point-in-time gauges (pool queue depth,
+  /// in-flight queries, cache hit ratio, latency percentiles) and the
+  /// process-wide traversal-profiling totals — in Prometheus text
+  /// exposition format or as JSON. Refreshes the gauges, so not const.
+  /// O(registered metrics); thread-safe, callable under traffic (relaxed
+  /// counter snapshot, same ordering contract as stats()).
+  std::string DumpMetrics(
+      obs::MetricsFormat format = obs::MetricsFormat::kPrometheus);
+
+  /// One slow-query log entry: what was asked, how it was answered, how
+  /// long it took, and the span tree recorded while serving it (render
+  /// with obs::RenderSpanTree). `batch_size == 0` marks a Submit-path
+  /// entry; batch entries carry the batch size and the first request's
+  /// query/spec as a representative.
+  struct SlowQuery {
+    geom::Vec2 q;
+    Engine::QuerySpec spec;
+    ResultSource source = ResultSource::kComputed;
+    std::chrono::microseconds latency{0};
+    int batch_size = 0;
+    std::vector<obs::Span> spans;
+  };
+
+  /// The slow-query ring, oldest first (kept only while
+  /// `Options::slow_query_threshold > 0`; at most slow_query_log_size
+  /// entries). Thread-safe.
+  std::vector<SlowQuery> SlowQueries() const;
+
  private:
   /// One immutable serving state: the shard set, the optional degraded
   /// engine beside it, and the generation cache keys carry. Swapped as a
@@ -282,8 +331,19 @@ class QueryServer {
                   std::function<void(Response&&)> deliver);
   void CountQuery(const Engine::QuerySpec& spec);
   void RecordLatency(Engine::QueryType type, std::chrono::microseconds us);
+  /// Resolves every registry handle below; called once per constructor,
+  /// before any traffic can exist.
+  void InitMetrics();
+  /// Appends to the slow-query ring when the log is enabled and `latency`
+  /// reaches the threshold (copies the span snapshot out of `ctx` when
+  /// one was recorded).
+  void MaybeLogSlowQuery(geom::Vec2 q, const Engine::QuerySpec& spec,
+                         ResultSource source, std::chrono::microseconds latency,
+                         const obs::TraceContext* ctx, int batch_size);
 
   Options options_;
+  /// Declared before cache_: the cache registers its metrics here.
+  obs::Registry registry_;
   ResultCache cache_;
   std::atomic<std::shared_ptr<const Snapshot>> state_;
   /// Serializes replacements and guards sharding_ (readers never take it).
@@ -295,19 +355,26 @@ class QueryServer {
   /// Next generation to assign (constructor installs 1). Bumped under
   /// replace_mu_.
   uint64_t next_generation_ = 2;
-  std::atomic<uint64_t> queries_{0};
-  std::atomic<uint64_t> batches_{0};
-  std::atomic<uint64_t> swaps_{0};
-  std::array<std::atomic<uint64_t>, kNumQueryTypes> queries_by_type_{};
-  std::atomic<uint64_t> shed_{0};
-  std::atomic<uint64_t> degraded_{0};
-  std::atomic<uint64_t> deadline_exceeded_{0};
+  /// Registry-backed serving counters (resolved once in InitMetrics;
+  /// handles are pointer-stable for the registry's lifetime). Same
+  /// relaxed ordering contract the old bare atomics had.
+  obs::Counter* queries_ = nullptr;
+  obs::Counter* batches_ = nullptr;
+  obs::Counter* swaps_ = nullptr;
+  std::array<obs::Counter*, kNumQueryTypes> queries_by_type_{};
+  obs::Counter* shed_ = nullptr;
+  obs::Counter* degraded_ = nullptr;
+  obs::Counter* deadline_exceeded_ = nullptr;
+  std::array<obs::Histogram*, kNumQueryTypes> latency_{};
   /// Backend queries in flight (admission control's load signal):
   /// Submit-dispatched queries from post to completion, batch misses for
   /// the span of their parallel compute. Cache hits, refusals and
   /// degraded answers never count.
   std::atomic<int> active_{0};
-  std::array<LatencyHistogram, kNumQueryTypes> latency_{};
+  /// Slow-query ring (see SlowQueries); guarded by slow_mu_, touched only
+  /// for requests at or past the latency threshold.
+  mutable std::mutex slow_mu_;
+  std::deque<SlowQuery> slow_log_;
   /// Submit/QueryBatch calls currently inside the server; the destructor
   /// drains it to zero (atomic wait) before member teardown. draining_
   /// gates the exit-side notify so the hot path never pays a wake.

@@ -5,6 +5,7 @@
 
 #include "engine/engine.h"
 #include "geom/vec2.h"
+#include "obs/trace.h"
 
 /// \file request.h
 /// The unified serving request/response vocabulary. Every serving
@@ -50,6 +51,12 @@ struct Request {
   /// that aged out while queued is dropped rather than computed.
   std::chrono::steady_clock::time_point deadline = kNoDeadline;
   Priority priority = Priority::kNormal;
+  /// Opt-in request tracing: when non-null, the server records a span
+  /// tree (admission, cache lookup, queueing, shard fan-out, merge) into
+  /// this caller-owned context. The context must outlive the response
+  /// future. Null (the default) disables tracing for this request at the
+  /// cost of one pointer test per would-be span.
+  obs::TraceContext* trace = nullptr;
 };
 
 /// How a Response was produced.

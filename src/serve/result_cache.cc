@@ -59,13 +59,31 @@ size_t ResultCache::KeyHash::operator()(const CacheKey& k) const {
   return static_cast<size_t>(h);
 }
 
-ResultCache::ResultCache(const Options& options) : options_(options) {
+ResultCache::ResultCache(const Options& options, obs::Registry* registry)
+    : options_(options) {
   int shards = options_.num_shards < 1 ? 1 : options_.num_shards;
   if (shards > 256) shards = 256;
   uint32_t n = RoundUpPow2(static_cast<uint32_t>(shards));
   shard_mask_ = n - 1;
   per_shard_budget_ = options_.max_bytes / n;
   shards_ = std::make_unique<Shard[]>(n);
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<obs::Registry>();
+    registry = owned_registry_.get();
+  }
+  hits_ = registry->GetCounter("unn_cache_hits_total",
+                               "Result-cache lookups answered from cache");
+  misses_ = registry->GetCounter("unn_cache_misses_total",
+                                 "Result-cache lookups that missed");
+  insertions_ = registry->GetCounter("unn_cache_insertions_total",
+                                     "New entries stored in the cache");
+  evictions_ = registry->GetCounter(
+      "unn_cache_evictions_total",
+      "Entries evicted to respect the byte budget");
+  entries_ = registry->GetGauge("unn_cache_entries",
+                                "Currently resident cache entries");
+  bytes_ = registry->GetGauge("unn_cache_bytes",
+                              "Currently resident cache bytes (approx)");
 }
 
 CacheKey ResultCache::MakeKey(uint64_t generation,
@@ -107,11 +125,11 @@ bool ResultCache::Lookup(const CacheKey& key, Engine::QueryResult* out) {
     if (it != shard.map.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       *out = it->second->result;
-      hits_.fetch_add(1, std::memory_order_relaxed);
+      hits_->Inc();
       return true;
     }
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  misses_->Inc();
   return false;
 }
 
@@ -119,9 +137,9 @@ void ResultCache::EvictToFit(Shard& shard, size_t budget) {
   while (shard.bytes > budget && !shard.lru.empty()) {
     Entry& victim = shard.lru.back();
     shard.bytes -= victim.bytes;
-    bytes_.fetch_sub(victim.bytes, std::memory_order_relaxed);
-    entries_.fetch_sub(1, std::memory_order_relaxed);
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    bytes_->Add(-static_cast<double>(victim.bytes));
+    entries_->Add(-1);
+    evictions_->Inc();
     shard.map.erase(victim.key);
     shard.lru.pop_back();
   }
@@ -139,11 +157,11 @@ void ResultCache::Insert(const CacheKey& key,
     // Racing computes of the same key: refresh in place.
     Entry& e = *it->second;
     shard.bytes -= e.bytes;
-    bytes_.fetch_sub(e.bytes, std::memory_order_relaxed);
+    bytes_->Add(-static_cast<double>(e.bytes));
     e.result = result;
     e.bytes = bytes;
     shard.bytes += bytes;
-    bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    bytes_->Add(static_cast<double>(bytes));
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     EvictToFit(shard, per_shard_budget_);
     return;
@@ -151,9 +169,9 @@ void ResultCache::Insert(const CacheKey& key,
   shard.lru.push_front(Entry{key, result, bytes});
   shard.map.emplace(key, shard.lru.begin());
   shard.bytes += bytes;
-  bytes_.fetch_add(bytes, std::memory_order_relaxed);
-  entries_.fetch_add(1, std::memory_order_relaxed);
-  insertions_.fetch_add(1, std::memory_order_relaxed);
+  bytes_->Add(static_cast<double>(bytes));
+  entries_->Add(1);
+  insertions_->Inc();
   EvictToFit(shard, per_shard_budget_);
 }
 
@@ -162,8 +180,8 @@ void ResultCache::Clear() {
   for (uint32_t s = 0; s <= shard_mask_; ++s) {
     Shard& shard = shards_[s];
     std::lock_guard<std::mutex> lock(shard.mu);
-    bytes_.fetch_sub(shard.bytes, std::memory_order_relaxed);
-    entries_.fetch_sub(shard.map.size(), std::memory_order_relaxed);
+    bytes_->Add(-static_cast<double>(shard.bytes));
+    entries_->Add(-static_cast<double>(shard.map.size()));
     shard.map.clear();
     shard.lru.clear();
     shard.bytes = 0;
@@ -172,12 +190,14 @@ void ResultCache::Clear() {
 
 CacheStats ResultCache::stats() const {
   CacheStats s;
-  s.hits = hits_.load(std::memory_order_relaxed);
-  s.misses = misses_.load(std::memory_order_relaxed);
-  s.insertions = insertions_.load(std::memory_order_relaxed);
-  s.evictions = evictions_.load(std::memory_order_relaxed);
-  s.entries = entries_.load(std::memory_order_relaxed);
-  s.bytes = bytes_.load(std::memory_order_relaxed);
+  s.hits = hits_->Value();
+  s.misses = misses_->Value();
+  s.insertions = insertions_->Value();
+  s.evictions = evictions_->Value();
+  // Gauges hold doubles; entry/byte magnitudes stay far below 2^53, so
+  // the round trip through double is exact.
+  s.entries = static_cast<uint64_t>(entries_->Value());
+  s.bytes = static_cast<uint64_t>(bytes_->Value());
   return s;
 }
 

@@ -1,7 +1,6 @@
 #ifndef UNN_SERVE_RESULT_CACHE_H_
 #define UNN_SERVE_RESULT_CACHE_H_
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <list>
@@ -12,6 +11,7 @@
 
 #include "engine/engine.h"
 #include "geom/vec2.h"
+#include "obs/metrics.h"
 #include "serve/server_stats.h"
 
 /// \file result_cache.h
@@ -74,7 +74,13 @@ class ResultCache {
     double coord_quantum = 0.0;
   };
 
-  explicit ResultCache(const Options& options);
+  /// `registry` is where the cache registers its metrics
+  /// (`unn_cache_*_total` counters plus the `unn_cache_entries` /
+  /// `unn_cache_bytes` gauges); it must outlive the cache. When null the
+  /// cache owns a private registry, so standalone use needs no setup —
+  /// QueryServer passes its own registry so one DumpMetrics covers both.
+  explicit ResultCache(const Options& options,
+                       obs::Registry* registry = nullptr);
 
   /// Builds the canonical key for (generation, spec, q) under `quantum`.
   /// The caller must only key kRegular specs (query_contract::Classify);
@@ -138,12 +144,17 @@ class ResultCache {
   uint32_t shard_mask_ = 0;
   std::unique_ptr<Shard[]> shards_;
 
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
-  std::atomic<uint64_t> insertions_{0};
-  std::atomic<uint64_t> evictions_{0};
-  std::atomic<uint64_t> entries_{0};
-  std::atomic<uint64_t> bytes_{0};
+  /// Owned fallback registry when the constructor got none.
+  std::unique_ptr<obs::Registry> owned_registry_;
+  /// Registry-backed counters (same relaxed ordering contract the old
+  /// bare atomics had). Monotone totals are counters; entries/bytes move
+  /// both ways, so they are gauges.
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+  obs::Counter* insertions_ = nullptr;
+  obs::Counter* evictions_ = nullptr;
+  obs::Gauge* entries_ = nullptr;
+  obs::Gauge* bytes_ = nullptr;
 };
 
 }  // namespace serve

@@ -1,21 +1,19 @@
 #ifndef UNN_SERVE_SERVER_STATS_H_
 #define UNN_SERVE_SERVER_STATS_H_
 
-#include <algorithm>
 #include <array>
-#include <atomic>
-#include <chrono>
-#include <cmath>
 #include <cstdint>
 
 #include "engine/engine.h"
 
 /// \file server_stats.h
 /// Serving observability: the structured ServerStats snapshot QueryServer
-/// reports, and the lock-free log-bucketed latency histogram behind its
-/// percentiles. Everything here follows the relaxed-counter contract the
-/// old three-counter Stats had (see ServerStats below); nothing on the
-/// serving hot path takes a lock or issues a fence for accounting.
+/// reports. The counters behind it live in the server's obs::Registry
+/// (src/obs/metrics.h) — ServerStats is the stable, struct-shaped view
+/// reconstructed from those handles. Everything here follows the
+/// relaxed-counter contract the old three-counter Stats had (see
+/// ServerStats below); nothing on the serving hot path takes a lock or
+/// issues a fence for accounting.
 
 namespace unn {
 namespace serve {
@@ -35,86 +33,16 @@ struct CacheStats {
   uint64_t bytes = 0;      ///< Currently resident bytes (approximate).
 };
 
-/// Percentiles of one latency population, in microseconds. Percentile
-/// values are upper bounds of log-spaced buckets (~13% resolution), so
-/// they are estimates, not exact order statistics.
+/// Percentiles of one latency population, in microseconds. Values come
+/// from the log-bucketed obs::Histogram (src/obs/metrics.h): each is the
+/// bucket upper boundary clamped to the observed maximum, so they are
+/// upper-bound estimates (~16% resolution), always ordered
+/// p50 <= p95 <= p99, exact for a single sample, and zero when empty.
 struct LatencySummary {
   uint64_t count = 0;
   double p50_us = 0;
   double p95_us = 0;
   double p99_us = 0;
-};
-
-/// A fixed log-spaced histogram over [1us, ~100s] with relaxed atomic
-/// buckets: Record is wait-free (one relaxed fetch_add), Summarize reads
-/// a relaxed snapshot. Concurrent Record/Summarize is safe; a summary
-/// taken under traffic may miss in-flight increments.
-class LatencyHistogram {
- public:
-  static constexpr int kBuckets = 128;
-
-  void Record(std::chrono::microseconds latency) {
-    int64_t us = latency.count();
-    buckets_[BucketIndex(us)].fetch_add(1, std::memory_order_relaxed);
-  }
-
-  /// p50/p95/p99 over everything recorded so far (upper-bound estimates;
-  /// zeros when nothing was recorded).
-  LatencySummary Summarize() const {
-    std::array<uint64_t, kBuckets> snap;
-    LatencySummary s;
-    for (int i = 0; i < kBuckets; ++i) {
-      snap[i] = buckets_[i].load(std::memory_order_relaxed);
-      s.count += snap[i];
-    }
-    if (s.count == 0) return s;
-    s.p50_us = Percentile(snap, s.count, 0.50);
-    s.p95_us = Percentile(snap, s.count, 0.95);
-    s.p99_us = Percentile(snap, s.count, 0.99);
-    return s;
-  }
-
-  /// The upper edge of bucket `i` in microseconds (exposed for tests).
-  static double BucketUpperUs(int i) {
-    // Geometric spacing: bucket 0 tops at 1us, the last at ~1e8us
-    // (100 s); ratio 1e8^(1/127) ~= 1.156.
-    return Boundaries()[i];
-  }
-
- private:
-  static const std::array<double, kBuckets>& Boundaries() {
-    static const std::array<double, kBuckets> b = [] {
-      std::array<double, kBuckets> out;
-      double log_ratio = 8.0 / (kBuckets - 1);  // log10(1e8) spread.
-      for (int i = 0; i < kBuckets; ++i) {
-        out[i] = std::pow(10.0, log_ratio * i);
-      }
-      return out;
-    }();
-    return b;
-  }
-
-  static int BucketIndex(int64_t us) {
-    const auto& b = Boundaries();
-    double v = us < 1 ? 1.0 : static_cast<double>(us);
-    int idx = static_cast<int>(
-        std::lower_bound(b.begin(), b.end(), v) - b.begin());
-    return std::min(idx, kBuckets - 1);
-  }
-
-  static double Percentile(const std::array<uint64_t, kBuckets>& snap,
-                           uint64_t total, double p) {
-    uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(total));
-    if (rank >= total) rank = total - 1;
-    uint64_t seen = 0;
-    for (int i = 0; i < kBuckets; ++i) {
-      seen += snap[i];
-      if (seen > rank) return Boundaries()[i];
-    }
-    return Boundaries()[kBuckets - 1];
-  }
-
-  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
 };
 
 /// The structured QueryServer stats snapshot (successor of the historical

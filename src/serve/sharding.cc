@@ -142,14 +142,21 @@ ShardedEngine::ShardedEngine(std::shared_ptr<const Engine> engine) {
 // ---------------------------------------------------------------------------
 
 void ShardedEngine::ForEachShard(ThreadPool* pool,
-                                 const std::function<void(int)>& fn) const {
+                                 const std::function<void(int)>& fn,
+                                 obs::TraceNode trace) const {
   size_t shards = engines_.size();
+  auto run = [&](int s) {
+    // One span per shard visit; a null trace context makes this a
+    // pointer test (the disabled-tracing contract of obs/trace.h).
+    obs::ScopedSpan span(trace, "shard_query", s);
+    fn(s);
+  };
   if (pool == nullptr || shards <= 1) {
-    for (size_t s = 0; s < shards; ++s) fn(static_cast<int>(s));
+    for (size_t s = 0; s < shards; ++s) run(static_cast<int>(s));
     return;
   }
   pool->ParallelFor(shards, [&](size_t begin, size_t end) {
-    for (size_t s = begin; s < end; ++s) fn(static_cast<int>(s));
+    for (size_t s = begin; s < end; ++s) run(static_cast<int>(s));
   });
 }
 
@@ -164,37 +171,50 @@ int ShardedEngine::StructuresBuilt() const {
 // ---------------------------------------------------------------------------
 
 MergedProbabilities ShardedEngine::MergedProbs(geom::Vec2 q, double eps_needed,
-                                               ThreadPool* pool) const {
+                                               ThreadPool* pool,
+                                               obs::TraceNode trace) const {
   size_t shards = engines_.size();
   std::vector<std::vector<std::pair<int, double>>> local(shards);
   std::vector<core::DeltaEnvelope> env(shards);
-  ForEachShard(pool, [&](int s) {
-    local[s] = engines_[s]->Probabilities(q, eps_needed);
-    env[s] = engines_[s]->MaxDistEnvelope(q);
-  });
+  {
+    obs::ScopedSpan fan(trace, "shard_fanout",
+                        static_cast<std::int64_t>(shards));
+    ForEachShard(
+        pool,
+        [&](int s) {
+          local[s] = engines_[s]->Probabilities(q, eps_needed);
+          env[s] = engines_[s]->MaxDistEnvelope(q);
+        },
+        fan.node());
+  }
+  obs::ScopedSpan merge(trace, "merge");
   double eps = eps_needed > 0 ? std::min(eps_needed, config_.eps) : config_.eps;
   return MergeProbabilities(views_, local, env, q, config_, eps);
 }
 
 std::vector<std::pair<int, double>> ShardedEngine::Probabilities(
-    geom::Vec2 q, double eps_needed, ThreadPool* pool) const {
+    geom::Vec2 q, double eps_needed, ThreadPool* pool,
+    obs::TraceNode trace) const {
   if (num_shards() == 1) {
+    obs::ScopedSpan span(trace, "shard_query", 0);
     std::vector<std::pair<int, double>> out =
         engines_[0]->Probabilities(q, eps_needed);
     for (auto& [id, pi] : out) id = global_ids_[0][id];
     return out;
   }
-  return MergedProbs(q, eps_needed, pool).probs;
+  return MergedProbs(q, eps_needed, pool, trace).probs;
 }
 
-int ShardedEngine::MostProbableNn(geom::Vec2 q, ThreadPool* pool) const {
+int ShardedEngine::MostProbableNn(geom::Vec2 q, ThreadPool* pool,
+                                  obs::TraceNode trace) const {
   if (num_shards() == 1) {
+    obs::ScopedSpan span(trace, "shard_query", 0);
     int lid = engines_[0]->MostProbableNn(q);
     return lid < 0 ? lid : global_ids_[0][lid];
   }
   int best = -1;
   double best_pi = -1.0;
-  for (auto [gid, pi] : MergedProbs(q, 0.0, pool).probs) {
+  for (auto [gid, pi] : MergedProbs(q, 0.0, pool, trace).probs) {
     if (pi > best_pi) {
       best = gid;
       best_pi = pi;
@@ -203,29 +223,41 @@ int ShardedEngine::MostProbableNn(geom::Vec2 q, ThreadPool* pool) const {
   return best;
 }
 
-int ShardedEngine::ExpectedDistanceNn(geom::Vec2 q, ThreadPool* pool) const {
+int ShardedEngine::ExpectedDistanceNn(geom::Vec2 q, ThreadPool* pool,
+                                      obs::TraceNode trace) const {
   if (num_shards() == 1) {
+    obs::ScopedSpan span(trace, "shard_query", 0);
     int lid = engines_[0]->ExpectedDistanceNn(q);
     return lid < 0 ? lid : global_ids_[0][lid];
   }
   std::vector<ExpectedCandidate> winners(engines_.size());
-  ForEachShard(pool, [&](int s) {
-    int lid = engines_[s]->ExpectedDistanceNn(q);
-    winners[s] = {global_ids_[s][lid], engines_[s]->ExpectedDistance(lid, q)};
-  });
+  {
+    obs::ScopedSpan fan(trace, "shard_fanout",
+                        static_cast<std::int64_t>(engines_.size()));
+    ForEachShard(
+        pool,
+        [&](int s) {
+          int lid = engines_[s]->ExpectedDistanceNn(q);
+          winners[s] = {global_ids_[s][lid],
+                        engines_[s]->ExpectedDistance(lid, q)};
+        },
+        fan.node());
+  }
+  obs::ScopedSpan merge(trace, "merge");
   return MergeExpected(winners);
 }
 
 std::vector<std::pair<int, double>> ShardedEngine::Threshold(
-    geom::Vec2 q, double tau, ThreadPool* pool) const {
+    geom::Vec2 q, double tau, ThreadPool* pool, obs::TraceNode trace) const {
   UNN_CHECK(tau > 0 && tau <= 1);
   if (num_shards() == 1) {
+    obs::ScopedSpan span(trace, "shard_query", 0);
     auto out = engines_[0]->Threshold(q, tau);
     for (auto& [id, pi] : out) id = global_ids_[0][id];
     SortByEstimate(&out);
     return out;
   }
-  MergedProbabilities merged = MergedProbs(q, tau / 2, pool);
+  MergedProbabilities merged = MergedProbs(q, tau / 2, pool, trace);
   // Exact re-quantification reports the exact set {pi >= tau}; the
   // Monte-Carlo fallback keeps the no-false-negative slack, like Engine.
   double eps =
@@ -239,22 +271,24 @@ std::vector<std::pair<int, double>> ShardedEngine::Threshold(
 }
 
 std::vector<std::pair<int, double>> ShardedEngine::TopK(
-    geom::Vec2 q, int k, ThreadPool* pool) const {
+    geom::Vec2 q, int k, ThreadPool* pool, obs::TraceNode trace) const {
   UNN_CHECK(k >= 1);
   if (num_shards() == 1) {
+    obs::ScopedSpan span(trace, "shard_query", 0);
     auto out = engines_[0]->TopK(q, k);
     for (auto& [id, pi] : out) id = global_ids_[0][id];
     return out;
   }
-  auto est = MergedProbs(q, 0.0, pool).probs;
+  auto est = MergedProbs(q, 0.0, pool, trace).probs;
   SortByEstimate(&est);
   if (static_cast<int>(est.size()) > k) est.resize(k);
   return est;
 }
 
-std::vector<int> ShardedEngine::NonzeroNn(geom::Vec2 q,
-                                          ThreadPool* pool) const {
+std::vector<int> ShardedEngine::NonzeroNn(geom::Vec2 q, ThreadPool* pool,
+                                          obs::TraceNode trace) const {
   if (num_shards() == 1) {
+    obs::ScopedSpan span(trace, "shard_query", 0);
     std::vector<int> out = engines_[0]->NonzeroNn(q);
     for (int& id : out) id = global_ids_[0][id];
     std::sort(out.begin(), out.end());
@@ -263,10 +297,18 @@ std::vector<int> ShardedEngine::NonzeroNn(geom::Vec2 q,
   size_t shards = engines_.size();
   std::vector<std::vector<int>> local(shards);
   std::vector<core::DeltaEnvelope> env(shards);
-  ForEachShard(pool, [&](int s) {
-    local[s] = engines_[s]->NonzeroNn(q);
-    env[s] = engines_[s]->MaxDistEnvelope(q);
-  });
+  {
+    obs::ScopedSpan fan(trace, "shard_fanout",
+                        static_cast<std::int64_t>(shards));
+    ForEachShard(
+        pool,
+        [&](int s) {
+          local[s] = engines_[s]->NonzeroNn(q);
+          env[s] = engines_[s]->MaxDistEnvelope(q);
+        },
+        fan.node());
+  }
+  obs::ScopedSpan merge(trace, "merge");
   return MergeNonzero(views_, local, env, q);
 }
 
@@ -276,23 +318,24 @@ std::vector<int> ShardedEngine::NonzeroNn(geom::Vec2 q,
 
 Engine::QueryResult ShardedEngine::QueryOne(geom::Vec2 q,
                                             const Engine::QuerySpec& spec,
-                                            ThreadPool* pool) const {
+                                            ThreadPool* pool,
+                                            obs::TraceNode trace) const {
   Engine::QueryResult r;
   switch (spec.type) {
     case Engine::QueryType::kMostProbableNn:
-      r.nn = MostProbableNn(q, pool);
+      r.nn = MostProbableNn(q, pool, trace);
       break;
     case Engine::QueryType::kExpectedDistanceNn:
-      r.nn = ExpectedDistanceNn(q, pool);
+      r.nn = ExpectedDistanceNn(q, pool, trace);
       break;
     case Engine::QueryType::kThreshold:
-      r.ranked = Threshold(q, spec.tau, pool);
+      r.ranked = Threshold(q, spec.tau, pool, trace);
       break;
     case Engine::QueryType::kTopK:
-      r.ranked = TopK(q, spec.k, pool);
+      r.ranked = TopK(q, spec.k, pool, trace);
       break;
     case Engine::QueryType::kNonzeroNn:
-      r.ids = NonzeroNn(q, pool);
+      r.ids = NonzeroNn(q, pool, trace);
       break;
   }
   return r;
@@ -300,9 +343,10 @@ Engine::QueryResult ShardedEngine::QueryOne(geom::Vec2 q,
 
 std::vector<Engine::QueryResult> ShardedEngine::QueryMany(
     std::span<const geom::Vec2> queries, const Engine::QuerySpec& spec,
-    ThreadPool* pool) const {
+    ThreadPool* pool, obs::TraceNode trace) const {
   if (num_shards() == 1 && pool == nullptr) {
     // Single shard: delegate wholesale (ids still need the global map).
+    obs::ScopedSpan span(trace, "shard_query", 0);
     auto results = engines_[0]->QueryMany(queries, spec);
     const std::vector<int>& gids = global_ids_[0];
     for (auto& r : results) {
@@ -317,12 +361,12 @@ std::vector<Engine::QueryResult> ShardedEngine::QueryMany(
   std::vector<Engine::QueryResult> results;
   if (query_contract::AnswerDegenerate(
           queries, spec, size_,
-          [&](geom::Vec2 q) { return Probabilities(q, 0.0, pool); },
+          [&](geom::Vec2 q) { return Probabilities(q, 0.0, pool, trace); },
           &results)) {
     return results;
   }
   for (size_t i = 0; i < queries.size(); ++i) {
-    results[i] = QueryOne(queries[i], spec, pool);
+    results[i] = QueryOne(queries[i], spec, pool, trace);
   }
   return results;
 }

@@ -9,6 +9,7 @@
 
 #include "core/uncertain_point.h"
 #include "engine/engine.h"
+#include "obs/trace.h"
 #include "serve/shard_merge.h"
 #include "serve/thread_pool.h"
 
@@ -106,14 +107,21 @@ class ShardedEngine {
   // Every method fans out to all shards — in parallel across the given
   // pool's workers plus the calling thread when `pool` is non-null,
   // serially otherwise — then merges. All are const and thread-safe.
+  //
+  // The trailing `trace` node opts one call into request tracing: when
+  // its context is non-null the fan-out records "shard_fanout" /
+  // "shard_query" (tagged with the shard index) / "merge" spans under it.
+  // The default (null) node costs one pointer test per span site.
 
   /// argmax_i pi_i(q) over the whole dataset via candidate-union
   /// re-quantification; ties toward the smaller global id.
-  int MostProbableNn(geom::Vec2 q, ThreadPool* pool = nullptr) const;
+  int MostProbableNn(geom::Vec2 q, ThreadPool* pool = nullptr,
+                     obs::TraceNode trace = {}) const;
 
   /// argmin_i E[d(q, P_i)] via min-merge of the per-shard winners; exact
   /// up to quadrature tolerance.
-  int ExpectedDistanceNn(geom::Vec2 q, ThreadPool* pool = nullptr) const;
+  int ExpectedDistanceNn(geom::Vec2 q, ThreadPool* pool = nullptr,
+                         obs::TraceNode trace = {}) const;
 
   /// All i whose pi_i(q) may reach tau, (id, estimate) sorted by
   /// decreasing estimate. No false negatives: a point with global
@@ -121,22 +129,26 @@ class ShardedEngine {
   /// competitors can only increase pi), so it survives candidate
   /// generation at accuracy tau/2 and the re-quantified estimate keeps it.
   std::vector<std::pair<int, double>> Threshold(
-      geom::Vec2 q, double tau, ThreadPool* pool = nullptr) const;
+      geom::Vec2 q, double tau, ThreadPool* pool = nullptr,
+      obs::TraceNode trace = {}) const;
 
   /// The k ids with the largest merged pi_i(q), sorted by decreasing
   /// estimate; near-ties within the backend accuracy may permute.
   std::vector<std::pair<int, double>> TopK(geom::Vec2 q, int k,
-                                           ThreadPool* pool = nullptr) const;
+                                           ThreadPool* pool = nullptr,
+                                           obs::TraceNode trace = {}) const;
 
   /// NN!=0(q), sorted global ids; exact for every shard backend (union
   /// filtered by the merged Delta envelope).
-  std::vector<int> NonzeroNn(geom::Vec2 q, ThreadPool* pool = nullptr) const;
+  std::vector<int> NonzeroNn(geom::Vec2 q, ThreadPool* pool = nullptr,
+                             obs::TraceNode trace = {}) const;
 
   /// Merged quantification estimates (global id, pi) with positive
   /// estimate, sorted by id, at accuracy `eps_needed` (<= 0 means
   /// Config::eps).
   std::vector<std::pair<int, double>> Probabilities(
-      geom::Vec2 q, double eps_needed = 0.0, ThreadPool* pool = nullptr) const;
+      geom::Vec2 q, double eps_needed = 0.0, ThreadPool* pool = nullptr,
+      obs::TraceNode trace = {}) const;
 
   /// Batched entry point with Engine::QueryMany's degenerate-parameter
   /// contract (empty span / k <= 0 / tau outside (0, 1] answered
@@ -146,7 +158,7 @@ class ShardedEngine {
   /// pool, which is the better fit for large batches.
   std::vector<Engine::QueryResult> QueryMany(
       std::span<const geom::Vec2> queries, const Engine::QuerySpec& spec,
-      ThreadPool* pool = nullptr) const;
+      ThreadPool* pool = nullptr, obs::TraceNode trace = {}) const;
 
   /// Warms every shard for the given query type / spec (in parallel on
   /// `pool` when given) so no serving query pays a structure build —
@@ -179,13 +191,16 @@ class ShardedEngine {
 
  private:
   Engine::QueryResult QueryOne(geom::Vec2 q, const Engine::QuerySpec& spec,
-                               ThreadPool* pool) const;
+                               ThreadPool* pool, obs::TraceNode trace) const;
   /// Runs fn(s) for every shard index s, on `pool` (plus the calling
-  /// thread) when given, serially otherwise.
-  void ForEachShard(ThreadPool* pool, const std::function<void(int)>& fn) const;
+  /// thread) when given, serially otherwise. When `trace` is live each
+  /// call is wrapped in a "shard_query" span tagged with s.
+  void ForEachShard(ThreadPool* pool, const std::function<void(int)>& fn,
+                    obs::TraceNode trace = {}) const;
   /// Candidate generation + merged re-quantification at `eps_needed`.
   MergedProbabilities MergedProbs(geom::Vec2 q, double eps_needed,
-                                  ThreadPool* pool) const;
+                                  ThreadPool* pool,
+                                  obs::TraceNode trace = {}) const;
 
   std::vector<std::shared_ptr<const Engine>> engines_;
   std::vector<std::vector<int>> global_ids_;

@@ -47,6 +47,13 @@ bool ThreadPool::TryPost(std::function<void()>&& fn, TaskPriority priority) {
   return true;
 }
 
+int ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t depth = 0;
+  for (const auto& q : queues_) depth += q.size();
+  return static_cast<int>(depth);
+}
+
 bool ThreadPool::QueuesEmptyLocked() const {
   for (const auto& q : queues_) {
     if (!q.empty()) return false;

@@ -62,6 +62,12 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
+  /// Number of queued-but-not-yet-dispatched tasks across all priority
+  /// classes. Takes the queue lock; intended for observability dumps, not
+  /// the hot path. The value is a point-in-time reading and may be stale
+  /// by the time the caller looks at it.
+  int queue_depth() const;
+
   /// Enqueues one task for any worker at the given priority (dispatched
   /// after every queued task of a higher class, before any of a lower
   /// one). Safe from any thread, including from inside a running task.
@@ -92,7 +98,7 @@ class ThreadPool {
   /// True when every priority class is empty; mu_ must be held.
   bool QueuesEmptyLocked() const;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   /// One FIFO per TaskPriority, drained in class order.
   std::array<std::deque<std::function<void()>>, 3> queues_;

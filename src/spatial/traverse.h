@@ -1,6 +1,7 @@
 #ifndef UNN_SPATIAL_TRAVERSE_H_
 #define UNN_SPATIAL_TRAVERSE_H_
 
+#include <cstdint>
 #include <queue>
 #include <utility>
 
@@ -29,6 +30,37 @@
 namespace unn {
 namespace spatial {
 
+/// Per-traversal search-effort counters, filled by the engines when the
+/// caller passes a non-null pointer (the default null pointer keeps the
+/// engines counter-free — the checks compile down to a dead branch).
+/// Caller-owned so traversals stay const and thread-safe; obs/profile.h
+/// aggregates these into the process-wide metrics surface.
+///
+/// Semantics (identical across engines so consumers can compare):
+///   * nodes_visited   — nodes entered and not pruned (internal + leaf);
+///   * leaves_scanned  — the subset of visited nodes that were leaves;
+///   * points_evaluated — item-level evaluations; the best-first
+///     enumerator counts item-key pushes, the node engines leave this to
+///     the consumer's leaf callback (which may skip items, e.g.
+///     LogSurvival's per-point ball test);
+///   * prunes          — subtrees discarded by a prune / prunable test;
+///   * heap_pushes     — best-first frontier insertions (0 for DFS).
+struct TraversalStats {
+  std::int64_t nodes_visited = 0;
+  std::int64_t leaves_scanned = 0;
+  std::int64_t points_evaluated = 0;
+  std::int64_t prunes = 0;
+  std::int64_t heap_pushes = 0;
+
+  void Add(const TraversalStats& o) {
+    nodes_visited += o.nodes_visited;
+    leaves_scanned += o.leaves_scanned;
+    points_evaluated += o.points_evaluated;
+    prunes += o.prunes;
+    heap_pushes += o.heap_pushes;
+  }
+};
+
 /// Min-heap entry for the best-first engines: a frontier node with a
 /// lower bound, or (in the enumerator) a resolved item with its exact
 /// key. The single definition of the heap ordering every consumer
@@ -49,19 +81,32 @@ struct HeapEntry {
 /// internal nodes re-enter the frontier unless already prunable.
 template <typename Tree, typename KeyLb, typename Prunable, typename Visit>
 void BestFirstScan(const Tree& tree, KeyLb&& key_lb, Prunable&& prunable,
-                   Visit&& visit) {
+                   Visit&& visit, TraversalStats* stats = nullptr) {
   if (tree.root() < 0) return;
   std::priority_queue<HeapEntry> heap;
   heap.push({key_lb(tree.root()), tree.root(), -1});
+  if (stats != nullptr) ++stats->heap_pushes;
   while (!heap.empty()) {
     HeapEntry e = heap.top();
     heap.pop();
-    if (prunable(e.key)) break;
+    if (prunable(e.key)) {
+      if (stats != nullptr) ++stats->prunes;
+      break;
+    }
+    if (stats != nullptr) {
+      ++stats->nodes_visited;
+      if (tree.is_leaf(e.node)) ++stats->leaves_scanned;
+    }
     if (!visit(e.node)) return;
     if (!tree.is_leaf(e.node)) {
       for (int child : {tree.left(e.node), tree.right(e.node)}) {
         double k = key_lb(child);
-        if (!prunable(k)) heap.push({k, child, -1});
+        if (!prunable(k)) {
+          heap.push({k, child, -1});
+          if (stats != nullptr) ++stats->heap_pushes;
+        } else if (stats != nullptr) {
+          ++stats->prunes;
+        }
       }
     }
   }
@@ -75,10 +120,11 @@ void BestFirstScan(const Tree& tree, KeyLb&& key_lb, Prunable&& prunable,
 template <typename Tree, typename Keys>
 class BestFirstEnumerator {
  public:
-  BestFirstEnumerator(const Tree& tree, Keys keys)
-      : tree_(tree), keys_(std::move(keys)) {
+  BestFirstEnumerator(const Tree& tree, Keys keys,
+                      TraversalStats* stats = nullptr)
+      : tree_(tree), keys_(std::move(keys)), stats_(stats) {
     if (tree_.root() >= 0) {
-      heap_.push({keys_.NodeKey(tree_.root()), tree_.root(), -1});
+      Push({keys_.NodeKey(tree_.root()), tree_.root(), -1});
     }
   }
 
@@ -91,24 +137,33 @@ class BestFirstEnumerator {
         if (key != nullptr) *key = e.key;
         return e.item;
       }
+      if (stats_ != nullptr) ++stats_->nodes_visited;
       if (tree_.is_leaf(e.node)) {
+        if (stats_ != nullptr) ++stats_->leaves_scanned;
         for (int s = tree_.begin(e.node); s < tree_.end(e.node); ++s) {
           int id = tree_.item(s);
-          heap_.push({keys_.ItemKey(id), -1, id});
+          if (stats_ != nullptr) ++stats_->points_evaluated;
+          Push({keys_.ItemKey(id), -1, id});
         }
       } else {
         int l = tree_.left(e.node);
         int r = tree_.right(e.node);
-        heap_.push({keys_.NodeKey(l), l, -1});
-        heap_.push({keys_.NodeKey(r), r, -1});
+        Push({keys_.NodeKey(l), l, -1});
+        Push({keys_.NodeKey(r), r, -1});
       }
     }
     return -1;
   }
 
  private:
+  void Push(HeapEntry e) {
+    heap_.push(e);
+    if (stats_ != nullptr) ++stats_->heap_pushes;
+  }
+
   const Tree& tree_;
   Keys keys_;
+  TraversalStats* stats_ = nullptr;
   std::priority_queue<HeapEntry> heap_;
 };
 
@@ -117,18 +172,27 @@ class BestFirstEnumerator {
 /// `leaf(node)` returns false to abort the whole walk. Returns false iff
 /// aborted.
 template <typename Tree, typename Prune, typename Leaf>
-bool PrunedVisit(const Tree& tree, int node, Prune&& prune, Leaf&& leaf) {
-  if (prune(node)) return true;
-  if (tree.is_leaf(node)) return leaf(node);
-  return PrunedVisit(tree, tree.left(node), prune, leaf) &&
-         PrunedVisit(tree, tree.right(node), prune, leaf);
+bool PrunedVisit(const Tree& tree, int node, Prune&& prune, Leaf&& leaf,
+                 TraversalStats* stats = nullptr) {
+  if (prune(node)) {
+    if (stats != nullptr) ++stats->prunes;
+    return true;
+  }
+  if (stats != nullptr) ++stats->nodes_visited;
+  if (tree.is_leaf(node)) {
+    if (stats != nullptr) ++stats->leaves_scanned;
+    return leaf(node);
+  }
+  return PrunedVisit(tree, tree.left(node), prune, leaf, stats) &&
+         PrunedVisit(tree, tree.right(node), prune, leaf, stats);
 }
 
 /// PrunedVisit from the root; no-op on an empty tree.
 template <typename Tree, typename Prune, typename Leaf>
-bool PrunedVisit(const Tree& tree, Prune&& prune, Leaf&& leaf) {
+bool PrunedVisit(const Tree& tree, Prune&& prune, Leaf&& leaf,
+                 TraversalStats* stats = nullptr) {
   if (tree.root() < 0) return true;
-  return PrunedVisit(tree, tree.root(), prune, leaf);
+  return PrunedVisit(tree, tree.root(), prune, leaf, stats);
 }
 
 /// Pruned DFS that descends the child with the smaller `order_key`
@@ -137,25 +201,31 @@ bool PrunedVisit(const Tree& tree, Prune&& prune, Leaf&& leaf) {
 /// re-tested by its own entry prune.
 template <typename Tree, typename OrderKey, typename Prune, typename Leaf>
 void PrunedVisitOrdered(const Tree& tree, int node, OrderKey&& order_key,
-                        Prune&& prune, Leaf&& leaf) {
-  if (prune(node)) return;
+                        Prune&& prune, Leaf&& leaf,
+                        TraversalStats* stats = nullptr) {
+  if (prune(node)) {
+    if (stats != nullptr) ++stats->prunes;
+    return;
+  }
+  if (stats != nullptr) ++stats->nodes_visited;
   if (tree.is_leaf(node)) {
+    if (stats != nullptr) ++stats->leaves_scanned;
     leaf(node);
     return;
   }
   int l = tree.left(node);
   int r = tree.right(node);
   if (order_key(l) > order_key(r)) std::swap(l, r);
-  PrunedVisitOrdered(tree, l, order_key, prune, leaf);
-  PrunedVisitOrdered(tree, r, order_key, prune, leaf);
+  PrunedVisitOrdered(tree, l, order_key, prune, leaf, stats);
+  PrunedVisitOrdered(tree, r, order_key, prune, leaf, stats);
 }
 
 /// PrunedVisitOrdered from the root; no-op on an empty tree.
 template <typename Tree, typename OrderKey, typename Prune, typename Leaf>
 void PrunedVisitOrdered(const Tree& tree, OrderKey&& order_key, Prune&& prune,
-                        Leaf&& leaf) {
+                        Leaf&& leaf, TraversalStats* stats = nullptr) {
   if (tree.root() < 0) return;
-  PrunedVisitOrdered(tree, tree.root(), order_key, prune, leaf);
+  PrunedVisitOrdered(tree, tree.root(), order_key, prune, leaf, stats);
 }
 
 }  // namespace spatial

@@ -214,6 +214,40 @@ TEST(QuantTreeEnvelope, SublinearEffortWithDistantCluster) {
   EXPECT_LT(stats.points_evaluated, 200);  // n = 1003.
 }
 
+TEST(QuantTreeEnvelope, NodesVisitedGrowsSublinearlyAtScale) {
+  // The acceptance regression for the traversal counters: against the
+  // linear oracle (which evaluates all n points per query), the indexed
+  // envelope search at n = 10^5 must (a) touch a vanishing fraction of
+  // the dataset and (b) grow per-query nodes-visited far slower than n —
+  // a 10x larger input may cost at most ~2x more traversal.
+  auto effort_per_query = [](int n) {
+    auto pts = workload::RandomDisks(n, 4000 + n);
+    QuantTree tree(&pts);
+    const double spread = std::sqrt(static_cast<double>(n)) * 2.5;
+    std::mt19937_64 rng(82);
+    std::uniform_real_distribution<double> pos(-spread, spread);
+    QuantTree::QueryStats total;
+    constexpr int kQueries = 50;
+    for (int i = 0; i < kQueries; ++i) {
+      QuantTree::QueryStats stats;
+      tree.MaxDistEnvelope({pos(rng), pos(rng)}, &stats);
+      EXPECT_GT(stats.nodes_visited, 0);
+      total.Add(stats);
+    }
+    return std::make_pair(total.nodes_visited / kQueries,
+                          total.points_evaluated / kQueries);
+  };
+
+  auto [nodes_small, points_small] = effort_per_query(10000);
+  auto [nodes_large, points_large] = effort_per_query(100000);
+  // Far below the linear oracle's 1e5 evaluated points per query.
+  EXPECT_LT(points_large, 100000 / 50);
+  EXPECT_LT(nodes_large, 100000 / 50);
+  // Sublinear growth: 10x the input, at most ~2x the traversal.
+  EXPECT_LT(nodes_large, 2 * nodes_small + 16);
+  EXPECT_LT(points_large, 2 * points_small + 16);
+}
+
 TEST(QuantTreeArgmin, MatchesDefinitionScan) {
   std::mt19937_64 rng(76);
   for (int n : {1, 5, 64, 300}) {

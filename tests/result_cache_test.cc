@@ -15,8 +15,6 @@ namespace {
 using geom::Vec2;
 using serve::CacheKey;
 using serve::CacheStats;
-using serve::LatencyHistogram;
-using serve::LatencySummary;
 using serve::ResultCache;
 
 Engine::QuerySpec TopK(int k) {
@@ -293,60 +291,9 @@ TEST(ResultCache, ConcurrentChurnIsSafe) {
   EXPECT_LE(cache.stats().bytes, 4096u);
 }
 
-// ---------------------------------------------------------------------------
-// LatencyHistogram
-// ---------------------------------------------------------------------------
-
-TEST(LatencyHistogram, EmptySummarizesToZeros) {
-  LatencyHistogram h;
-  LatencySummary s = h.Summarize();
-  EXPECT_EQ(s.count, 0u);
-  EXPECT_EQ(s.p50_us, 0.0);
-  EXPECT_EQ(s.p99_us, 0.0);
-}
-
-TEST(LatencyHistogram, PercentilesAreOrderedUpperBounds) {
-  LatencyHistogram h;
-  // 90 fast (10us), 9 medium (1ms), 1 slow (100ms).
-  for (int i = 0; i < 90; ++i) h.Record(std::chrono::microseconds(10));
-  for (int i = 0; i < 9; ++i) h.Record(std::chrono::microseconds(1000));
-  h.Record(std::chrono::microseconds(100000));
-  LatencySummary s = h.Summarize();
-  EXPECT_EQ(s.count, 100u);
-  EXPECT_LE(s.p50_us, s.p95_us);
-  EXPECT_LE(s.p95_us, s.p99_us);
-  // Log-bucketed upper bounds: within one bucket ratio (~15.6%) above.
-  EXPECT_GE(s.p50_us, 10.0);
-  EXPECT_LT(s.p50_us, 10.0 * 1.2);
-  EXPECT_GE(s.p95_us, 1000.0);
-  EXPECT_LT(s.p95_us, 1000.0 * 1.2);
-  EXPECT_GE(s.p99_us, 100000.0);
-  EXPECT_LT(s.p99_us, 100000.0 * 1.2);
-}
-
-TEST(LatencyHistogram, BucketBoundariesAreMonotone) {
-  for (int i = 1; i < LatencyHistogram::kBuckets; ++i) {
-    EXPECT_LT(LatencyHistogram::BucketUpperUs(i - 1),
-              LatencyHistogram::BucketUpperUs(i));
-  }
-  EXPECT_DOUBLE_EQ(LatencyHistogram::BucketUpperUs(0), 1.0);
-}
-
-TEST(LatencyHistogram, ConcurrentRecordLosesNothing) {
-  LatencyHistogram h;
-  std::vector<std::thread> threads;
-  const int kThreads = 4, kPerThread = 1000;
-  for (int t = 0; t < kThreads; ++t) {
-    threads.emplace_back([&, t] {
-      for (int i = 0; i < kPerThread; ++i) {
-        h.Record(std::chrono::microseconds(1 + (t * 997 + i) % 5000));
-      }
-    });
-  }
-  for (auto& th : threads) th.join();
-  EXPECT_EQ(h.Summarize().count,
-            static_cast<uint64_t>(kThreads) * kPerThread);
-}
+// The latency-histogram tests that used to live here moved to
+// tests/obs_test.cc with the histogram itself (serve::LatencyHistogram
+// became obs::Histogram).
 
 }  // namespace
 }  // namespace unn

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "engine/engine.h"
+#include "obs/profile.h"
 #include "serve/parallel.h"
 #include "serve/query_server.h"
 #include "serve/thread_pool.h"
@@ -500,6 +501,139 @@ TEST(QueryServer, RequestBatchServesRepeatsFromCache) {
     EXPECT_EQ(second[i].result.nn, first[i].result.nn);
   }
   EXPECT_EQ(server.stats().cache.hits, qs.size());
+}
+
+// ---------------------------------------------------------------------------
+// QueryServer: observability (DumpMetrics, tracing, slow-query log)
+// ---------------------------------------------------------------------------
+
+TEST(QueryServer, DumpMetricsEmitsPrometheusCatalog) {
+  auto pts = workload::RandomDiscrete(15, 3, 93);
+  serve::QueryServer::Options options;
+  options.num_threads = 2;
+  options.warm = {Engine::QueryType::kMostProbableNn};
+  options.cache.max_bytes = 1u << 20;
+  serve::QueryServer server(pts, {}, options);
+
+  auto qs = GridQueries(6);
+  std::vector<serve::Request> reqs;
+  for (Vec2 q : qs) reqs.push_back({q, {}});
+  server.QueryBatch(reqs);
+  server.QueryBatch(reqs);  // All repeats: cache hits.
+  server.Submit(qs[0], {Engine::QueryType::kNonzeroNn}).get();
+
+  // Traversal counters are process-global and appended at dump time.
+  obs::ResetTraversalProfile();
+  spatial::TraversalStats st;
+  st.nodes_visited = 12;
+  obs::RecordTraversal(obs::TraversalOp::kQuantEnvelope, st);
+
+  std::string text = server.DumpMetrics();
+  // Counters: totals, per-type splits, cache and QoS counts.
+  EXPECT_NE(text.find("# TYPE unn_server_queries_total counter"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("unn_server_queries_by_type_total{type=\"most_probable_nn\"}"),
+      std::string::npos);
+  EXPECT_NE(text.find("unn_server_queries_by_type_total{type=\"nonzero_nn\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("unn_cache_hits_total"), std::string::npos);
+  EXPECT_NE(text.find("unn_cache_misses_total"), std::string::npos);
+  EXPECT_NE(text.find("unn_server_shed_total"), std::string::npos);
+  EXPECT_NE(text.find("unn_server_degraded_total"), std::string::npos);
+  EXPECT_NE(text.find("unn_server_deadline_exceeded_total"),
+            std::string::npos);
+  // Latency histograms with cumulative buckets, plus percentile gauges.
+  EXPECT_NE(text.find("# TYPE unn_server_latency_us histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("unn_server_latency_us_bucket{type=\"most_probable_nn\""),
+            std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(text.find("unn_server_latency_p50_us"), std::string::npos);
+  EXPECT_NE(text.find("unn_server_latency_p99_us"), std::string::npos);
+  // Point-in-time gauges resolved at dump time.
+  EXPECT_NE(text.find("unn_pool_queue_depth"), std::string::npos);
+  EXPECT_NE(text.find("unn_pool_threads 2"), std::string::npos);
+  EXPECT_NE(text.find("unn_server_inflight"), std::string::npos);
+  EXPECT_NE(text.find("unn_server_generation"), std::string::npos);
+  EXPECT_NE(text.find("unn_cache_hit_ratio"), std::string::npos);
+  // The appended traversal sink.
+  EXPECT_NE(text.find("unn_traversal_nodes_visited_total{structure="
+                      "\"quant_tree\",op=\"quant_envelope\"} 12"),
+            std::string::npos);
+  obs::ResetTraversalProfile();
+
+  // Values agree with the legacy stats() view.
+  serve::ServerStats s = server.stats();
+  EXPECT_NE(text.find("unn_server_queries_total " +
+                      std::to_string(s.queries)),
+            std::string::npos);
+  EXPECT_NE(text.find("unn_cache_hits_total " + std::to_string(s.cache.hits)),
+            std::string::npos);
+
+  // The JSON exporter serves the same snapshot.
+  std::string json = server.DumpMetrics(obs::MetricsFormat::kJson);
+  EXPECT_NE(json.find("\"name\": \"unn_server_queries_total\""),
+            std::string::npos);
+}
+
+TEST(QueryServer, ExternalTraceContextRecordsSpanTree) {
+  auto pts = workload::RandomDiscrete(20, 3, 98);
+  serve::QueryServer::Options options;
+  options.num_threads = 2;
+  options.cache.max_bytes = 1u << 20;  // cache_lookup spans need a cache.
+  serve::QueryServer server(pts, {}, options);
+
+  obs::TraceContext ctx;
+  serve::Request req;
+  req.q = {0.5, -1.5};
+  req.trace = &ctx;
+  serve::Response resp = server.Submit(req).get();
+  EXPECT_TRUE(resp.ok());
+
+  std::vector<obs::Span> spans = ctx.spans();
+  ASSERT_FALSE(spans.empty());
+  auto has = [&spans](const char* name) {
+    for (const obs::Span& s : spans) {
+      if (std::string(s.name) == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("request"));
+  EXPECT_TRUE(has("admission"));
+  EXPECT_TRUE(has("cache_lookup"));
+  EXPECT_TRUE(has("engine_query"));
+  // The root span is closed once the response is delivered.
+  EXPECT_EQ(spans[0].parent, -1);
+  EXPECT_GE(spans[0].end_ns, 0);
+}
+
+TEST(QueryServer, SlowQueryLogIsBoundedAndCarriesSpans) {
+  auto pts = workload::RandomDiscrete(200, 3, 99);
+  serve::QueryServer::Options options;
+  options.num_threads = 2;
+  options.warm = {Engine::QueryType::kMostProbableNn};
+  options.slow_query_threshold = std::chrono::microseconds(1);
+  options.slow_query_log_size = 4;
+  serve::QueryServer server(pts, {}, options);
+
+  EXPECT_TRUE(server.SlowQueries().empty());
+  auto qs = GridQueries(12);
+  for (Vec2 q : qs) {
+    server.Submit(q, {Engine::QueryType::kMostProbableNn}).get();
+  }
+
+  std::vector<serve::QueryServer::SlowQuery> slow = server.SlowQueries();
+  ASSERT_FALSE(slow.empty());
+  EXPECT_LE(slow.size(), 4u);  // Ring keeps only the most recent entries.
+  for (const auto& sq : slow) {
+    EXPECT_GE(sq.latency, options.slow_query_threshold);
+    ASSERT_FALSE(sq.spans.empty());
+    EXPECT_EQ(std::string(sq.spans[0].name), "request");
+    // The captured tree renders (slow-query dump format).
+    std::string rendered = obs::RenderSpanTree(sq.spans);
+    EXPECT_NE(rendered.find("request"), std::string::npos);
+  }
 }
 
 }  // namespace
