@@ -8,6 +8,12 @@
 // log-survival within float associativity, the contract it always
 // carried). A mismatch fails the run so CI's bench smoke catches any
 // drift between the shared core and the structures it now serves.
+//
+// A sixth part measures the vectorized batch traversal (spatial/batch.h)
+// through Engine::QueryMany: scalar (batch_traversal = false) vs batched
+// on the same expected-distance workload, with the same exactness
+// requirement plus the packs' SIMD lane utilization. CI's bench smoke
+// gates on the reported batched_speedup.
 
 #include <algorithm>
 #include <cmath>
@@ -24,9 +30,11 @@
 #include "core/linf_nonzero_index.h"
 #include "core/quant_tree.h"
 #include "core/uncertain_point.h"
+#include "engine/engine.h"
 #include "prob/distance_cdf.h"
 #include "range/disk_tree.h"
 #include "range/kdtree.h"
+#include "spatial/batch.h"
 #include "workload/generators.h"
 
 using namespace unn;
@@ -999,6 +1007,60 @@ int main(int argc, char** argv) {
       row.new_query_us = qn.Ms() * 1000.0 / num_queries;
       total_mismatches += row.mismatches;
       Print(row, n, &json);
+    }
+
+    // --- Engine::QueryMany: scalar vs vectorized batch traversal ----------
+    {
+      Row row{"batched_qm"};
+      auto upts = workload::RandomDiscrete(n, 6, 157);
+      // The scalar side is a full per-query scan, so cap the batch at
+      // large n to keep the full sweep's wall clock sane.
+      const int batch_queries = (args.tiny || n >= 100000) ? 512 : 2048;
+      auto bqs = bench::RandomQueries(batch_queries, extent, 158);
+      const Engine::QuerySpec spec{Engine::QueryType::kExpectedDistanceNn,
+                                   0.5, 1};
+
+      Engine::Config scalar_cfg;
+      scalar_cfg.batch_traversal = false;
+      bench::Timer tl;
+      Engine scalar(upts, scalar_cfg);
+      scalar.Warmup(spec);
+      row.legacy_build_ms = tl.Ms();
+      bench::Timer tn;
+      Engine batched(upts);
+      batched.Warmup(spec);
+      row.new_build_ms = tn.Ms();
+
+      // Exactness first: batching must never change an answer.
+      auto scalar_res = scalar.QueryMany(bqs, spec);
+      auto batched_res = batched.QueryMany(bqs, spec);
+      for (size_t i = 0; i < bqs.size(); ++i) {
+        if (batched_res[i].nn != scalar_res[i].nn) ++row.mismatches;
+      }
+
+      bench::Timer ql;
+      scalar.QueryMany(bqs, spec);
+      row.legacy_query_us = ql.Ms() * 1000.0 / batch_queries;
+      bench::Timer qn;
+      batched.QueryMany(bqs, spec);
+      row.new_query_us = qn.Ms() * 1000.0 / batch_queries;
+
+      // Lane utilization of the underlying kernel on the same workload.
+      core::ExpectedNn nn(upts);
+      std::vector<int> ids(bqs.size());
+      spatial::BatchStats stats;
+      nn.QueryExpectedBatch(bqs, scalar_cfg.tol, ids, &stats);
+
+      total_mismatches += row.mismatches;
+      Print(row, n, &json);
+      json.Metric("batched_speedup",
+                  row.legacy_query_us / std::max(row.new_query_us, 1e-9));
+      json.Metric("lane_utilization", stats.LaneUtilization());
+      json.Metric("scalar_replays", static_cast<double>(stats.scalar_replays));
+      printf("%-12s %9d  batched_speedup %.2fx  lane_utilization %.2f\n",
+             "  (batch)", n,
+             row.legacy_query_us / std::max(row.new_query_us, 1e-9),
+             stats.LaneUtilization());
     }
   }
 

@@ -18,6 +18,12 @@ using geom::Vec2;
 namespace {
 constexpr int kLeaf = 8;
 
+/// Relative guard band for skips against a computed E[d] incumbent: a
+/// distance-based lower bound only skips an item when the bound times
+/// this factor still exceeds the incumbent, absorbing the ~1e-9-relative
+/// rounding of the closed-form weighted sum (see QueryExpected).
+constexpr double kSkipGuard = 1.0 - 1e-8;
+
 /// E[|X - c|^2] for the supported disk pdfs (c the disk center).
 double DiskRadialVariance(const UncertainPoint& p) {
   double radius = p.radius();
@@ -42,6 +48,7 @@ ExpectedNn::ExpectedNn(std::vector<UncertainPoint> points)
   UNN_CHECK(!points_.empty());
   for (const auto& p : points_) {
     if (p.is_disk()) {
+      all_discrete_ = false;
       mean_.push_back(p.center());  // Radially symmetric pdfs.
       var_.push_back(DiskRadialVariance(p));
     } else {
@@ -117,24 +124,217 @@ std::vector<int> ExpectedNn::RankByExpectedDistance(Vec2 q, int k,
 }
 
 int ExpectedNn::QueryExpected(Vec2 q, double tol) const {
-  // Scan with pruning: E[d] >= delta_i(q) and E[d] <= sqrt(E[d^2]).
+  // Scan with pruning: E[d] >= delta_i(q) and E[d] <= sqrt(E[d^2]), so
+  // evaluating in increasing (E[d^2], id) order finds the minimizer
+  // early and skips most evaluations. The skip keeps a relative guard
+  // band (kSkipGuard): for discrete models the closed-form E[d] is a
+  // weighted sum of correctly-rounded distances whose weights sum to 1
+  // only within 1e-9, so the computed E[d] can undershoot the computed
+  // MinDist by ~1e-9 relative — the band guarantees a skipped item's
+  // E[d] is strictly above the incumbent. With the band and the
+  // smallest-id tie break, the discrete result is the lexicographic
+  // argmin of (E[d], id), independent of evaluation order — the
+  // contract QueryExpectedBatch reproduces through a shared traversal.
+  // Disk models use the same loop; their quadrature values carry the
+  // documented tol-level near-tie caveat either way.
   int n = static_cast<int>(points_.size());
-  std::vector<int> ids(n);
-  std::iota(ids.begin(), ids.end(), 0);
-  std::sort(ids.begin(), ids.end(), [&](int a, int b) {
-    return ExpectedSquaredDistance(a, q) < ExpectedSquaredDistance(b, q);
-  });
+  std::vector<std::pair<double, int>> order(n);
+  for (int i = 0; i < n; ++i) order[i] = {ExpectedSquaredDistance(i, q), i};
+  std::sort(order.begin(), order.end());
   double best = std::numeric_limits<double>::infinity();
   int arg = -1;
-  for (int i : ids) {
-    if (points_[i].MinDist(q) >= best) continue;
+  for (auto [e2, i] : order) {
+    if (points_[i].MinDist(q) * kSkipGuard > best) continue;
     double e = ExpectedDistance(i, q, tol);
-    if (e < best) {
+    if (e < best || (e == best && i < arg)) {
       best = e;
       arg = i;
     }
   }
   return arg;
+}
+
+// ---------------------------------------------------------------------------
+// Batched entry points (spatial/batch.h): pack geom::kLaneWidth queries
+// per traversal, bit-identical to the scalar queries above.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr int kW = geom::kLaneWidth;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Largest coordinate magnitude of a node box — scales the absolute
+/// guard band that covers rounding of the stored means (the weighted
+/// mean of a discrete point is computed, not exact, so a Jensen bound
+/// through it needs slack proportional to the coordinate scale).
+double BoxMagnitude(const geom::Box& b) {
+  return std::max(std::max(std::abs(b.lo.x), std::abs(b.hi.x)),
+                  std::max(std::abs(b.lo.y), std::abs(b.hi.y)));
+}
+
+}  // namespace
+
+void ExpectedNn::QuerySquaredBatch(std::span<const Vec2> queries,
+                                   std::span<int> out,
+                                   spatial::BatchStats* stats) const {
+  UNN_CHECK(out.size() >= queries.size());
+  for (size_t base = 0; base < queries.size(); base += kW) {
+    int count = static_cast<int>(std::min<size_t>(kW, queries.size() - base));
+    double qx[kW], qy[kW];
+    for (int l = 0; l < kW; ++l) {
+      Vec2 q = queries[base + std::min(l, count - 1)];  // Pad ragged packs.
+      qx[l] = q.x;
+      qy[l] = q.y;
+    }
+    double best[kW];
+    int arg[kW];
+    bool tied[kW];
+    for (int l = 0; l < kW; ++l) {
+      best[l] = kInf;
+      arg[l] = -1;
+      tied[l] = false;
+    }
+    // Pass 1: shared traversal with a strict prune (`lb > best` keeps
+    // every node that can still contain a value tying the minimum).
+    // Both the subtree bound and the item value are sums of a squared
+    // box/point distance and a variance, rounded identically to the
+    // scalar path, and computed lb <= computed v holds exactly (each
+    // term is <=, and rounded addition is monotone) — so each lane ends
+    // with its exact minimum value, every attaining item evaluated, and
+    // `tied` set whenever more than one item attains it.
+    spatial::BatchPrunedVisit(
+        tree_, spatial::FullMask(count),
+        [&](int n, spatial::LaneMask m) {
+          double lb[kW];
+          geom::BoxDistSqLanes(qx, qy, tree_.box(n), lb);
+          geom::AddScalarLanes(lb, tree_.aug().min(n), lb);
+          spatial::LaneMask keep = 0;
+          for (int l = 0; l < kW; ++l) {
+            if ((m >> l & 1u) != 0 && !(lb[l] > best[l])) {
+              keep |= static_cast<spatial::LaneMask>(1u << l);
+            }
+          }
+          return keep;
+        },
+        [&](int n, spatial::LaneMask m) {
+          if (stats != nullptr) {
+            stats->lane_points_evaluated +=
+                static_cast<std::int64_t>(spatial::internal::PopCount(m)) *
+                (tree_.end(n) - tree_.begin(n));
+          }
+          for (int s = tree_.begin(n); s < tree_.end(n); ++s) {
+            int id = tree_.item(s);
+            double v[kW];
+            geom::DistSqLanes(qx, qy, mean_[id], v);
+            geom::AddScalarLanes(v, var_[id], v);
+            for (int l = 0; l < kW; ++l) {
+              if ((m >> l & 1u) == 0) continue;
+              if (v[l] < best[l]) {
+                best[l] = v[l];
+                arg[l] = id;
+              } else if (v[l] == best[l]) {
+                tied[l] = true;
+              }
+            }
+          }
+        },
+        stats);
+    if (stats != nullptr) ++stats->packs;
+    // Pass 2: lanes with a unique minimizer are done (every sound
+    // traversal returns it); tied lanes replay the scalar descent,
+    // whose ordered-DFS tie break is the contract.
+    for (int l = 0; l < count; ++l) {
+      if (tied[l]) {
+        if (stats != nullptr) ++stats->scalar_replays;
+        out[base + l] = QuerySquared(queries[base + l]);
+      } else {
+        out[base + l] = arg[l];
+      }
+    }
+  }
+}
+
+void ExpectedNn::QueryExpectedBatch(std::span<const Vec2> queries, double tol,
+                                    std::span<int> out,
+                                    spatial::BatchStats* stats) const {
+  UNN_CHECK(out.size() >= queries.size());
+  if (!all_discrete_) {
+    // Quadrature values admit no sound batched prune (a tol-level
+    // undershoot could evict the true winner), so disk/mixed sets serve
+    // every lane through the scalar path — identical by definition.
+    for (size_t i = 0; i < queries.size(); ++i) {
+      out[i] = QueryExpected(queries[i], tol);
+    }
+    if (stats != nullptr) {
+      stats->scalar_replays += static_cast<std::int64_t>(queries.size());
+    }
+    return;
+  }
+  for (size_t base = 0; base < queries.size(); base += kW) {
+    int count = static_cast<int>(std::min<size_t>(kW, queries.size() - base));
+    Vec2 qv[kW];
+    double qx[kW], qy[kW];
+    for (int l = 0; l < kW; ++l) {
+      qv[l] = queries[base + std::min(l, count - 1)];  // Pad ragged packs.
+      qx[l] = qv[l].x;
+      qy[l] = qv[l].y;
+    }
+    double best[kW];
+    int arg[kW];
+    for (int l = 0; l < kW; ++l) {
+      best[l] = kInf;
+      arg[l] = -1;
+    }
+    // The scalar discrete result is the lexicographic argmin of
+    // (E[d], id) independent of evaluation order (see QueryExpected), so
+    // the shared traversal only needs sound pruning, no replay. Subtree
+    // bound: E[d] >= d(q, mean) (Jensen) >= box distance, with a
+    // relative guard for the weighted-sum rounding plus an absolute
+    // guard at the node's coordinate scale for the rounding of the
+    // stored means themselves.
+    spatial::BatchPrunedVisit(
+        tree_, spatial::FullMask(count),
+        [&](int n, spatial::LaneMask m) {
+          double lb[kW];
+          geom::BoxDistSqLanes(qx, qy, tree_.box(n), lb);
+          double mag = BoxMagnitude(tree_.box(n));
+          spatial::LaneMask keep = 0;
+          for (int l = 0; l < kW; ++l) {
+            if ((m >> l & 1u) == 0) continue;
+            double slack =
+                1e-12 * (mag + std::abs(qx[l]) + std::abs(qy[l]));
+            if (!(std::sqrt(lb[l]) * kSkipGuard - slack > best[l])) {
+              keep |= static_cast<spatial::LaneMask>(1u << l);
+            }
+          }
+          return keep;
+        },
+        [&](int n, spatial::LaneMask m) {
+          double mag = BoxMagnitude(tree_.box(n));
+          for (int s = tree_.begin(n); s < tree_.end(n); ++s) {
+            int id = tree_.item(s);
+            double dsq[kW];
+            geom::DistSqLanes(qx, qy, mean_[id], dsq);
+            for (int l = 0; l < kW; ++l) {
+              if ((m >> l & 1u) == 0) continue;
+              double slack =
+                  1e-12 * (mag + std::abs(qx[l]) + std::abs(qy[l]));
+              if (std::sqrt(dsq[l]) * kSkipGuard - slack > best[l]) continue;
+              if (points_[id].MinDist(qv[l]) * kSkipGuard > best[l]) continue;
+              if (stats != nullptr) ++stats->lane_points_evaluated;
+              double e = ExpectedDistance(id, qv[l], tol);
+              if (e < best[l] || (e == best[l] && id < arg[l])) {
+                best[l] = e;
+                arg[l] = id;
+              }
+            }
+          }
+        },
+        stats);
+    if (stats != nullptr) ++stats->packs;
+    for (int l = 0; l < count; ++l) out[base + l] = arg[l];
+  }
 }
 
 }  // namespace core

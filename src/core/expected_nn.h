@@ -1,10 +1,12 @@
 #ifndef UNN_CORE_EXPECTED_NN_H_
 #define UNN_CORE_EXPECTED_NN_H_
 
+#include <span>
 #include <vector>
 
 #include "core/uncertain_point.h"
 #include "geom/vec2.h"
+#include "spatial/batch.h"
 #include "spatial/flat_tree.h"
 
 /// \file expected_nn.h
@@ -39,6 +41,26 @@ class ExpectedNn {
   /// argmin_i E[d(q, P_i)]; quadrature tolerance `tol` for disk models.
   int QueryExpected(geom::Vec2 q, double tol = 1e-9) const;
 
+  /// QuerySquared for a batch: `out[i]` is bit-identical to
+  /// `QuerySquared(queries[i])`, including argmin tie semantics. Queries
+  /// are packed geom::kLaneWidth at a time through one shared traversal
+  /// (spatial/batch.h); lanes whose minimum is tied replay the scalar
+  /// descent. `stats`, when non-null, accumulates pack counters.
+  void QuerySquaredBatch(std::span<const geom::Vec2> queries,
+                         std::span<int> out,
+                         spatial::BatchStats* stats = nullptr) const;
+
+  /// QueryExpected for a batch: `out[i]` is bit-identical to
+  /// `QueryExpected(queries[i], tol)`. For all-discrete point sets the
+  /// packs run a pruned shared traversal that evaluates the same
+  /// closed-form E[d] as the scalar path (the scalar result is the
+  /// evaluation-order-independent lexicographic argmin of (E[d], id), so
+  /// no replay is needed); any disk model falls back to the scalar query
+  /// per lane (quadrature tolerances admit no sound batched prune).
+  void QueryExpectedBatch(std::span<const geom::Vec2> queries, double tol,
+                          std::span<int> out,
+                          spatial::BatchStats* stats = nullptr) const;
+
   /// E[d(q, P_i)^2] = |q - mu_i|^2 + Var_i (closed form, all models).
   double ExpectedSquaredDistance(int i, geom::Vec2 q) const;
 
@@ -58,6 +80,7 @@ class ExpectedNn {
   std::vector<UncertainPoint> points_;
   std::vector<geom::Vec2> mean_;
   std::vector<double> var_;
+  bool all_discrete_ = true;
   /// Kd-tree over the means, augmented with the subtree minimum variance:
   /// E[d(q,P)^2] = d(q, mu)^2 + Var is a power-like weighted distance, so
   /// box-distance-plus-min-variance is a valid subtree lower bound.

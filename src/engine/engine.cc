@@ -372,6 +372,17 @@ std::vector<Engine::QueryResult> Engine::QueryMany(
           [this](geom::Vec2 q) { return Probabilities(q); }, &results)) {
     return results;
   }
+  // Batchable types run the shared-traversal kernels (spatial/batch.h),
+  // bit-identical to the scalar loop below; Config::batch_traversal is
+  // the escape hatch. kExpectedDistanceNn is the batchable type today
+  // (the kBruteForce oracle keeps the scalar loop).
+  if (config_.batch_traversal && spec.type == QueryType::kExpectedDistanceNn &&
+      config_.backend != Backend::kBruteForce) {
+    std::vector<int> ids(queries.size());
+    GetExpectedNn().QueryExpectedBatch(queries, config_.tol, ids);
+    for (size_t i = 0; i < queries.size(); ++i) results[i].nn = ids[i];
+    return results;
+  }
   for (size_t i = 0; i < queries.size(); ++i) {
     geom::Vec2 q = queries[i];
     QueryResult& r = results[i];

@@ -85,6 +85,11 @@ class Engine {
     uint64_t seed = 0xC0FFEE;
     /// Overrides the Theorem 4.3 Monte-Carlo sample count when > 0.
     int mc_samples_override = 0;
+    /// QueryMany serves batchable query types through the shared-traversal
+    /// kernels of spatial/batch.h (bit-identical to the scalar path —
+    /// docs/ARCHITECTURE.md "Batch traversal"). The flag is the escape
+    /// hatch: false forces the scalar per-query loop.
+    bool batch_traversal = true;
   };
 
   /// The query types QueryMany can batch.

@@ -42,6 +42,90 @@ int KdTree::Nearest(Vec2 q, double* dist) const {
   return best;
 }
 
+void KdTree::NearestBatch(std::span<const Vec2> queries,
+                          std::span<int> out_ids, std::span<double> out_dists,
+                          spatial::BatchStats* stats) const {
+  constexpr int kW = geom::kLaneWidth;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // The scalar descent compares hypot-based distances while any shared
+  // bound compares squared distances, and the two can disagree by a few
+  // ulps right at a pruning boundary. The batch pass therefore prunes
+  // against a widened threshold best^2 * kPruneHi (never discarding a
+  // boundary item) and flags for scalar replay any lane that evaluates a
+  // distance within kFlagBand (relative) of its evolving best — above or
+  // below — so a lane that stays unflagged provably saw no boundary
+  // case and its strict-min argmin equals the scalar result. kPruneHi's
+  // margin (4e-9 on the square ~ 2e-9 on the distance) is strictly wider
+  // than kFlagBand, so every item inside the flag band is evaluated.
+  constexpr double kPruneHi = 1.0 + 4e-9;
+  constexpr double kFlagBand = 1e-9;
+  for (size_t base = 0; base < queries.size(); base += kW) {
+    int count = static_cast<int>(std::min<size_t>(kW, queries.size() - base));
+    Vec2 qv[kW];
+    double qx[kW], qy[kW];
+    for (int l = 0; l < kW; ++l) {
+      qv[l] = queries[base + std::min(l, count - 1)];  // Pad ragged packs.
+      qx[l] = qv[l].x;
+      qy[l] = qv[l].y;
+    }
+    double best[kW];
+    int arg[kW];
+    bool replay[kW];
+    for (int l = 0; l < kW; ++l) {
+      best[l] = kInf;
+      arg[l] = -1;
+      replay[l] = false;
+    }
+    spatial::BatchPrunedVisit(
+        tree_, spatial::FullMask(count),
+        [&](int n, spatial::LaneMask m) {
+          double lb[kW];
+          geom::BoxDistSqLanes(qx, qy, tree_.box(n), lb);
+          spatial::LaneMask keep = 0;
+          for (int l = 0; l < kW; ++l) {
+            if ((m >> l & 1u) != 0 && !(lb[l] > best[l] * best[l] * kPruneHi)) {
+              keep |= static_cast<spatial::LaneMask>(1u << l);
+            }
+          }
+          return keep;
+        },
+        [&](int n, spatial::LaneMask m) {
+          for (int s = tree_.begin(n); s < tree_.end(n); ++s) {
+            int id = tree_.item(s);
+            double dsq[kW];
+            geom::DistSqLanes(qx, qy, pts_[id], dsq);
+            for (int l = 0; l < kW; ++l) {
+              if ((m >> l & 1u) == 0) continue;
+              if (dsq[l] > best[l] * best[l] * kPruneHi) continue;
+              if (stats != nullptr) ++stats->lane_points_evaluated;
+              double d = Dist(qv[l], pts_[id]);
+              if (d == best[l] ||
+                  (d < best[l] && d >= best[l] * (1.0 - kFlagBand)) ||
+                  (d > best[l] && d <= best[l] * (1.0 + kFlagBand))) {
+                replay[l] = true;
+              }
+              if (d < best[l]) {
+                best[l] = d;
+                arg[l] = id;
+              }
+            }
+          }
+        },
+        stats);
+    if (stats != nullptr) ++stats->packs;
+    for (int l = 0; l < count; ++l) {
+      double d = best[l];
+      int id = arg[l];
+      if (replay[l]) {
+        if (stats != nullptr) ++stats->scalar_replays;
+        id = Nearest(queries[base + l], &d);
+      }
+      out_ids[base + l] = id;
+      if (!out_dists.empty()) out_dists[base + l] = d;
+    }
+  }
+}
+
 std::vector<int> KdTree::KNearest(Vec2 q, int k) const {
   std::vector<int> out;
   Enumerator en(*this, q);

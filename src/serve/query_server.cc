@@ -510,51 +510,40 @@ std::vector<Response> QueryServer::QueryBatch(
   }
 
   // Answers one index list on one backend, results scattered into
-  // `responses`. A uniform-spec list (the common case, and always the
-  // legacy wrapper) goes through serve::QueryMany so per-spec batch
-  // amortizations (warm once, block splitting) are kept; mixed specs
-  // warm each distinct spec once, then fan per request.
+  // `responses`. The misses are partitioned by distinct spec (the dedup
+  // scan is quadratic in the handful of distinct specs, cheaper than
+  // hashing) and each group runs through serve::QueryMany, so cache
+  // misses of the same spec form packs for the batched traversal kernels
+  // whether the batch arrived uniform (the common case, and always the
+  // legacy wrapper — one group) or mixed, instead of fanning scalar
+  // singletons. Per-spec amortizations (warm once, block splitting) are
+  // kept either way, and the grouping cannot change any answer: each
+  // Response is produced by the same backend QueryMany contract in
+  // request order.
   auto run = [&](const std::vector<size_t>& idx, const auto& backend) {
-    bool uniform = true;
-    for (size_t i : idx) {
-      if (!SpecEquals(requests[i].spec, requests[idx[0]].spec)) {
-        uniform = false;
-        break;
-      }
-    }
-    if (uniform) {
-      std::vector<geom::Vec2> points(idx.size());
-      for (size_t j = 0; j < idx.size(); ++j) points[j] = requests[idx[j]].q;
-      std::vector<Engine::QueryResult> results =
-          QueryMany(backend, points, requests[idx[0]].spec, &pool_);
-      for (size_t j = 0; j < idx.size(); ++j) {
-        responses[idx[j]].result = std::move(results[j]);
-      }
-      return;
-    }
-    // Mixed specs: warm each distinct spec once (a handful at most, so
-    // the quadratic dedup scan is cheaper than hashing), then fan the
-    // requests across the pool, one backend call per request.
     std::vector<Engine::QuerySpec> distinct;
+    std::vector<std::vector<size_t>> groups;
     for (size_t i : idx) {
-      bool seen = false;
-      for (const Engine::QuerySpec& s : distinct) {
-        if (SpecEquals(s, requests[i].spec)) {
-          seen = true;
-          break;
-        }
+      size_t g = 0;
+      while (g < distinct.size() && !SpecEquals(distinct[g], requests[i].spec))
+        ++g;
+      if (g == distinct.size()) {
+        distinct.push_back(requests[i].spec);
+        groups.emplace_back();
       }
-      if (!seen) distinct.push_back(requests[i].spec);
+      groups[g].push_back(i);
     }
-    for (const Engine::QuerySpec& s : distinct) backend.Warmup(s);
-    pool_.ParallelFor(idx.size(), [&](size_t begin, size_t end) {
-      for (size_t j = begin; j < end; ++j) {
-        const Request& r = requests[idx[j]];
-        std::span<const geom::Vec2> one(&r.q, 1);
-        responses[idx[j]].result =
-            std::move(backend.QueryMany(one, r.spec)[0]);
+    for (size_t g = 0; g < groups.size(); ++g) {
+      std::vector<geom::Vec2> points(groups[g].size());
+      for (size_t j = 0; j < groups[g].size(); ++j) {
+        points[j] = requests[groups[g][j]].q;
       }
-    });
+      std::vector<Engine::QueryResult> results =
+          QueryMany(backend, points, distinct[g], &pool_);
+      for (size_t j = 0; j < groups[g].size(); ++j) {
+        responses[groups[g][j]].result = std::move(results[j]);
+      }
+    }
   };
 
   if (!compute.empty()) {

@@ -365,6 +365,37 @@ std::vector<Engine::QueryResult> ShardedEngine::QueryMany(
           &results)) {
     return results;
   }
+  if (config_.batch_traversal &&
+      spec.type == Engine::QueryType::kExpectedDistanceNn) {
+    // Fan the whole pack to each shard once — one shard visit per shard
+    // per batch instead of per query — and min-merge per query. Each
+    // shard's QueryMany runs the batched kernels (or the scalar loop for
+    // the kBruteForce oracle), bit-identical to QueryOne's per-query
+    // fan-out, so the merged answers match the scalar path exactly.
+    size_t shards = engines_.size();
+    std::vector<std::vector<ExpectedCandidate>> cand(
+        queries.size(), std::vector<ExpectedCandidate>(shards));
+    {
+      obs::ScopedSpan fan(trace, "shard_fanout",
+                          static_cast<std::int64_t>(shards));
+      ForEachShard(
+          pool,
+          [&](int s) {
+            auto local = engines_[s]->QueryMany(queries, spec);
+            for (size_t i = 0; i < queries.size(); ++i) {
+              int lid = local[i].nn;
+              cand[i][s] = {global_ids_[s][lid],
+                            engines_[s]->ExpectedDistance(lid, queries[i])};
+            }
+          },
+          fan.node());
+    }
+    obs::ScopedSpan merge(trace, "merge");
+    for (size_t i = 0; i < queries.size(); ++i) {
+      results[i].nn = MergeExpected(cand[i]);
+    }
+    return results;
+  }
   for (size_t i = 0; i < queries.size(); ++i) {
     results[i] = QueryOne(queries[i], spec, pool, trace);
   }

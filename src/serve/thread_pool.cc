@@ -99,10 +99,18 @@ void ThreadPool::ParallelFor(size_t n,
   if (n == 0) return;
   // ~2 blocks per participant bounds the makespan penalty of an uneven
   // block at half a block without the scheduling overhead of one task per
-  // index.
+  // index. Block sizes are rounded up to a multiple of the batch-kernel
+  // pack width (geom::kLaneWidth = 8, spatial/batch.h), so a blocked
+  // QueryMany produces at most one ragged pack per block instead of
+  // guaranteed ragged tails at every block seam.
+  constexpr size_t kBlockQuantum = 8;
   size_t participants = static_cast<size_t>(num_threads()) + 1;
   size_t blocks = std::min(n, 2 * participants);
   size_t chunk = (n + blocks - 1) / blocks;
+  if (n > kBlockQuantum) {
+    chunk = (chunk + kBlockQuantum - 1) / kBlockQuantum * kBlockQuantum;
+    blocks = (n + chunk - 1) / chunk;
+  }
 
   // Participants pull the next unclaimed block until none remain. The
   // caller joins the pulling loop itself, so every block completes even if

@@ -1,0 +1,228 @@
+#ifndef UNN_SPATIAL_BATCH_H_
+#define UNN_SPATIAL_BATCH_H_
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "geom/lanes.h"
+#include "spatial/traverse.h"
+
+/// \file batch.h
+/// Batched counterparts of the traverse.h engines: up to geom::kLaneWidth
+/// queries ("lanes") share one traversal of a FlatKdTree, so the node
+/// arrays are touched once per pack instead of once per query, box bounds
+/// are evaluated with the SIMD lane ops of geom/lanes.h, and the SoA
+/// child arrays are software-prefetched a node ahead of the descent.
+///
+///   * BatchPrunedVisit — shared left-first DFS with a per-entry active
+///     lane mask. For every lane the visited nodes, the prune tests, and
+///     the leaf scans are exactly the scalar PrunedVisit sequence of that
+///     lane alone (other lanes only interleave extra nodes the lane
+///     ignores), so a per-lane computation over it is bit-identical to
+///     the scalar engine by construction.
+///   * BatchBestFirstScan — shared best-first frontier ordered by the
+///     minimum lower bound over each entry's active lanes. Per lane it
+///     visits a superset of the scalar BestFirstScan's surviving nodes,
+///     in an order that may differ from the lane's own key order; use it
+///     for exact-min accumulation, never for first-hit semantics.
+///
+/// Bit-identity idiom (used by core::ExpectedNn and range::KdTree): the
+/// scalar nearest descents are PrunedVisitOrdered with a per-query child
+/// order, which a shared traversal cannot replicate lane by lane. The
+/// batch entry points instead run a pass-1 BatchPrunedVisit with a
+/// *strict* prune (`bound > best`, keeping every item whose value ties
+/// the minimum), which computes each lane's exact minimum value, and
+/// raise a per-lane `replay` flag whenever the argmin could be
+/// order-dependent (a tie on the minimum, or values within a guard band
+/// of the evolving bound where floating-point pruning could diverge).
+/// Flagged lanes re-run the scalar query verbatim — bit-identical by
+/// definition — while unflagged lanes have a unique minimizer that every
+/// sound traversal, scalar or batched, must return. tests/batch_fuzz_test
+/// differentially verifies the whole scheme on adversarial inputs.
+
+namespace unn {
+namespace spatial {
+
+/// Bit l set = query lane l active. Lane count is geom::kLaneWidth = 8.
+using LaneMask = std::uint8_t;
+
+/// Mask with the low `count` lanes active (a ragged final pack).
+inline LaneMask FullMask(int count) {
+  return static_cast<LaneMask>((1u << count) - 1u);
+}
+
+/// Per-pack traversal counters, aggregated by the batch entry points.
+/// `lane_nodes_visited / (nodes_visited * kLaneWidth)` is the lane
+/// utilization: 1.0 means every shared node visit served all lanes.
+struct BatchStats {
+  std::int64_t packs = 0;
+  std::int64_t nodes_visited = 0;       ///< Shared node visits.
+  std::int64_t lane_nodes_visited = 0;  ///< Sum of active lanes per visit.
+  std::int64_t leaves_scanned = 0;
+  std::int64_t lane_points_evaluated = 0;
+  std::int64_t prunes = 0;          ///< Entries dropped with no lane active.
+  std::int64_t scalar_replays = 0;  ///< Lanes re-run through the scalar path.
+
+  double LaneUtilization() const {
+    return nodes_visited == 0 ? 0.0
+                              : static_cast<double>(lane_nodes_visited) /
+                                    (static_cast<double>(nodes_visited) *
+                                     geom::kLaneWidth);
+  }
+
+  void Add(const BatchStats& o) {
+    packs += o.packs;
+    nodes_visited += o.nodes_visited;
+    lane_nodes_visited += o.lane_nodes_visited;
+    leaves_scanned += o.leaves_scanned;
+    lane_points_evaluated += o.lane_points_evaluated;
+    prunes += o.prunes;
+    scalar_replays += o.scalar_replays;
+  }
+};
+
+namespace internal {
+
+/// Prefetches the SoA node records the descent is about to touch. The
+/// box array is the hot one (every surviving node evaluates bounds
+/// against it before the children are known).
+template <typename Tree>
+inline void PrefetchChildren(const Tree& tree, int node) {
+#if defined(__GNUC__) || defined(__clang__)
+  if (!tree.is_leaf(node)) {
+    __builtin_prefetch(&tree.box(tree.left(node)));
+    __builtin_prefetch(&tree.box(tree.right(node)));
+  }
+#else
+  (void)tree;
+  (void)node;
+#endif
+}
+
+inline int PopCount(LaneMask m) {
+  int c = 0;
+  for (LaneMask b = m; b != 0; b &= static_cast<LaneMask>(b - 1)) ++c;
+  return c;
+}
+
+}  // namespace internal
+
+/// Shared pruned DFS, left child first (the batch PrunedVisit).
+/// `filter(node, mask)` returns the sub-mask of lanes that do NOT prune
+/// the node — it is called exactly once per lane per node the lane
+/// reaches, like the scalar engine's `prune`; `leaf(node, mask)` scans a
+/// leaf for every active lane. Unlike scalar PrunedVisit there is no
+/// abort: the batch consumers are argmin/report accumulators.
+template <typename Tree, typename Filter, typename Leaf>
+void BatchPrunedVisit(const Tree& tree, LaneMask lanes, Filter&& filter,
+                      Leaf&& leaf, BatchStats* stats = nullptr) {
+  if (tree.root() < 0 || lanes == 0) return;
+  struct Frame {
+    int node;
+    LaneMask mask;
+  };
+  std::vector<Frame> stack;
+  stack.reserve(64);
+  stack.push_back({tree.root(), lanes});
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    LaneMask m = filter(f.node, f.mask);
+    if (m == 0) {
+      if (stats != nullptr) ++stats->prunes;
+      continue;
+    }
+    internal::PrefetchChildren(tree, f.node);
+    if (stats != nullptr) {
+      ++stats->nodes_visited;
+      stats->lane_nodes_visited += internal::PopCount(m);
+    }
+    if (tree.is_leaf(f.node)) {
+      if (stats != nullptr) ++stats->leaves_scanned;
+      leaf(f.node, m);
+    } else {
+      // Right below left so the left child pops first: per lane this is
+      // the scalar left-first DFS order.
+      stack.push_back({tree.right(f.node), m});
+      stack.push_back({tree.left(f.node), m});
+    }
+  }
+}
+
+/// Shared best-first scan (the batch BestFirstScan). The frontier is
+/// ordered by the minimum of `key_lb(lane, node)` over the entry's
+/// active lanes; `prunable(lane, key)` must be monotone in key per lane.
+/// `visit(node, mask)` runs for the lanes that survive their own bound.
+/// Per lane the visited set is a superset of the scalar engine's, so
+/// exact-min accumulation matches the scalar result; first-hit order per
+/// lane is NOT preserved. Lane bounds are evaluated once at push and
+/// once at pop (the pop re-test sees bounds tightened since the push).
+template <typename Tree, typename KeyLb, typename Prunable, typename Visit>
+void BatchBestFirstScan(const Tree& tree, LaneMask lanes, KeyLb&& key_lb,
+                        Prunable&& prunable, Visit&& visit,
+                        BatchStats* stats = nullptr) {
+  if (tree.root() < 0 || lanes == 0) return;
+  struct Entry {
+    double key;  ///< min over active lanes of key_lb(lane, node).
+    int node;
+    LaneMask mask;
+    bool operator<(const Entry& o) const { return key > o.key; }
+  };
+  std::priority_queue<Entry> heap;
+  auto push = [&](int node, LaneMask m) {
+    double key = 0.0;
+    bool first = true;
+    LaneMask keep = 0;
+    for (int l = 0; l < geom::kLaneWidth; ++l) {
+      if ((m & (1u << l)) == 0) continue;
+      double k = key_lb(l, node);
+      if (prunable(l, k)) continue;
+      keep |= static_cast<LaneMask>(1u << l);
+      if (first || k < key) key = k;
+      first = false;
+    }
+    if (keep != 0) heap.push({key, node, keep});
+  };
+  push(tree.root(), lanes);
+  while (!heap.empty()) {
+    Entry e = heap.top();
+    heap.pop();
+    // Re-test each lane against its own (possibly tightened) bound.
+    LaneMask m = 0;
+    bool all_dead_at_shared_key = true;
+    for (int l = 0; l < geom::kLaneWidth; ++l) {
+      if ((e.mask & (1u << l)) == 0) continue;
+      if (!prunable(l, e.key)) all_dead_at_shared_key = false;
+      if (!prunable(l, key_lb(l, e.node))) {
+        m |= static_cast<LaneMask>(1u << l);
+      }
+    }
+    if (all_dead_at_shared_key) {
+      // Every remaining entry has a shared key >= e.key and per-lane keys
+      // >= the shared key, so by monotonicity nothing left can survive.
+      if (stats != nullptr) ++stats->prunes;
+      break;
+    }
+    if (m == 0) {
+      if (stats != nullptr) ++stats->prunes;
+      continue;
+    }
+    internal::PrefetchChildren(tree, e.node);
+    if (stats != nullptr) {
+      ++stats->nodes_visited;
+      stats->lane_nodes_visited += internal::PopCount(m);
+      if (tree.is_leaf(e.node)) ++stats->leaves_scanned;
+    }
+    visit(e.node, m);
+    if (!tree.is_leaf(e.node)) {
+      push(tree.left(e.node), m);
+      push(tree.right(e.node), m);
+    }
+  }
+}
+
+}  // namespace spatial
+}  // namespace unn
+
+#endif  // UNN_SPATIAL_BATCH_H_

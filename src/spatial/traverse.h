@@ -26,6 +26,11 @@
 /// ties by heap order alone, exactly as the hand-rolled versions did.
 /// All engines are allocation-free except the best-first heap and are
 /// safe for concurrent use on a const tree.
+///
+/// Batched counterparts — BatchPrunedVisit / BatchBestFirstScan, which
+/// run up to geom::kLaneWidth queries through one shared traversal with
+/// SIMD bound evaluation — live in spatial/batch.h alongside the
+/// bit-identity idiom their consumers use.
 
 namespace unn {
 namespace spatial {

@@ -1,0 +1,269 @@
+// Differential fuzz harness for the batched traversal kernels
+// (spatial/batch.h, geom/lanes.h): every batch entry point must be
+// bit-identical to its scalar counterpart — including argmin tie
+// semantics — on adversarial inputs: clustered sites, coincident
+// anchors, duplicated points, equal radii, duplicate coordinates, and
+// queries snapped onto site coordinates so distances tie exactly.
+// Batch sizes sweep 1..2*kLaneWidth+1, covering every pack size 1..8
+// and ragged final packs. CTest runs a fixed seeded corpus; the nightly
+// CI job raises the iteration count through UNN_FUZZ_ITERS.
+
+#include <algorithm>
+#include <cstdlib>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/expected_nn.h"
+#include "core/uncertain_point.h"
+#include "engine/engine.h"
+#include "geom/lanes.h"
+#include "range/kdtree.h"
+#include "workload/generators.h"
+
+namespace unn {
+namespace {
+
+using core::UncertainPoint;
+using geom::Vec2;
+
+int FuzzIters(int base) {
+  const char* env = std::getenv("UNN_FUZZ_ITERS");
+  if (env == nullptr) return base;
+  int v = std::atoi(env);
+  return v > 0 ? v : base;
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial generators. All deterministic in the seed.
+// ---------------------------------------------------------------------------
+
+/// Discrete points in a handful of tight clusters; site coordinates are
+/// snapped to a coarse grid so exact duplicates appear across points.
+std::vector<UncertainPoint> ClusteredDiscrete(int n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(-8, 8);
+  std::uniform_int_distribution<int> grid(-6, 6);
+  std::uniform_int_distribution<int> nsites(1, 4);
+  int clusters = 3 + static_cast<int>(seed % 4);
+  std::vector<Vec2> centers(clusters);
+  for (auto& c : centers) c = {u(rng), u(rng)};
+  std::vector<UncertainPoint> pts;
+  pts.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    Vec2 c = centers[i % clusters];
+    int k = nsites(rng);
+    std::vector<Vec2> sites(k);
+    for (auto& s : sites) {
+      s = {c.x + grid(rng) * 0.25, c.y + grid(rng) * 0.25};
+    }
+    pts.push_back(UncertainPoint::DiscreteUniform(std::move(sites)));
+  }
+  return pts;
+}
+
+/// Many points sharing the exact same mean (sites mirrored around a few
+/// anchors), so expected-squared values tie whenever variances do — the
+/// hardest case for the tie-replay scheme.
+std::vector<UncertainPoint> CoincidentAnchors(int n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(-5, 5);
+  std::uniform_int_distribution<int> offset(1, 3);
+  int anchors = 2 + static_cast<int>(seed % 3);
+  std::vector<Vec2> centers(anchors);
+  for (auto& c : centers) c = {u(rng), u(rng)};
+  std::vector<UncertainPoint> pts;
+  pts.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    Vec2 c = centers[i % anchors];
+    // Half the points repeat the same mirrored pair (exact duplicates,
+    // equal mean AND equal variance); the rest vary the offset.
+    double d = (i % 2 == 0) ? 0.5 : offset(rng) * 0.5;
+    pts.push_back(UncertainPoint::DiscreteUniform(
+        {{c.x - d, c.y}, {c.x + d, c.y}}));
+  }
+  return pts;
+}
+
+/// Disks with equal radii, several on exactly coincident centers.
+std::vector<UncertainPoint> EqualRadiusDisks(int n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> grid(-5, 5);
+  std::vector<UncertainPoint> pts;
+  pts.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    Vec2 c{grid(rng) * 1.0, grid(rng) * 1.0};  // Coarse grid: collisions.
+    pts.push_back(UncertainPoint::Disk(c, 0.75));
+  }
+  return pts;
+}
+
+/// Queries that frequently coincide with the grid the generators snap
+/// sites to (exact zero distances and exact ties), mixed with random
+/// off-grid points.
+std::vector<Vec2> AdversarialQueries(int n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(-9, 9);
+  std::uniform_int_distribution<int> grid(-8, 8);
+  std::vector<Vec2> qs(n);
+  for (int i = 0; i < n; ++i) {
+    if (i % 3 == 0) {
+      qs[i] = {u(rng), u(rng)};
+    } else {
+      qs[i] = {grid(rng) * 0.25, grid(rng) * 0.25};
+    }
+  }
+  return qs;
+}
+
+std::vector<UncertainPoint> AdversarialSet(int which, int n, uint64_t seed) {
+  switch (which % 4) {
+    case 0:
+      return ClusteredDiscrete(n, seed);
+    case 1:
+      return CoincidentAnchors(n, seed);
+    case 2:
+      return EqualRadiusDisks(n, seed);
+    default:
+      return workload::RandomDiscrete(n, 3, seed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel-level differentials
+// ---------------------------------------------------------------------------
+
+TEST(BatchFuzz, QuerySquaredBatchBitIdentical) {
+  int iters = FuzzIters(8);
+  for (int it = 0; it < iters; ++it) {
+    uint64_t seed = 1000 + 17 * static_cast<uint64_t>(it);
+    auto pts = AdversarialSet(it, 40 + (it % 5) * 23, seed);
+    core::ExpectedNn index(pts);
+    // Every batch size from a lone ragged pack up to full packs plus a
+    // ragged tail.
+    for (int m = 1; m <= 2 * geom::kLaneWidth + 1; ++m) {
+      auto qs = AdversarialQueries(m, seed + m);
+      std::vector<int> got(qs.size());
+      spatial::BatchStats stats;
+      index.QuerySquaredBatch(qs, got, &stats);
+      EXPECT_GT(stats.packs, 0);
+      for (size_t i = 0; i < qs.size(); ++i) {
+        EXPECT_EQ(got[i], index.QuerySquared(qs[i]))
+            << "it=" << it << " m=" << m << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(BatchFuzz, QueryExpectedBatchBitIdentical) {
+  int iters = FuzzIters(6);
+  for (int it = 0; it < iters; ++it) {
+    uint64_t seed = 2000 + 31 * static_cast<uint64_t>(it);
+    // Includes the disk sets: those must take the per-lane scalar
+    // fallback and still match exactly.
+    auto pts = AdversarialSet(it, 30 + (it % 4) * 17, seed);
+    core::ExpectedNn index(pts);
+    for (int m : {1, 3, geom::kLaneWidth, geom::kLaneWidth + 5}) {
+      auto qs = AdversarialQueries(m, seed + m);
+      std::vector<int> got(qs.size());
+      spatial::BatchStats stats;
+      index.QueryExpectedBatch(qs, 1e-8, got, &stats);
+      for (size_t i = 0; i < qs.size(); ++i) {
+        EXPECT_EQ(got[i], index.QueryExpected(qs[i], 1e-8))
+            << "it=" << it << " m=" << m << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(BatchFuzz, KdNearestBatchBitIdentical) {
+  int iters = FuzzIters(8);
+  for (int it = 0; it < iters; ++it) {
+    uint64_t seed = 3000 + 13 * static_cast<uint64_t>(it);
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<int> grid(-12, 12);
+    std::uniform_real_distribution<double> u(-10, 10);
+    int n = 50 + (it % 6) * 31;
+    std::vector<Vec2> pts(n);
+    for (int i = 0; i < n; ++i) {
+      // Duplicate coordinates on purpose: grid snapping plus literal
+      // repeats of earlier points.
+      if (i % 7 == 3 && i > 0) {
+        pts[i] = pts[rng() % i];
+      } else if (i % 2 == 0) {
+        pts[i] = {grid(rng) * 0.5, grid(rng) * 0.5};
+      } else {
+        pts[i] = {u(rng), u(rng)};
+      }
+    }
+    range::KdTree tree(pts);
+    for (int m = 1; m <= 2 * geom::kLaneWidth + 1; ++m) {
+      auto qs = AdversarialQueries(m, seed + m);
+      std::vector<int> ids(qs.size());
+      std::vector<double> dists(qs.size());
+      tree.NearestBatch(qs, ids, dists);
+      for (size_t i = 0; i < qs.size(); ++i) {
+        double want_d = 0;
+        int want = tree.Nearest(qs[i], &want_d);
+        EXPECT_EQ(ids[i], want) << "it=" << it << " m=" << m << " i=" << i;
+        EXPECT_EQ(dists[i], want_d)
+            << "it=" << it << " m=" << m << " i=" << i;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level differential: QueryMany with batching on vs off must give
+// identical results for all five query types on randomized batches.
+// ---------------------------------------------------------------------------
+
+TEST(BatchFuzz, EngineQueryManyBatchedMatchesScalar) {
+  int iters = FuzzIters(3);
+  const Engine::QuerySpec specs[] = {
+      {Engine::QueryType::kMostProbableNn, 0.5, 1},
+      {Engine::QueryType::kExpectedDistanceNn, 0.5, 1},
+      {Engine::QueryType::kThreshold, 0.25, 1},
+      {Engine::QueryType::kTopK, 0.5, 3},
+      {Engine::QueryType::kNonzeroNn, 0.5, 1},
+  };
+  for (int it = 0; it < iters; ++it) {
+    uint64_t seed = 4000 + 7 * static_cast<uint64_t>(it);
+    auto pts = AdversarialSet(it, 24 + it * 9, seed);
+    Engine::Config batched_cfg;
+    Engine::Config scalar_cfg;
+    scalar_cfg.batch_traversal = false;
+    Engine batched(pts, batched_cfg);
+    Engine scalar(pts, scalar_cfg);
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<int> msize(1, 2 * geom::kLaneWidth + 1);
+    for (const Engine::QuerySpec& spec : specs) {
+      auto qs = AdversarialQueries(msize(rng), seed + 99);
+      auto got = batched.QueryMany(qs, spec);
+      auto want = scalar.QueryMany(qs, spec);
+      ASSERT_EQ(got.size(), want.size());
+      for (size_t i = 0; i < qs.size(); ++i) {
+        EXPECT_EQ(got[i].nn, want[i].nn);
+        EXPECT_EQ(got[i].ranked, want[i].ranked);
+        EXPECT_EQ(got[i].ids, want[i].ids);
+      }
+    }
+  }
+}
+
+// The single-query entry point and the batched path must agree too (the
+// result cache mixes the two freely under one snapshot key).
+TEST(BatchFuzz, SingleQueryAgreesWithBatchedQueryMany) {
+  auto pts = CoincidentAnchors(36, 77);
+  Engine engine(pts);
+  auto qs = AdversarialQueries(19, 78);
+  auto many = engine.QueryMany(
+      qs, {Engine::QueryType::kExpectedDistanceNn, 0.5, 1});
+  for (size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_EQ(many[i].nn, engine.ExpectedDistanceNn(qs[i]));
+  }
+}
+
+}  // namespace
+}  // namespace unn

@@ -174,6 +174,56 @@ TEST(QueryServerStress, EightClientsWithConcurrentSnapshotSwap) {
   }
 }
 
+// The batched QueryMany path (pack grouping + shared-traversal kernels)
+// racing ReplaceDataset: every answer must match one of the two
+// snapshots' oracles, bit-identically, because a batch runs entirely on
+// the snapshot it pinned on entry and batching never changes results.
+TEST(QueryServerStress, BatchedPacksRacingSnapshotSwap) {
+  auto pts_a = workload::RandomDiscrete(32, 3, 105);
+  auto pts_b = workload::RandomDiscrete(28, 2, 106);
+  auto qs = StressQueries(33);  // Ragged final pack in every batch.
+
+  Engine::Config cfg;  // batch_traversal defaults to true.
+  Engine oracle_a(pts_a, cfg);
+  Engine oracle_b(pts_b, cfg);
+  std::vector<int> ans_a, ans_b;
+  for (Vec2 q : qs) {
+    ans_a.push_back(oracle_a.ExpectedDistanceNn(q));
+    ans_b.push_back(oracle_b.ExpectedDistanceNn(q));
+  }
+
+  serve::QueryServer server(
+      pts_a, cfg,
+      {.num_threads = 4, .warm = {Engine::QueryType::kExpectedDistanceNn}});
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&] {
+      Engine::QuerySpec spec{Engine::QueryType::kExpectedDistanceNn, 0.5, 1};
+      for (int round = 0; round < 6; ++round) {
+        auto results = server.QueryBatch(qs, spec);
+        for (size_t i = 0; i < qs.size(); ++i) {
+          if (results[i].nn != ans_a[i] && results[i].nn != ans_b[i]) {
+            ++mismatches;
+          }
+        }
+      }
+    });
+  }
+  server.ReplaceDataset(pts_b);
+  for (auto& th : clients) th.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // Settled: dataset B only, still bit-identical to its scalar oracle.
+  auto final_results =
+      server.QueryBatch(qs, {Engine::QueryType::kExpectedDistanceNn});
+  for (size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_EQ(final_results[i].nn, ans_b[i]);
+  }
+}
+
 TEST(QueryServerStress, SubmitRacingShutdownAnswersInline) {
   // Regression for the shutdown race: a Submit that lands after the
   // server's pool has flipped to stopping used to hard-abort in

@@ -448,6 +448,67 @@ TEST(QueryServer, DegenerateSpecsBypassCacheAndAdmission) {
   EXPECT_EQ(s.cache.insertions, 1u);  // The regular request; not tau=1.5.
 }
 
+// Pack-grouping property: a batched server (default) and a scalar server
+// (Config::batch_traversal = false) over the same points must produce
+// the same Responses for the same request stream — order, values,
+// ResultSource labels, and stats counters — on mixed-SpecClass batches
+// with degenerate specs, duplicate requests, and cache-hit
+// interleavings on the second pass.
+TEST(QueryServer, PackGroupingMatchesScalarServerOnMixedBatches) {
+  auto pts = workload::RandomDiscrete(20, 3, 101);
+  serve::QueryServer::Options options;
+  options.num_threads = 3;
+  options.cache.max_bytes = 1u << 20;
+  Engine::Config scalar_cfg;
+  scalar_cfg.batch_traversal = false;
+  serve::QueryServer batched(pts, {}, options);
+  serve::QueryServer scalar(pts, scalar_cfg, options);
+
+  auto qs = GridQueries(9);
+  std::vector<serve::Request> reqs;
+  for (size_t i = 0; i < qs.size(); ++i) {
+    Vec2 q = qs[i];
+    reqs.push_back({q, {Engine::QueryType::kExpectedDistanceNn, 0.5, 1}});
+    if (i % 2 == 0) {
+      reqs.push_back({q, {Engine::QueryType::kMostProbableNn, 0.5, 1}});
+    }
+    if (i % 3 == 0) {
+      // Degenerate spec interleaved mid-batch: answered definition-level,
+      // never grouped into a backend pack, never cached.
+      reqs.push_back({q, {Engine::QueryType::kThreshold, 1.5, 1}});
+    }
+    if (i % 4 == 1) {
+      // Duplicate of an earlier request in the same batch.
+      reqs.push_back(
+          {qs[0], {Engine::QueryType::kExpectedDistanceNn, 0.5, 1}});
+    }
+  }
+  // Pass 0 computes everything; pass 1 interleaves cache hits with the
+  // degenerate computes.
+  for (int pass = 0; pass < 2; ++pass) {
+    auto got = batched.QueryBatch(reqs);
+    auto want = scalar.QueryBatch(reqs);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].source, want[i].source)
+          << "pass=" << pass << " i=" << i;
+      EXPECT_EQ(got[i].result.nn, want[i].result.nn);
+      EXPECT_EQ(got[i].result.ranked, want[i].result.ranked);
+      EXPECT_EQ(got[i].result.ids, want[i].result.ids);
+    }
+  }
+  auto bs = batched.stats();
+  auto ss = scalar.stats();
+  EXPECT_EQ(bs.batches, ss.batches);
+  EXPECT_EQ(bs.queries, ss.queries);
+  EXPECT_EQ(bs.shed, ss.shed);
+  EXPECT_EQ(bs.cache.hits, ss.cache.hits);
+  EXPECT_EQ(bs.cache.insertions, ss.cache.insertions);
+  for (int t = 0; t < serve::kNumQueryTypes; ++t) {
+    EXPECT_EQ(bs.queries_by_type[t], ss.queries_by_type[t]) << "type " << t;
+  }
+}
+
 TEST(QueryServer, RequestBatchMixedSpecsMatchOracle) {
   auto pts = workload::RandomDiscrete(18, 3, 99);
   serve::QueryServer server(pts, {}, {.num_threads = 3, .warm = {}});

@@ -20,9 +20,11 @@
 #include "core/quant_tree.h"
 #include "core/uncertain_point.h"
 #include "geom/box_metrics.h"
+#include "geom/lanes.h"
 #include "range/disk_tree.h"
 #include "range/kdtree.h"
 #include "spatial/augment.h"
+#include "spatial/batch.h"
 #include "spatial/flat_tree.h"
 #include "spatial/traverse.h"
 
@@ -179,6 +181,155 @@ TEST(Traverse, BestFirstScanFindsNearestLikeBruteForce) {
     for (Vec2 p : pts) want = std::min(want, DistSq(q, p));
     EXPECT_EQ(best, want);
   }
+}
+
+TEST(Traverse, PrunedVisitOrderedAlwaysPruneVisitsNothing) {
+  auto pts = RandomPoints(120, 14);
+  FlatKdTree<> tree(pts, BuildOptions{});
+  TraversalStats stats;
+  int leaves = 0;
+  // An always-true prune must reject the root before any descent: no
+  // node visited, no leaf scanned, exactly one prune recorded.
+  PrunedVisitOrdered(
+      tree, [](int) { return 0.0; }, [](int) { return true; },
+      [&](int) { ++leaves; }, &stats);
+  EXPECT_EQ(leaves, 0);
+  EXPECT_EQ(stats.nodes_visited, 0);
+  EXPECT_EQ(stats.leaves_scanned, 0);
+  EXPECT_EQ(stats.prunes, 1);
+}
+
+TEST(Traverse, BestFirstEnumeratorReentryAfterPartialDrain) {
+  auto pts = RandomPoints(60, 15);
+  range::KdTree tree(pts);
+  // A fresh enumerator drained end to end is the reference sequence.
+  std::vector<int> want;
+  {
+    range::KdTree::Enumerator full(tree, {0.25, -0.75});
+    for (int id = full.Next(); id >= 0; id = full.Next()) want.push_back(id);
+  }
+  ASSERT_EQ(want.size(), pts.size());
+  // Partial drain, then re-entry: the same enumerator must continue the
+  // exact sequence from where it stopped, at every stop point.
+  for (size_t stop : {size_t{1}, size_t{7}, want.size() - 1}) {
+    range::KdTree::Enumerator en(tree, {0.25, -0.75});
+    for (size_t i = 0; i < stop; ++i) ASSERT_EQ(en.Next(), want[i]);
+    for (size_t i = stop; i < want.size(); ++i) {
+      EXPECT_EQ(en.Next(), want[i]) << "stop=" << stop << " i=" << i;
+    }
+    EXPECT_EQ(en.Next(), -1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batch engines, oracle style: per lane, the shared traversal must reach
+// exactly the nodes the scalar engine reaches (BatchPrunedVisit) or
+// accumulate the same exact minimum (BatchBestFirstScan).
+// ---------------------------------------------------------------------------
+
+TEST(BatchTraverse, BatchPrunedVisitMatchesScalarPerLane) {
+  auto pts = RandomPoints(200, 16);
+  FlatKdTree<> tree(pts, BuildOptions{});
+  std::mt19937_64 rng(17);
+  std::uniform_real_distribution<double> u(-12, 12);
+  Vec2 q[geom::kLaneWidth];
+  double radius[geom::kLaneWidth];
+  for (int l = 0; l < geom::kLaneWidth; ++l) {
+    q[l] = {u(rng), u(rng)};
+    radius[l] = 1.0 + l;  // Lane-distinct prune radii.
+  }
+  // Scalar oracle: the per-lane sequence of scanned leaves.
+  std::vector<int> want[geom::kLaneWidth];
+  for (int l = 0; l < geom::kLaneWidth; ++l) {
+    PrunedVisit(
+        tree,
+        [&](int n) {
+          return tree.box(n).DistSqTo(q[l]) > radius[l] * radius[l];
+        },
+        [&](int n) {
+          want[l].push_back(n);
+          return true;
+        });
+  }
+  std::vector<int> got[geom::kLaneWidth];
+  double qx[geom::kLaneWidth], qy[geom::kLaneWidth];
+  for (int l = 0; l < geom::kLaneWidth; ++l) {
+    qx[l] = q[l].x;
+    qy[l] = q[l].y;
+  }
+  BatchStats stats;
+  BatchPrunedVisit(
+      tree, FullMask(geom::kLaneWidth),
+      [&](int n, LaneMask m) {
+        double lb[geom::kLaneWidth];
+        geom::BoxDistSqLanes(qx, qy, tree.box(n), lb);
+        LaneMask keep = 0;
+        for (int l = 0; l < geom::kLaneWidth; ++l) {
+          if ((m >> l & 1u) != 0 && !(lb[l] > radius[l] * radius[l])) {
+            keep |= static_cast<LaneMask>(1u << l);
+          }
+        }
+        return keep;
+      },
+      [&](int n, LaneMask m) {
+        for (int l = 0; l < geom::kLaneWidth; ++l) {
+          if ((m >> l & 1u) != 0) got[l].push_back(n);
+        }
+      },
+      &stats);
+  for (int l = 0; l < geom::kLaneWidth; ++l) {
+    EXPECT_EQ(got[l], want[l]) << "lane " << l;
+  }
+  EXPECT_GT(stats.nodes_visited, 0);
+  EXPECT_GE(stats.lane_nodes_visited, stats.nodes_visited);
+  EXPECT_LE(stats.LaneUtilization(), 1.0);
+}
+
+TEST(BatchTraverse, BatchBestFirstScanExactMinMatchesBruteForce) {
+  auto pts = RandomPoints(150, 18);
+  FlatKdTree<> tree(pts, BuildOptions{});
+  std::mt19937_64 rng(19);
+  std::uniform_real_distribution<double> u(-12, 12);
+  double qx[geom::kLaneWidth], qy[geom::kLaneWidth];
+  for (int l = 0; l < geom::kLaneWidth; ++l) {
+    qx[l] = u(rng);
+    qy[l] = u(rng);
+  }
+  double best[geom::kLaneWidth];
+  for (double& b : best) b = kInf;
+  BatchBestFirstScan(
+      tree, FullMask(geom::kLaneWidth),
+      [&](int l, int n) {
+        double lb[geom::kLaneWidth];
+        geom::BoxDistSqLanes(qx, qy, tree.box(n), lb);
+        return lb[l];
+      },
+      [&](int l, double key) { return key >= best[l]; },
+      [&](int n, LaneMask m) {
+        if (!tree.is_leaf(n)) return;
+        for (int i = tree.begin(n); i < tree.end(n); ++i) {
+          Vec2 p = pts[tree.item(i)];
+          for (int l = 0; l < geom::kLaneWidth; ++l) {
+            if ((m >> l & 1u) == 0) continue;
+            best[l] = std::min(best[l], DistSq(Vec2{qx[l], qy[l]}, p));
+          }
+        }
+      });
+  for (int l = 0; l < geom::kLaneWidth; ++l) {
+    double want = kInf;
+    for (Vec2 p : pts) want = std::min(want, DistSq(Vec2{qx[l], qy[l]}, p));
+    EXPECT_EQ(best[l], want) << "lane " << l;
+  }
+}
+
+TEST(BatchTraverse, RaggedMaskVisitsOnlyActiveLanes) {
+  auto pts = RandomPoints(64, 20);
+  FlatKdTree<> tree(pts, BuildOptions{});
+  LaneMask seen = 0;
+  BatchPrunedVisit(
+      tree, FullMask(3), [&](int, LaneMask m) { return m; },
+      [&](int, LaneMask m) { seen |= m; });
+  EXPECT_EQ(seen, FullMask(3));
 }
 
 // ---------------------------------------------------------------------------
