@@ -1,0 +1,115 @@
+# Negative-test driver, run in cmake -P script mode by ctest.
+#
+# Two modes, selected by -DMODE=:
+#
+#   annotation  The case is a thread-safety-annotation misuse. The driver
+#               first compiles the case with -DUNN_CLEAN (the corrected
+#               variant embedded in the same file) and requires SUCCESS —
+#               this proves the scaffolding compiles on any toolchain. Then,
+#               iff THREAD_SAFETY=1 (i.e. the configured compiler is clang),
+#               it compiles the uncorrected variant under -Wthread-safety
+#               -Wthread-safety-beta -Werror and requires FAILURE whose
+#               diagnostics contain the `// EXPECT-FAIL:` substring declared
+#               in the case file. Under gcc the second half is skipped: the
+#               annotations expand to nothing there by design.
+#
+#   lint        The case is a project-invariant violation. The driver runs
+#               scripts/lint_invariants.py on it and requires a nonzero exit
+#               whose output contains the `// EXPECT-LINT:` substring.
+#
+# Required -D variables:
+#   CASE         absolute path to the .cc.fail case file
+#   MODE         annotation | lint
+# annotation mode:
+#   CXX          compiler to drive
+#   THREAD_SAFETY  1 when CXX is clang (enables the must-fail half)
+#   INCLUDE_DIR  repo src/ dir (cases include "util/thread_annotations.h")
+# lint mode:
+#   PYTHON       python3 interpreter
+#   LINTER       path to scripts/lint_invariants.py
+
+foreach(var CASE MODE)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "compile_fail_driver: -D${var}= is required")
+  endif()
+endforeach()
+
+file(READ "${CASE}" case_source)
+
+if(MODE STREQUAL "annotation")
+  string(REGEX MATCH "// EXPECT-FAIL: ([^\n]*)" _ "${case_source}")
+  if(NOT CMAKE_MATCH_1)
+    message(FATAL_ERROR "${CASE}: missing '// EXPECT-FAIL: <substring>' marker")
+  endif()
+  string(STRIP "${CMAKE_MATCH_1}" expect)
+
+  # Half 1: the corrected (UNN_CLEAN) variant must compile on any compiler.
+  execute_process(
+    COMMAND "${CXX}" -std=c++20 -fsyntax-only -DUNN_CLEAN
+            "-I${INCLUDE_DIR}" -x c++ "${CASE}"
+    RESULT_VARIABLE clean_rc
+    OUTPUT_VARIABLE clean_out
+    ERROR_VARIABLE clean_out)
+  if(NOT clean_rc EQUAL 0)
+    message(FATAL_ERROR
+      "${CASE}: UNN_CLEAN variant FAILED to compile — the case scaffolding "
+      "is broken, not the annotation check:\n${clean_out}")
+  endif()
+
+  if(NOT THREAD_SAFETY)
+    message(STATUS
+      "${CASE}: clean variant OK; must-fail half skipped (compiler is not "
+      "clang, annotations are no-ops)")
+    return()
+  endif()
+
+  # Half 2 (clang only): the misuse variant must be rejected with the
+  # expected thread-safety diagnostic.
+  execute_process(
+    COMMAND "${CXX}" -std=c++20 -fsyntax-only
+            -Wthread-safety -Wthread-safety-beta -Werror
+            "-I${INCLUDE_DIR}" -x c++ "${CASE}"
+    RESULT_VARIABLE fail_rc
+    OUTPUT_VARIABLE fail_out
+    ERROR_VARIABLE fail_out)
+  if(fail_rc EQUAL 0)
+    message(FATAL_ERROR
+      "${CASE}: misuse variant COMPILED — thread-safety analysis did not "
+      "reject it (expected diagnostic containing '${expect}')")
+  endif()
+  string(FIND "${fail_out}" "${expect}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR
+      "${CASE}: misuse variant failed, but not with the expected diagnostic "
+      "'${expect}'. Actual output:\n${fail_out}")
+  endif()
+  message(STATUS "${CASE}: clean variant OK, misuse rejected with '${expect}'")
+
+elseif(MODE STREQUAL "lint")
+  string(REGEX MATCH "// EXPECT-LINT: ([^\n]*)" _ "${case_source}")
+  if(NOT CMAKE_MATCH_1)
+    message(FATAL_ERROR "${CASE}: missing '// EXPECT-LINT: <substring>' marker")
+  endif()
+  string(STRIP "${CMAKE_MATCH_1}" expect)
+
+  execute_process(
+    COMMAND "${PYTHON}" "${LINTER}" "${CASE}"
+    RESULT_VARIABLE lint_rc
+    OUTPUT_VARIABLE lint_out
+    ERROR_VARIABLE lint_out)
+  if(lint_rc EQUAL 0)
+    message(FATAL_ERROR
+      "${CASE}: lint_invariants.py accepted it — expected a violation "
+      "containing '${expect}'")
+  endif()
+  string(FIND "${lint_out}" "${expect}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR
+      "${CASE}: linter failed, but without the expected rule '${expect}'. "
+      "Actual output:\n${lint_out}")
+  endif()
+  message(STATUS "${CASE}: rejected by linter with '${expect}'")
+
+else()
+  message(FATAL_ERROR "compile_fail_driver: unknown MODE '${MODE}'")
+endif()

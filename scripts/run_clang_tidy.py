@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""clang-tidy gate: run the curated .clang-tidy over every src/ TU and
+enforce the NOLINT suppression budget.
+
+Two phases:
+  1. Budget check (no compiler needed): scan src/ for inline NOLINT /
+     NOLINTNEXTLINE markers and compare per-check counts against
+     .clang-tidy-budget.json. Bare NOLINT without a (check-name) is always
+     a violation — suppressions must name what they suppress.
+  2. clang-tidy run over the .cc files listed in compile_commands.json
+     that live under src/, warnings-as-errors (the .clang-tidy config sets
+     WarningsAsErrors: '*'), parallelized across cores.
+
+Usage:
+  scripts/run_clang_tidy.py -p build               # full gate
+  scripts/run_clang_tidy.py --budget-only          # phase 1 only (no clang)
+
+Exit status 0 iff both phases pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import concurrent.futures
+import json
+import os
+import pathlib
+import re
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src"
+BUDGET_FILE = REPO_ROOT / ".clang-tidy-budget.json"
+
+NOLINT_RE = re.compile(r"//\s*NOLINT(NEXTLINE|BEGIN|END)?\s*(\(([^)]*)\))?")
+
+
+def check_budget() -> int:
+    budgets = json.loads(BUDGET_FILE.read_text())["budgets"]
+    actual: collections.Counter[str] = collections.Counter()
+    problems: list[str] = []
+    for path in sorted(SRC_ROOT.rglob("*")):
+        if path.suffix not in (".h", ".cc"):
+            continue
+        rel = path.relative_to(REPO_ROOT)
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            for m in NOLINT_RE.finditer(line):
+                names = (m.group(3) or "").strip()
+                if not names:
+                    problems.append(
+                        f"{rel}:{lineno}: bare NOLINT — name the check(s) "
+                        "being suppressed, e.g. NOLINT(bugprone-foo)")
+                    continue
+                for name in names.split(","):
+                    actual[name.strip()] += 1
+    for check, count in sorted(actual.items()):
+        allowed = budgets.get(check)
+        if allowed is None:
+            problems.append(
+                f"check '{check}': {count} suppression(s) but no budget "
+                "entry in .clang-tidy-budget.json")
+        elif count > allowed:
+            problems.append(
+                f"check '{check}': {count} suppression(s) exceeds budget "
+                f"of {allowed}")
+    for check, allowed in sorted(budgets.items()):
+        if check.startswith("_"):
+            continue
+        if actual.get(check, 0) < allowed:
+            problems.append(
+                f"check '{check}': budget {allowed} but only "
+                f"{actual.get(check, 0)} suppression(s) — shrink the budget")
+    for p in problems:
+        print(p)
+    if problems:
+        print(f"suppression budget: {len(problems)} problem(s)",
+              file=sys.stderr)
+        return 1
+    total = sum(actual.values())
+    print(f"suppression budget: OK ({total} suppression(s) within budget)")
+    return 0
+
+
+def tidy_sources(build_dir: pathlib.Path) -> list[pathlib.Path]:
+    db = json.loads((build_dir / "compile_commands.json").read_text())
+    sources: list[pathlib.Path] = []
+    for entry in db:
+        src = pathlib.Path(entry["file"])
+        if not src.is_absolute():
+            src = (pathlib.Path(entry["directory"]) / src).resolve()
+        try:
+            src.relative_to(SRC_ROOT)
+        except ValueError:
+            continue
+        if src.suffix == ".cc":
+            sources.append(src)
+    return sorted(set(sources))
+
+
+def run_tidy(build_dir: pathlib.Path, tidy: str, jobs: int) -> int:
+    sources = tidy_sources(build_dir)
+    if not sources:
+        print("no src/ TUs in compile_commands.json", file=sys.stderr)
+        return 1
+
+    def one(src: pathlib.Path) -> tuple[pathlib.Path, int, str]:
+        proc = subprocess.run(
+            [tidy, "-p", str(build_dir), "--quiet", str(src)],
+            capture_output=True, text=True)
+        return src, proc.returncode, proc.stdout + proc.stderr
+
+    failures = 0
+    with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+        for src, code, output in pool.map(one, sources):
+            rel = src.relative_to(REPO_ROOT)
+            if code != 0:
+                failures += 1
+                print(f"FAIL {rel}")
+                print(output)
+            else:
+                print(f"  ok {rel}")
+    if failures:
+        print(f"clang-tidy: {failures}/{len(sources)} TU(s) failed",
+              file=sys.stderr)
+        return 1
+    print(f"clang-tidy: OK ({len(sources)} TUs)")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-p", "--build-dir", default="build",
+                        help="build dir containing compile_commands.json")
+    parser.add_argument("--clang-tidy", default=None,
+                        help="clang-tidy binary (default: $CLANG_TIDY or "
+                             "clang-tidy on PATH)")
+    parser.add_argument("--budget-only", action="store_true",
+                        help="only check the NOLINT suppression budget")
+    parser.add_argument("-j", "--jobs", type=int,
+                        default=os.cpu_count() or 4)
+    args = parser.parse_args()
+
+    status = check_budget()
+    if args.budget_only:
+        return status
+    if status != 0:
+        return status
+
+    tidy = args.clang_tidy or os.environ.get("CLANG_TIDY") or "clang-tidy"
+    if shutil.which(tidy) is None:
+        print(f"error: '{tidy}' not found — install clang-tidy or pass "
+              "--budget-only for the toolchain-free phase", file=sys.stderr)
+        return 1
+    return run_tidy(pathlib.Path(args.build_dir).resolve(), tidy, args.jobs)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

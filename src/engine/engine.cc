@@ -23,6 +23,8 @@ const T& BuildOnce(std::once_flag& once, std::unique_ptr<T>& slot,
                    std::atomic<int>& builds, Make make) {
   std::call_once(once, [&] {
     slot = make();
+    // relaxed: observability counter; the structure itself is published
+    // by call_once's synchronization, not by builds.
     builds.fetch_add(1, std::memory_order_relaxed);
   });
   return *slot;
@@ -95,14 +97,15 @@ std::shared_ptr<const core::ContinuousSpiralSearch> Engine::GetContinuousSpiral(
   // The cached structure is keyed by its discretization accuracy; a request
   // for a tighter accuracy rebuilds it.
   {
-    std::shared_lock<std::shared_mutex> lock(estimator_mu_);
+    ReaderMutexLock lock(&estimator_mu_);
     if (cont_spiral_ && cont_spiral_eps_ <= eps) return cont_spiral_;
   }
-  std::unique_lock<std::shared_mutex> lock(estimator_mu_);
+  WriterMutexLock lock(&estimator_mu_);
   if (!cont_spiral_ || cont_spiral_eps_ > eps) {
     cont_spiral_ = std::make_shared<const core::ContinuousSpiralSearch>(
         points_, eps, config_.seed);
     cont_spiral_eps_ = eps;
+    // relaxed: observability counter (see BuildOnce).
     builds_.fetch_add(1, std::memory_order_relaxed);
   }
   return cont_spiral_;
@@ -111,10 +114,10 @@ std::shared_ptr<const core::ContinuousSpiralSearch> Engine::GetContinuousSpiral(
 std::shared_ptr<const core::MonteCarloPnn> Engine::GetMonteCarlo(
     double eps) const {
   {
-    std::shared_lock<std::shared_mutex> lock(estimator_mu_);
+    ReaderMutexLock lock(&estimator_mu_);
     if (monte_carlo_ && monte_carlo_eps_ <= eps) return monte_carlo_;
   }
-  std::unique_lock<std::shared_mutex> lock(estimator_mu_);
+  WriterMutexLock lock(&estimator_mu_);
   if (!monte_carlo_ || monte_carlo_eps_ > eps) {
     core::MonteCarloPnnOptions opts;
     opts.eps = eps;
@@ -123,6 +126,7 @@ std::shared_ptr<const core::MonteCarloPnn> Engine::GetMonteCarlo(
     opts.s_override = config_.mc_samples_override;
     monte_carlo_ = std::make_shared<const core::MonteCarloPnn>(points_, opts);
     monte_carlo_eps_ = eps;
+    // relaxed: observability counter (see BuildOnce).
     builds_.fetch_add(1, std::memory_order_relaxed);
   }
   return monte_carlo_;

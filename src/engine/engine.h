@@ -4,8 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
+#include <mutex>  // std::once_flag; locks come from util/thread_annotations.h
 #include <span>
 #include <utility>
 #include <vector>
@@ -21,6 +20,7 @@
 #include "core/spiral_search.h"
 #include "core/uncertain_point.h"
 #include "geom/vec2.h"
+#include "util/thread_annotations.h"
 
 /// \file engine.h
 /// The unified query facade over every index family in the library. An
@@ -184,6 +184,8 @@ class Engine {
   /// and serving metrics (a warmed engine must not build under query
   /// traffic).
   int StructuresBuilt() const {
+    // relaxed: observability counter; build publication itself happens
+    // through call_once / estimator_mu_, never through builds_.
     return builds_.load(std::memory_order_relaxed);
   }
 
@@ -291,7 +293,12 @@ class Engine {
 
   // Lazily built structures. Fixed structures are built exactly once
   // under their once_flag; the accuracy-keyed estimators live behind
-  // estimator_mu_ (shared-locked reads, unique-locked rebuilds).
+  // estimator_mu_ (shared-locked reads, unique-locked rebuilds). The
+  // once_flag slots are deliberately NOT capability-annotated:
+  // std::call_once is outside clang's capability model, and its
+  // build-exactly-once publication guarantee is what synchronizes them
+  // (each slot is written once inside the call_once callback and only
+  // read after the corresponding call_once returns).
   mutable std::once_flag expected_nn_once_;
   mutable std::unique_ptr<core::ExpectedNn> expected_nn_;
   mutable std::once_flag spiral_once_;
@@ -311,11 +318,13 @@ class Engine {
   mutable std::once_flag squares_once_;
   mutable std::vector<core::SquareRegion> squares_;
 
-  mutable std::shared_mutex estimator_mu_;
-  mutable std::shared_ptr<const core::ContinuousSpiralSearch> cont_spiral_;
-  mutable double cont_spiral_eps_ = 0.0;
-  mutable std::shared_ptr<const core::MonteCarloPnn> monte_carlo_;
-  mutable double monte_carlo_eps_ = 0.0;
+  mutable SharedMutex estimator_mu_;
+  mutable std::shared_ptr<const core::ContinuousSpiralSearch> cont_spiral_
+      UNN_GUARDED_BY(estimator_mu_);
+  mutable double cont_spiral_eps_ UNN_GUARDED_BY(estimator_mu_) = 0.0;
+  mutable std::shared_ptr<const core::MonteCarloPnn> monte_carlo_
+      UNN_GUARDED_BY(estimator_mu_);
+  mutable double monte_carlo_eps_ UNN_GUARDED_BY(estimator_mu_) = 0.0;
 
   mutable std::atomic<int> builds_{0};
 };

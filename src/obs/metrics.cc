@@ -13,6 +13,10 @@ namespace internal {
 
 int ThreadShard() {
   static std::atomic<int> next{0};
+  // relaxed: shard ids only need to be distinct-ish across threads; no
+  // data is published through the round-robin counter.
+  // lint:allow(trace-thread-local) counter-slab shard id, the one
+  // sanctioned thread_local (trace contexts are value-threaded, PR 7).
   thread_local const int shard = next.fetch_add(1, std::memory_order_relaxed);
   return shard;
 }
@@ -54,6 +58,8 @@ double Histogram::BucketUpper(int i) {
 
 void Histogram::Record(double v) {
   if (!(v >= 0.0)) v = 0.0;  // Negative or NaN: clamp into bucket 0.
+  // relaxed: bucket/sum/max race only with other recordings; readers
+  // accept eventually-consistent cross-field snapshots (metrics.h).
   buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(v, std::memory_order_relaxed);
   double prev = max_.load(std::memory_order_relaxed);
@@ -64,6 +70,7 @@ void Histogram::Record(double v) {
 
 std::uint64_t Histogram::count() const {
   std::uint64_t total = 0;
+  // relaxed: snapshot sum, exact once writers quiesce.
   for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
   return total;
 }
@@ -71,11 +78,14 @@ std::uint64_t Histogram::count() const {
 HistogramSummary Histogram::Summarize() const {
   HistogramSummary s;
   std::array<std::uint64_t, kBuckets> counts;
+  // relaxed: a summary is a point-in-time snapshot; buckets recorded
+  // concurrently may or may not be included (metrics.h contract).
   for (int i = 0; i < kBuckets; ++i) {
     counts[i] = buckets_[i].load(std::memory_order_relaxed);
     s.count += counts[i];
   }
   if (s.count == 0) return s;  // Empty histogram: all zeros, no percentiles.
+  // relaxed: same snapshot contract as the bucket reads above.
   s.sum = sum_.load(std::memory_order_relaxed);
   s.max = max_.load(std::memory_order_relaxed);
   auto percentile = [&](double p) {
@@ -117,10 +127,9 @@ std::string SerializeLabels(const Labels& labels) {
 }  // namespace
 
 template <typename M>
-M* Registry::GetOrCreate(std::deque<Entry<M>>& entries, MetricKind kind,
-                         const std::string& name, const std::string& help,
-                         Labels labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+M* Registry::GetOrCreateLocked(std::deque<Entry<M>>& entries, MetricKind kind,
+                               const std::string& name,
+                               const std::string& help, Labels labels) {
   auto key = std::make_pair(name, SerializeLabels(labels));
   auto it = index_.find(key);
   if (it != index_.end()) {
@@ -142,24 +151,27 @@ M* Registry::GetOrCreate(std::deque<Entry<M>>& entries, MetricKind kind,
 
 Counter* Registry::GetCounter(const std::string& name, const std::string& help,
                               Labels labels) {
-  return GetOrCreate(counters_, MetricKind::kCounter, name, help,
-                     std::move(labels));
+  MutexLock lock(&mu_);
+  return GetOrCreateLocked(counters_, MetricKind::kCounter, name, help,
+                           std::move(labels));
 }
 
 Gauge* Registry::GetGauge(const std::string& name, const std::string& help,
                           Labels labels) {
-  return GetOrCreate(gauges_, MetricKind::kGauge, name, help,
-                     std::move(labels));
+  MutexLock lock(&mu_);
+  return GetOrCreateLocked(gauges_, MetricKind::kGauge, name, help,
+                           std::move(labels));
 }
 
 Histogram* Registry::GetHistogram(const std::string& name,
                                   const std::string& help, Labels labels) {
-  return GetOrCreate(histograms_, MetricKind::kHistogram, name, help,
-                     std::move(labels));
+  MutexLock lock(&mu_);
+  return GetOrCreateLocked(histograms_, MetricKind::kHistogram, name, help,
+                           std::move(labels));
 }
 
 std::vector<MetricSnapshot> Registry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::pair<int, MetricSnapshot>> ordered;
   ordered.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& e : counters_) {

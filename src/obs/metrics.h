@@ -6,10 +6,11 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 /// \file metrics.h
 /// Lock-light metrics primitives and the registry that names them — the
@@ -53,11 +54,15 @@ class Counter {
   static constexpr int kShards = 8;
 
   void Inc(std::uint64_t n = 1) {
+    // relaxed: counts race only with other counts, never with the data
+    // they describe (file-level threading contract above).
     cells_[internal::ThreadShard() & (kShards - 1)].v.fetch_add(
         n, std::memory_order_relaxed);
   }
   std::uint64_t Value() const {
     std::uint64_t total = 0;
+    // relaxed: per-cell sums are exact once writers quiesce; concurrent
+    // readers accept an eventually-consistent total.
     for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
     return total;
   }
@@ -73,12 +78,14 @@ class Counter {
 /// Point-in-time value; Set/Add are relaxed atomics on one double.
 class Gauge {
  public:
+  // relaxed: a gauge is a free-standing point-in-time value; it never
+  // publishes other data (file-level threading contract above).
   void Set(double v) { v_.store(v, std::memory_order_relaxed); }
   void Add(double d) {
-    // fetch_add on atomic<double> is C++20; relaxed is enough (see file
-    // contract).
+    // relaxed: fetch_add on atomic<double> is C++20; same contract as Set.
     v_.fetch_add(d, std::memory_order_relaxed);
   }
+  // relaxed: observability read; staleness is acceptable by contract.
   double Value() const { return v_.load(std::memory_order_relaxed); }
 
  private:
@@ -115,9 +122,12 @@ class Histogram {
   HistogramSummary Summarize() const;
 
   std::uint64_t bucket_count(int i) const {
+    // relaxed: snapshot read of one bucket; cross-bucket consistency is
+    // only eventual (file-level threading contract above).
     return buckets_[i].load(std::memory_order_relaxed);
   }
   std::uint64_t count() const;
+  // relaxed: same snapshot-read contract as bucket_count.
   double sum() const { return sum_.load(std::memory_order_relaxed); }
   double max() const { return max_.load(std::memory_order_relaxed); }
 
@@ -181,20 +191,24 @@ class Registry {
     M metric;
   };
 
+  /// Registration slow path. Locked variant: the public Get*() methods
+  /// take mu_ first, so the guarded deques are never passed by reference
+  /// without the capability held.
   template <typename M>
-  M* GetOrCreate(std::deque<Entry<M>>& entries, MetricKind kind,
-                 const std::string& name, const std::string& help,
-                 Labels labels);
+  M* GetOrCreateLocked(std::deque<Entry<M>>& entries, MetricKind kind,
+                       const std::string& name, const std::string& help,
+                       Labels labels) UNN_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  int next_order_ = 0;
+  mutable Mutex mu_;
+  int next_order_ UNN_GUARDED_BY(mu_) = 0;
   // std::deque: pointer-stable under push_back, so handles survive later
-  // registrations.
-  std::deque<Entry<Counter>> counters_;
-  std::deque<Entry<Gauge>> gauges_;
-  std::deque<Entry<Histogram>> histograms_;
+  // registrations. The deques (entry list + metric storage) are guarded;
+  // the handed-out metric handles are themselves atomic and lock-free.
+  std::deque<Entry<Counter>> counters_ UNN_GUARDED_BY(mu_);
+  std::deque<Entry<Gauge>> gauges_ UNN_GUARDED_BY(mu_);
+  std::deque<Entry<Histogram>> histograms_ UNN_GUARDED_BY(mu_);
   std::map<std::pair<std::string, std::string>, std::pair<MetricKind, void*>>
-      index_;  ///< (name, serialized labels) -> existing handle.
+      index_ UNN_GUARDED_BY(mu_);  ///< (name, labels) -> existing handle.
 };
 
 }  // namespace obs

@@ -52,12 +52,15 @@ const char* TraversalOpStructure(TraversalOp op) {
 }
 
 void EnableTraversalProfiling(bool on) {
+  // relaxed: see TraversalProfilingEnabled — the flag orders nothing.
   internal::g_traversal_profiling.store(on, std::memory_order_relaxed);
 }
 
 void RecordTraversal(TraversalOp op, const spatial::TraversalStats& st) {
   StatCell& c = g_cells[static_cast<int>(op)]
                        [internal::ThreadShard() & (kShards - 1)];
+  // relaxed: profiling counters race only with other counters, never
+  // with the traversals they describe (obs/metrics.h contract).
   c.traversals.fetch_add(1, std::memory_order_relaxed);
   c.nodes_visited.fetch_add(st.nodes_visited, std::memory_order_relaxed);
   c.leaves_scanned.fetch_add(st.leaves_scanned, std::memory_order_relaxed);
@@ -70,6 +73,7 @@ spatial::TraversalStats TraversalTotals(TraversalOp op) {
   spatial::TraversalStats out;
   for (int s = 0; s < kShards; ++s) {
     const StatCell& c = g_cells[static_cast<int>(op)][s];
+    // relaxed: snapshot sums, exact once writers quiesce.
     out.nodes_visited += c.nodes_visited.load(std::memory_order_relaxed);
     out.leaves_scanned += c.leaves_scanned.load(std::memory_order_relaxed);
     out.points_evaluated += c.points_evaluated.load(std::memory_order_relaxed);
@@ -82,6 +86,7 @@ spatial::TraversalStats TraversalTotals(TraversalOp op) {
 std::int64_t TraversalCount(TraversalOp op) {
   std::int64_t total = 0;
   for (int s = 0; s < kShards; ++s) {
+    // relaxed: snapshot sum, exact once writers quiesce.
     total += g_cells[static_cast<int>(op)][s].traversals.load(
         std::memory_order_relaxed);
   }
@@ -91,6 +96,8 @@ std::int64_t TraversalCount(TraversalOp op) {
 void ResetTraversalProfile() {
   for (auto& row : g_cells) {
     for (StatCell& c : row) {
+      // relaxed: a reset racing a recording loses or keeps individual
+      // increments, which a test-only reset hook tolerates by contract.
       c.traversals.store(0, std::memory_order_relaxed);
       c.nodes_visited.store(0, std::memory_order_relaxed);
       c.leaves_scanned.store(0, std::memory_order_relaxed);

@@ -52,6 +52,8 @@ void EnableTraversalProfiling(bool on);
 
 /// One relaxed load — the instrumented hot paths' only disabled-mode cost.
 inline bool TraversalProfilingEnabled() {
+  // relaxed: a stale enable/disable flag only delays when profiling
+  // starts or stops counting; it orders nothing.
   return internal::g_traversal_profiling.load(std::memory_order_relaxed);
 }
 

@@ -8,7 +8,7 @@ namespace obs {
 std::int32_t TraceContext::StartSpan(const char* name, std::int32_t parent,
                                      std::int64_t tag) {
   std::int64_t now = NowNs();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Span s;
   s.id = static_cast<std::int32_t>(spans_.size());
   s.parent = parent;
@@ -21,14 +21,14 @@ std::int32_t TraceContext::StartSpan(const char* name, std::int32_t parent,
 
 void TraceContext::EndSpan(std::int32_t id) {
   std::int64_t now = NowNs();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (id >= 0 && id < static_cast<std::int32_t>(spans_.size())) {
     spans_[id].end_ns = now;
   }
 }
 
 std::vector<Span> TraceContext::spans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return spans_;
 }
 

@@ -3,9 +3,10 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 /// \file trace.h
 /// Request tracing: a TraceContext records a span tree (admission -> cache
@@ -68,8 +69,8 @@ class TraceContext {
 
  private:
   std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mu_;
-  std::vector<Span> spans_;
+  mutable Mutex mu_;
+  std::vector<Span> spans_ UNN_GUARDED_BY(mu_);
 };
 
 /// An attachment point for child spans: which context (null = tracing

@@ -259,13 +259,13 @@ void QueryServer::MaybeLogSlowQuery(geom::Vec2 q,
   if (ctx != nullptr) entry.spans = ctx->spans();
   const size_t cap =
       static_cast<size_t>(std::max(1, options_.slow_query_log_size));
-  std::lock_guard<std::mutex> lock(slow_mu_);
+  MutexLock lock(&slow_mu_);
   slow_log_.push_back(std::move(entry));
   while (slow_log_.size() > cap) slow_log_.pop_front();
 }
 
 std::vector<QueryServer::SlowQuery> QueryServer::SlowQueries() const {
-  std::lock_guard<std::mutex> lock(slow_mu_);
+  MutexLock lock(&slow_mu_);
   return {slow_log_.begin(), slow_log_.end()};
 }
 
@@ -337,6 +337,8 @@ void QueryServer::SubmitImpl(const Request& request,
 
   // Admission control. Definition-level answers (degenerate specs) are
   // never refused: they cost no backend work worth protecting.
+  // relaxed: active_ is a load-shedding heuristic; admission may read a
+  // slightly stale count, which only shifts where the limit bites.
   if (options_.max_inflight > 0 && regular &&
       active_.load(std::memory_order_relaxed) >= options_.max_inflight) {
     admission.End();
@@ -363,6 +365,7 @@ void QueryServer::SubmitImpl(const Request& request,
   }
 
   admission.End();
+  // relaxed: pure counter traffic; nothing is published through active_.
   active_.fetch_add(1, std::memory_order_relaxed);
   // Queue span: post to worker pickup (ended first thing in the task).
   const std::int32_t queue_span =
@@ -398,6 +401,8 @@ void QueryServer::SubmitImpl(const Request& request,
                 resp.result);
           }
         }
+        // relaxed: counter only; the response is delivered via the
+        // promise, which provides the ordering the caller observes.
         active_.fetch_sub(1, std::memory_order_relaxed);
         resp.latency = ElapsedUs(t0);
         if (resp.source == ResultSource::kComputed) {
@@ -469,6 +474,7 @@ std::vector<Response> QueryServer::QueryBatch(
   // the way in (a batch the server accepts is not split).
   const bool at_limit =
       options_.max_inflight > 0 &&
+      // relaxed: same load-shedding heuristic as SubmitImpl's admission.
       active_.load(std::memory_order_relaxed) >= options_.max_inflight;
   {
     obs::ScopedSpan admission(root_node, "batch_admission");
@@ -547,6 +553,7 @@ std::vector<Response> QueryServer::QueryBatch(
   };
 
   if (!compute.empty()) {
+    // relaxed: pure counter traffic; nothing is published through active_.
     active_.fetch_add(static_cast<int>(compute.size()),
                       std::memory_order_relaxed);
     {
@@ -565,6 +572,7 @@ std::vector<Response> QueryServer::QueryBatch(
         }
       }
     }
+    // relaxed: pure counter traffic; nothing is published through active_.
     active_.fetch_sub(static_cast<int>(compute.size()),
                       std::memory_order_relaxed);
   }
@@ -634,7 +642,7 @@ void QueryServer::ReplaceImpl(std::vector<core::UncertainPoint> points,
   // before destruction must finish (it holds replace_mu_ and writes the
   // snapshot) before member teardown begins.
   InflightGuard inflight(inflight_, draining_);
-  std::lock_guard<std::mutex> lock(replace_mu_);
+  MutexLock lock(&replace_mu_);
   // Read the config under the lock: a racing ReplaceShardedEngine may
   // have just installed a snapshot with different accuracy settings, and
   // "same config as the current snapshot" must mean the latest one.
@@ -655,7 +663,7 @@ void QueryServer::ReplaceShardedEngine(
     std::shared_ptr<const ShardedEngine> engine) {
   UNN_CHECK(engine != nullptr);
   InflightGuard inflight(inflight_, draining_);
-  std::lock_guard<std::mutex> lock(replace_mu_);
+  MutexLock lock(&replace_mu_);
   // A caller-installed shard set is an explicit statement of shape:
   // later ReplaceDataset calls keep it.
   sharding_ = ImpliedSharding(*engine);
@@ -708,6 +716,7 @@ std::string QueryServer::DumpMetrics(obs::MetricsFormat format) {
   registry_
       .GetGauge("unn_server_inflight",
                 "Backend queries in flight (admission control's signal)")
+      // relaxed: point-in-time observability reading; staleness is fine.
       ->Set(active_.load(std::memory_order_relaxed));
   registry_
       .GetGauge("unn_server_generation", "Current snapshot generation")

@@ -9,7 +9,6 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -24,6 +23,7 @@
 #include "serve/server_stats.h"
 #include "serve/sharding.h"
 #include "serve/thread_pool.h"
+#include "util/thread_annotations.h"
 
 /// \file query_server.h
 /// The serving front end: a QueryServer owns a worker pool and the current
@@ -322,9 +322,11 @@ class QueryServer {
   /// Shared replacement path: optional resharding, build on the pool,
   /// then InstallLocked. Takes replace_mu_.
   void ReplaceImpl(std::vector<core::UncertainPoint> points,
-                   const ShardingOptions* sharding);
-  /// Warm + atomic swap + swap count; replace_mu_ must be held.
-  void InstallLocked(std::shared_ptr<const ShardedEngine> engine);
+                   const ShardingOptions* sharding) UNN_EXCLUDES(replace_mu_);
+  /// Warm + atomic swap + swap count; the annotation is the old "replace_mu_
+  /// must be held" comment made checkable.
+  void InstallLocked(std::shared_ptr<const ShardedEngine> engine)
+      UNN_REQUIRES(replace_mu_);
   /// The full Submit flow with a pluggable delivery (the two public
   /// Submit overloads differ only in what they promise).
   void SubmitImpl(const Request& request,
@@ -347,14 +349,15 @@ class QueryServer {
   ResultCache cache_;
   std::atomic<std::shared_ptr<const Snapshot>> state_;
   /// Serializes replacements and guards sharding_ (readers never take it).
-  std::mutex replace_mu_;
+  Mutex replace_mu_;
   /// Replacement sharding for self-built snapshots: the most recent of
   /// Options::sharding, the resharding ReplaceDataset overload, or the
-  /// shape of a caller-installed shard set. Updated under replace_mu_.
-  ShardingOptions sharding_;
-  /// Next generation to assign (constructor installs 1). Bumped under
-  /// replace_mu_.
-  uint64_t next_generation_ = 2;
+  /// shape of a caller-installed shard set. (Constructors initialize it
+  /// without the lock; construction is single-threaded by definition and
+  /// outside the analysis.)
+  ShardingOptions sharding_ UNN_GUARDED_BY(replace_mu_);
+  /// Next generation to assign (constructor installs 1).
+  uint64_t next_generation_ UNN_GUARDED_BY(replace_mu_) = 2;
   /// Registry-backed serving counters (resolved once in InitMetrics;
   /// handles are pointer-stable for the registry's lifetime). Same
   /// relaxed ordering contract the old bare atomics had.
@@ -371,10 +374,10 @@ class QueryServer {
   /// the span of their parallel compute. Cache hits, refusals and
   /// degraded answers never count.
   std::atomic<int> active_{0};
-  /// Slow-query ring (see SlowQueries); guarded by slow_mu_, touched only
-  /// for requests at or past the latency threshold.
-  mutable std::mutex slow_mu_;
-  std::deque<SlowQuery> slow_log_;
+  /// Slow-query ring (see SlowQueries); touched only for requests at or
+  /// past the latency threshold.
+  mutable Mutex slow_mu_;
+  std::deque<SlowQuery> slow_log_ UNN_GUARDED_BY(slow_mu_);
   /// Submit/QueryBatch calls currently inside the server; the destructor
   /// drains it to zero (atomic wait) before member teardown. draining_
   /// gates the exit-side notify so the hot path never pays a wake.

@@ -120,7 +120,7 @@ bool ResultCache::Lookup(const CacheKey& key, Engine::QueryResult* out) {
   if (disabled()) return false;  // Not a miss: there is no cache.
   Shard& shard = ShardFor(key);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -151,7 +151,7 @@ void ResultCache::Insert(const CacheKey& key,
   size_t bytes = EntryBytes(result);
   if (bytes > per_shard_budget_) return;  // Would evict the whole shard.
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.map.find(key);
   if (it != shard.map.end()) {
     // Racing computes of the same key: refresh in place.
@@ -179,7 +179,7 @@ void ResultCache::Clear() {
   if (disabled()) return;
   for (uint32_t s = 0; s <= shard_mask_; ++s) {
     Shard& shard = shards_[s];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     bytes_->Add(-static_cast<double>(shard.bytes));
     entries_->Add(-static_cast<double>(shard.map.size()));
     shard.map.clear();

@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -13,6 +12,7 @@
 #include "geom/vec2.h"
 #include "obs/metrics.h"
 #include "serve/server_stats.h"
+#include "util/thread_annotations.h"
 
 /// \file result_cache.h
 /// The snapshot-keyed query-result cache. Every quantification answer is
@@ -127,17 +127,19 @@ class ResultCache {
     size_t operator()(const CacheKey& k) const;
   };
   struct Shard {
-    std::mutex mu;
+    Mutex mu;
     /// Front = most recently used.
-    std::list<Entry> lru;
-    std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> map;
-    size_t bytes = 0;
+    std::list<Entry> lru UNN_GUARDED_BY(mu);
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> map
+        UNN_GUARDED_BY(mu);
+    size_t bytes UNN_GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(const CacheKey& key);
   /// Evicts from `shard`'s tail until its bytes fit `budget`; counts into
-  /// evictions_. Caller holds the shard mutex.
-  void EvictToFit(Shard& shard, size_t budget);
+  /// evictions_. The capability annotation is parameter-relative: the
+  /// caller must hold that shard's mutex.
+  void EvictToFit(Shard& shard, size_t budget) UNN_REQUIRES(shard.mu);
 
   Options options_;
   size_t per_shard_budget_ = 0;

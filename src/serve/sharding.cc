@@ -32,6 +32,8 @@ void SpatialSplit(const std::vector<core::UncertainPoint>& points,
   int left_target = target / 2;
   size_t mid = begin + (end - begin) * static_cast<size_t>(left_target) /
                            static_cast<size_t>(target);
+  // lint:allow(kd-builder) data partitioner for shard assignment, not a
+  // query index — kd *query* structures belong in src/spatial/ (PR 5).
   std::nth_element(ids->begin() + begin, ids->begin() + mid,
                    ids->begin() + end, [&](int a, int b) {
                      geom::Vec2 ca = points[a].Bounds().Center();

@@ -2,14 +2,14 @@
 #define UNN_SERVE_THREAD_POOL_H_
 
 #include <array>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 /// \file thread_pool.h
 /// The fixed-size worker pool underneath the serving layer: a mutex +
@@ -55,7 +55,7 @@ class ThreadPool {
   /// still drain and the workers keep running until the destructor joins
   /// them. Idempotent and thread-safe. Lets an owner refuse new work
   /// before its own teardown begins (QueryServer's shutdown drain).
-  void BeginShutdown();
+  void BeginShutdown() UNN_EXCLUDES(mu_);
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -66,14 +66,14 @@ class ThreadPool {
   /// classes. Takes the queue lock; intended for observability dumps, not
   /// the hot path. The value is a point-in-time reading and may be stale
   /// by the time the caller looks at it.
-  int queue_depth() const;
+  int queue_depth() const UNN_EXCLUDES(mu_);
 
   /// Enqueues one task for any worker at the given priority (dispatched
   /// after every queued task of a higher class, before any of a lower
   /// one). Safe from any thread, including from inside a running task.
   /// O(1); CHECK-fails on a stopping pool.
   void Post(std::function<void()> fn,
-            TaskPriority priority = TaskPriority::kNormal);
+            TaskPriority priority = TaskPriority::kNormal) UNN_EXCLUDES(mu_);
 
   /// Post that reports instead of CHECK-failing on a stopping pool:
   /// returns false when the destructor has already begun, which is how
@@ -82,7 +82,7 @@ class ThreadPool {
   /// on success — on failure it is left intact, so the caller can still
   /// run it itself. O(1).
   bool TryPost(std::function<void()>&& fn,
-               TaskPriority priority = TaskPriority::kNormal);
+               TaskPriority priority = TaskPriority::kNormal) UNN_EXCLUDES(mu_);
 
   /// Splits [0, n) into contiguous blocks (about 2 per participant, so a
   /// straggler block cannot dominate the makespan), runs `fn(begin, end)`
@@ -95,14 +95,15 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
-  /// True when every priority class is empty; mu_ must be held.
-  bool QueuesEmptyLocked() const;
+  /// True when every priority class is empty; the UNN_REQUIRES makes the
+  /// old "mu_ must be held" comment a compile-time contract.
+  bool QueuesEmptyLocked() const UNN_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable Mutex mu_;
+  CondVar cv_;
   /// One FIFO per TaskPriority, drained in class order.
-  std::array<std::deque<std::function<void()>>, 3> queues_;
-  bool stopping_ = false;
+  std::array<std::deque<std::function<void()>>, 3> queues_ UNN_GUARDED_BY(mu_);
+  bool stopping_ UNN_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,175 @@
+#ifndef UNN_UTIL_THREAD_ANNOTATIONS_H_
+#define UNN_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+/// \file thread_annotations.h
+/// Clang thread-safety (capability) annotations and the annotated lock types
+/// the rest of the library must use. Under clang the macros expand to the
+/// capability attributes checked by -Wthread-safety; under every other
+/// compiler they expand to nothing, so gcc builds see plain std primitives.
+///
+/// The project rule (enforced by scripts/lint_invariants.py) is that no file
+/// outside this header names std::mutex / std::shared_mutex / std::lock_guard
+/// etc. directly: shared state is guarded by unn::Mutex or unn::SharedMutex,
+/// fields carry UNN_GUARDED_BY(mu_), and functions that expect the caller to
+/// hold a lock carry UNN_REQUIRES(mu_). See docs/STATIC_ANALYSIS.md.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define UNN_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define UNN_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op outside clang
+#endif
+
+#define UNN_CAPABILITY(x) UNN_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+#define UNN_SCOPED_CAPABILITY UNN_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+#define UNN_GUARDED_BY(x) UNN_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+#define UNN_PT_GUARDED_BY(x) UNN_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+#define UNN_ACQUIRED_BEFORE(...) \
+  UNN_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+
+#define UNN_ACQUIRED_AFTER(...) \
+  UNN_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+#define UNN_REQUIRES(...) \
+  UNN_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+#define UNN_REQUIRES_SHARED(...) \
+  UNN_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+#define UNN_ACQUIRE(...) \
+  UNN_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+#define UNN_ACQUIRE_SHARED(...) \
+  UNN_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+#define UNN_RELEASE(...) \
+  UNN_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+#define UNN_RELEASE_SHARED(...) \
+  UNN_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+#define UNN_TRY_ACQUIRE(...) \
+  UNN_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+#define UNN_EXCLUDES(...) \
+  UNN_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+#define UNN_ASSERT_CAPABILITY(x) \
+  UNN_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+#define UNN_RETURN_CAPABILITY(x) UNN_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+#define UNN_NO_THREAD_SAFETY_ANALYSIS \
+  UNN_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+namespace unn {
+
+/// Exclusive mutex carrying the "mutex" capability. Also satisfies
+/// BasicLockable (lowercase lock/unlock) so std::condition_variable_any can
+/// wait on it; those aliases carry the same acquire/release attributes.
+class UNN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() UNN_ACQUIRE() { mu_.lock(); }
+  void Unlock() UNN_RELEASE() { mu_.unlock(); }
+  bool TryLock() UNN_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // BasicLockable spelling for std::condition_variable_any.
+  void lock() UNN_ACQUIRE() { mu_.lock(); }
+  void unlock() UNN_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Shared (reader/writer) mutex. Exclusive side via Lock/Unlock, shared side
+/// via LockShared/UnlockShared.
+class UNN_CAPABILITY("mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() UNN_ACQUIRE() { mu_.lock(); }
+  void Unlock() UNN_RELEASE() { mu_.unlock(); }
+  void LockShared() UNN_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() UNN_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock over Mutex (std::lock_guard replacement).
+class UNN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) UNN_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() UNN_RELEASE() { mu_->Unlock(); }
+
+ private:
+  Mutex* const mu_;
+};
+
+/// RAII shared lock over SharedMutex (std::shared_lock replacement).
+class UNN_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) UNN_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->LockShared();
+  }
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+  ~ReaderMutexLock() UNN_RELEASE() { mu_->UnlockShared(); }
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// RAII exclusive lock over SharedMutex (std::unique_lock replacement).
+class UNN_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) UNN_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+  ~WriterMutexLock() UNN_RELEASE() { mu_->Unlock(); }
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// Condition variable usable with unn::Mutex. Wait() requires the mutex to
+/// be held; the transient unlock/relock inside the std wait happens in a
+/// system header, which the analysis does not look into, so the capability
+/// is correctly considered held across the call at every caller. Predicate
+/// waits are deliberately absent: a predicate lambda is analyzed as a
+/// separate function with no capabilities, so callers spell the guarded
+/// condition in an explicit `while (!cond) cv.Wait(mu);` loop instead.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) UNN_REQUIRES(mu) { cv_.wait(mu); }
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace unn
+
+#endif  // UNN_UTIL_THREAD_ANNOTATIONS_H_
