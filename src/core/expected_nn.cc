@@ -195,28 +195,22 @@ void ExpectedNn::QuerySquaredBatch(std::span<const Vec2> queries,
       arg[l] = -1;
       tied[l] = false;
     }
-    // Pass 1: shared traversal with a strict prune (`lb > best` keeps
-    // every node that can still contain a value tying the minimum).
-    // Both the subtree bound and the item value are sums of a squared
-    // box/point distance and a variance, rounded identically to the
-    // scalar path, and computed lb <= computed v holds exactly (each
-    // term is <=, and rounded addition is monotone) — so each lane ends
-    // with its exact minimum value, every attaining item evaluated, and
-    // `tied` set whenever more than one item attains it.
-    spatial::BatchPrunedVisit(
+    // Pass 1: shared near-first traversal with a strict prune
+    // (`lb > best` keeps every node that can still contain a value tying
+    // the minimum). Both the subtree bound and the item value are sums
+    // of a squared box/point distance and a variance, rounded
+    // identically to the scalar path, and computed lb <= computed v
+    // holds exactly (each term is <=, and rounded addition is monotone)
+    // — so each lane ends with its exact minimum value, every attaining
+    // item evaluated, and `tied` set whenever more than one item attains
+    // it, regardless of the traversal order.
+    spatial::BatchPrunedVisitNearFirst(
         tree_, spatial::FullMask(count),
-        [&](int n, spatial::LaneMask m) {
-          double lb[kW];
+        [&](int n, double* lb) {
           geom::BoxDistSqLanes(qx, qy, tree_.box(n), lb);
           geom::AddScalarLanes(lb, tree_.aug().min(n), lb);
-          spatial::LaneMask keep = 0;
-          for (int l = 0; l < kW; ++l) {
-            if ((m >> l & 1u) != 0 && !(lb[l] > best[l])) {
-              keep |= static_cast<spatial::LaneMask>(1u << l);
-            }
-          }
-          return keep;
         },
+        [&](int l, double lb) { return lb > best[l]; },
         [&](int n, spatial::LaneMask m) {
           if (stats != nullptr) {
             stats->lane_points_evaluated +=
@@ -293,23 +287,18 @@ void ExpectedNn::QueryExpectedBatch(std::span<const Vec2> queries, double tol,
     // relative guard for the weighted-sum rounding plus an absolute
     // guard at the node's coordinate scale for the rounding of the
     // stored means themselves.
-    spatial::BatchPrunedVisit(
+    spatial::BatchPrunedVisitNearFirst(
         tree_, spatial::FullMask(count),
-        [&](int n, spatial::LaneMask m) {
-          double lb[kW];
+        [&](int n, double* lb) {
           geom::BoxDistSqLanes(qx, qy, tree_.box(n), lb);
+          geom::SqrtLanes(lb, lb);
           double mag = BoxMagnitude(tree_.box(n));
-          spatial::LaneMask keep = 0;
           for (int l = 0; l < kW; ++l) {
-            if ((m >> l & 1u) == 0) continue;
-            double slack =
-                1e-12 * (mag + std::abs(qx[l]) + std::abs(qy[l]));
-            if (!(std::sqrt(lb[l]) * kSkipGuard - slack > best[l])) {
-              keep |= static_cast<spatial::LaneMask>(1u << l);
-            }
+            lb[l] = lb[l] * kSkipGuard -
+                    1e-12 * (mag + std::abs(qx[l]) + std::abs(qy[l]));
           }
-          return keep;
         },
+        [&](int l, double lb) { return lb > best[l]; },
         [&](int n, spatial::LaneMask m) {
           double mag = BoxMagnitude(tree_.box(n));
           for (int s = tree_.begin(n); s < tree_.end(n); ++s) {

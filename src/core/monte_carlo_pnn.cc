@@ -56,6 +56,37 @@ std::vector<std::pair<int, double>> MonteCarloPnn::Query(Vec2 q) const {
   return out;
 }
 
+std::vector<std::vector<std::pair<int, double>>> MonteCarloPnn::QueryBatch(
+    std::span<const Vec2> queries, spatial::BatchStats* stats) const {
+  // One NearestBatch sweep per instantiation keeps each kd-tree hot for
+  // the whole batch instead of touching all s trees per query, in
+  // pack-coherent (Morton) order so every sweep's packs prune together —
+  // one sort amortized over all s sweeps, scattered back per query.
+  std::vector<int> order = spatial::PackCoherentOrder(queries);
+  std::vector<Vec2> sorted(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) sorted[i] = queries[order[i]];
+  std::vector<std::vector<int>> winners(
+      trees_.size(), std::vector<int>(queries.size(), -1));
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    trees_[t].NearestBatch(sorted, winners[t], {}, stats);
+  }
+  std::vector<std::vector<std::pair<int, double>>> out(queries.size());
+  std::vector<int> counts;
+  double s = static_cast<double>(trees_.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    counts.assign(points_.size(), 0);
+    for (size_t t = 0; t < trees_.size(); ++t) {
+      int winner = winners[t][i];
+      if (winner >= 0) ++counts[winner];
+    }
+    std::vector<std::pair<int, double>>& dst = out[order[i]];
+    for (size_t j = 0; j < counts.size(); ++j) {
+      if (counts[j] > 0) dst.push_back({static_cast<int>(j), counts[j] / s});
+    }
+  }
+  return out;
+}
+
 double MonteCarloPnn::QueryOne(Vec2 q, int i) const {
   for (const auto& [id, p] : Query(q)) {
     if (id == i) return p;

@@ -2,11 +2,13 @@
 #define UNN_CORE_MONTE_CARLO_PNN_H_
 
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "core/uncertain_point.h"
 #include "range/kdtree.h"
+#include "spatial/batch.h"
 
 /// \file monte_carlo_pnn.h
 /// The Monte-Carlo quantification-probability structure of Theorems 4.3
@@ -42,6 +44,15 @@ class MonteCarloPnn {
 
   /// Estimates (id, hat-pi) for all ids with a nonzero count, sorted by id.
   std::vector<std::pair<int, double>> Query(geom::Vec2 q) const;
+
+  /// Batched Query: `out[i]` is bit-identical to `Query(queries[i])`.
+  /// Every instantiation answers the whole batch through
+  /// range::KdTree::NearestBatch (itself bit-identical per lane,
+  /// including argmin ties), and the per-query count aggregation is the
+  /// scalar arithmetic verbatim.
+  std::vector<std::vector<std::pair<int, double>>> QueryBatch(
+      std::span<const geom::Vec2> queries,
+      spatial::BatchStats* stats = nullptr) const;
 
   /// Estimate for one id (0 if it never won).
   double QueryOne(geom::Vec2 q, int i) const;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "geom/lanes.h"
 #include "spatial/traverse.h"
 #include "util/check.h"
 
@@ -78,15 +79,141 @@ DeltaEnvelope NnNonzeroDiscreteIndex::DeltaPair(Vec2 q) const {
   return env;
 }
 
+void NnNonzeroDiscreteIndex::DeltaPairBatch(std::span<const Vec2> queries,
+                                            std::span<DeltaEnvelope> out,
+                                            spatial::BatchStats* stats) const {
+  constexpr int kW = geom::kLaneWidth;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // The dominant cost of the scalar walk is the hypot-per-site MaxDist
+  // evaluation, so the batched walk defers it entirely. Stage A runs the
+  // shared traversal on nothing but the group's SEB bracket
+  //   sqrt(d(q,c)^2 + R^2) <= Delta_i(q) <= d(q,c) + R
+  // and works in SQUARED space (no per-site arithmetic, no SIMD sqrt):
+  // each surviving group is collected with its squared lower bound, and
+  // the per-lane envelope is maintained over the bracket's UPPER ends,
+  // so its `second` certifies an upper bound on the true second-smallest
+  // value and every squared `>= second^2` prune discards only groups the
+  // scalar walk's own `group_lb >= second` rule would skip (the squared
+  // threshold carries one extra rounding, absorbed by inflating it a
+  // relative 1e-12 toward "keep"). Stage B then evaluates exact MaxDist
+  // in ascending lower-bound order — stopping via exactly the scalar's
+  // skip test, `group_lb >= env.second`, which in sorted order holds for
+  // every later candidate too — typically two or three hypot
+  // evaluations per query, below even the scalar walk's count. The
+  // exact envelope is a pure min/second-min over values, so it is
+  // traversal-order-independent; the one order-dependent output, the
+  // argmin under a minimum tie, replays the scalar walk as everywhere
+  // else in the batch scheme. Bit-identical, differentially fuzzed.
+  constexpr double kSqBand = 1.0 + 1e-12;
+  std::vector<std::pair<double, int>> cand[kW];  // (squared lb, group), tiny.
+  for (size_t base = 0; base < queries.size(); base += kW) {
+    int count = static_cast<int>(std::min<size_t>(kW, queries.size() - base));
+    Vec2 qv[kW];
+    double qx[kW], qy[kW];
+    for (int l = 0; l < kW; ++l) {
+      qv[l] = queries[base + std::min(l, count - 1)];  // Pad ragged packs.
+      qx[l] = qv[l].x;
+      qy[l] = qv[l].y;
+    }
+    double best_hi[kW], second_hi[kW], second_hi_sq[kW];
+    for (int l = 0; l < kW; ++l) {
+      best_hi[l] = kInf;
+      second_hi[l] = kInf;
+      second_hi_sq[l] = kInf;
+      cand[l].clear();
+    }
+    // Per-lane squared subtree bound d(q,box)^2 + r_min^2 — the scalar's
+    // bound arithmetic minus its final sqrt, compared against the
+    // inflated squared threshold instead.
+    spatial::BatchPrunedVisitNearFirst(
+        group_tree_, spatial::FullMask(count),
+        [&](int n, double* lb) {
+          geom::BoxDistSqLanes(qx, qy, group_tree_.box(n), lb);
+          const double r_min = group_tree_.aug().min(n);
+          geom::AddScalarLanes(lb, r_min * r_min, lb);
+        },
+        [&](int l, double lb) { return lb >= second_hi_sq[l]; },
+        [&](int n, spatial::LaneMask m) {
+          for (int i = group_tree_.begin(n); i < group_tree_.end(n); ++i) {
+            int g = group_tree_.item(i);
+            const geom::Circle& seb = group_seb_[g];
+            double gsq[kW], glb_sq[kW];
+            geom::DistSqLanes(qx, qy, seb.center, gsq);
+            const double r2 = seb.radius * seb.radius;
+            geom::AddScalarLanes(gsq, r2, glb_sq);
+            for (int l = 0; l < kW; ++l) {
+              if ((m >> l & 1u) == 0) continue;
+              if (glb_sq[l] >= second_hi_sq[l]) continue;
+              cand[l].push_back({glb_sq[l], g});
+              // Upper end of the bracket; the sqrt is scalar and only
+              // paid by lanes whose group survived the squared prune.
+              double v_hi = std::sqrt(gsq[l]) + seb.radius;
+              if (v_hi < best_hi[l]) {
+                second_hi[l] = best_hi[l];
+                best_hi[l] = v_hi;
+              } else if (v_hi < second_hi[l]) {
+                second_hi[l] = v_hi;
+              } else {
+                continue;
+              }
+              second_hi_sq[l] = second_hi[l] * second_hi[l] * kSqBand;
+            }
+          }
+        },
+        stats);
+    if (stats != nullptr) ++stats->packs;
+    for (int l = 0; l < count; ++l) {
+      // Stage B: the exact envelope from the candidate set, tightest
+      // lower bound first so the exact second tightens fastest. The
+      // break is the scalar walk's own skip rule on the bit-identical
+      // group_lb = sqrt(d(q,c)^2 + R^2); in ascending order it holds
+      // for every later candidate too (bounds ascend, the exact second
+      // never rises), so the rest of the list is provably irrelevant.
+      std::sort(cand[l].begin(), cand[l].end());
+      DeltaEnvelope env;
+      env.best = kInf;
+      env.second = kInf;
+      for (const auto& [glb_sq, g] : cand[l]) {
+        if (std::sqrt(glb_sq) >= env.second) break;
+        if (stats != nullptr) ++stats->lane_points_evaluated;
+        double v = points_[g].MaxDist(qv[l]);
+        if (v < env.best) {
+          env.second = env.best;
+          env.best = v;
+          env.argbest = g;
+        } else {
+          env.second = std::min(env.second, v);
+        }
+      }
+      // best == second is the only way a minimum tie can exist, and then
+      // the argmin is whichever tied group the ordered scalar walk
+      // reaches first — replay it. Distinct best/second pin the argmin
+      // to the unique minimizer, which the candidate sweep provably
+      // found.
+      if (env.best == env.second) {
+        if (stats != nullptr) ++stats->scalar_replays;
+        out[base + l] = DeltaPair(queries[base + l]);
+      } else {
+        out[base + l] = env;
+      }
+    }
+  }
+}
+
 double NnNonzeroDiscreteIndex::Delta(Vec2 q) const { return DeltaPair(q).best; }
 
-std::vector<int> NnNonzeroDiscreteIndex::Query(Vec2 q) const {
-  DeltaEnvelope env = DeltaPair(q);
+std::vector<int> NnNonzeroDiscreteIndex::AssembleFromEnvelope(
+    Vec2 q, const DeltaEnvelope& env) const {
   if (points_.size() == 1) return {0};
   // Owners other than the argmin qualify iff delta_i < best (their
   // j != i threshold); the argmin's threshold is `second`.
   std::vector<int> hits;
   site_tree_->RangeCircle(q, env.best, &hits, /*inclusive=*/false);
+  return AssembleFromHits(q, env, hits);
+}
+
+std::vector<int> NnNonzeroDiscreteIndex::AssembleFromHits(
+    Vec2 q, const DeltaEnvelope& env, const std::vector<int>& hits) const {
   std::vector<int> out;
   out.reserve(hits.size());
   for (int h : hits) out.push_back(site_owner_[h]);
@@ -99,6 +226,39 @@ std::vector<int> NnNonzeroDiscreteIndex::Query(Vec2 q) const {
   } else if (!arg_in && arg_should) {
     out.insert(std::upper_bound(out.begin(), out.end(), env.argbest),
                env.argbest);
+  }
+  return out;
+}
+
+std::vector<int> NnNonzeroDiscreteIndex::Query(Vec2 q) const {
+  return AssembleFromEnvelope(q, DeltaPair(q));
+}
+
+std::vector<std::vector<int>> NnNonzeroDiscreteIndex::QueryBatch(
+    std::span<const Vec2> queries, spatial::BatchStats* stats) const {
+  // Pack-coherent (Morton) order keeps each pack's lanes pruning
+  // together; per-lane results are pack-independent, so reordering the
+  // batch and scattering back is bit-identical (spatial/batch.h).
+  std::vector<int> order = spatial::PackCoherentOrder(queries);
+  std::vector<Vec2> sorted(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) sorted[i] = queries[order[i]];
+  std::vector<DeltaEnvelope> envs(queries.size());
+  DeltaPairBatch(sorted, envs, stats);
+  std::vector<std::vector<int>> out(queries.size());
+  if (points_.size() == 1) {
+    for (auto& o : out) o = {0};
+    return out;
+  }
+  // Stage two batched: one shared range walk per pack with per-query
+  // radius Delta(q); the hit list per lane is RangeCircle's verbatim, so
+  // the assembly below sees exactly the scalar path's input.
+  std::vector<double> radii(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) radii[i] = envs[i].best;
+  std::vector<std::vector<int>> hits;
+  site_tree_->RangeCircleBatch(sorted, radii, &hits, /*inclusive=*/false,
+                               stats);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    out[order[i]] = AssembleFromHits(sorted[i], envs[i], hits[i]);
   }
   return out;
 }

@@ -2,11 +2,13 @@
 #define UNN_CORE_NN_NONZERO_DISCRETE_INDEX_H_
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/uncertain_point.h"
 #include "geom/seb.h"
 #include "range/kdtree.h"
+#include "spatial/batch.h"
 #include "spatial/flat_tree.h"
 
 /// \file nn_nonzero_discrete_index.h
@@ -30,6 +32,17 @@ class NnNonzeroDiscreteIndex {
   /// NN!=0(q), sorted ids. Exact.
   std::vector<int> Query(geom::Vec2 q) const;
 
+  /// Batched Query: `out[i]` is bit-identical to `Query(queries[i])`.
+  /// Stage one (the Delta envelope) runs through DeltaPairBatch's shared
+  /// group-tree walk; stage two batches the lifted range queries through
+  /// range::KdTree::RangeCircleBatch (per-lane hit lists are the scalar
+  /// RangeCircle's verbatim) before the scalar owner dedup and argbest
+  /// membership fix, so an identical envelope forces an identical
+  /// answer. The batch runs in pack-coherent (Morton) order internally.
+  std::vector<std::vector<int>> QueryBatch(
+      std::span<const geom::Vec2> queries,
+      spatial::BatchStats* stats = nullptr) const;
+
   /// Delta(q) = min_i Delta_i(q).
   double Delta(geom::Vec2 q) const;
 
@@ -37,7 +50,30 @@ class NnNonzeroDiscreteIndex {
   /// semantics of Lemma 2.1 on degenerate inputs).
   DeltaEnvelope DeltaPair(geom::Vec2 q) const;
 
+  /// Batched DeltaPair: `out[i]` is bit-identical to
+  /// `DeltaPair(queries[i])`, geom::kLaneWidth queries per shared
+  /// near-first pruned walk over the group tree. The walk defers every
+  /// exact (hypot-based) MaxDist evaluation: it collects candidate
+  /// groups through their SEB bracket in squared space, then evaluates
+  /// exact values in ascending lower-bound order under the scalar's own
+  /// skip rule (see the .cc). The best/second values are
+  /// order-independent, but the argmin is the *first* minimizer in the
+  /// scalar's ordered traversal, so any lane whose envelope ends with
+  /// best == second — the only way a minimum tie can exist — replays
+  /// the scalar walk (spatial/batch.h idiom).
+  void DeltaPairBatch(std::span<const geom::Vec2> queries,
+                      std::span<DeltaEnvelope> out,
+                      spatial::BatchStats* stats = nullptr) const;
+
  private:
+  /// Stage two for one query: range query then owner assembly.
+  std::vector<int> AssembleFromEnvelope(geom::Vec2 q,
+                                        const DeltaEnvelope& env) const;
+  /// Owner dedup + argbest membership fix over a hit list (shared by the
+  /// scalar range query and the batched one, which produce identical
+  /// lists).
+  std::vector<int> AssembleFromHits(geom::Vec2 q, const DeltaEnvelope& env,
+                                    const std::vector<int>& hits) const;
   std::vector<UncertainPoint> points_;
   std::vector<geom::Circle> group_seb_;
   /// Kd-tree over group SEB centers (shared spatial core) with the

@@ -5,7 +5,9 @@
 #include <limits>
 
 #include "geom/box_metrics.h"
+#include "geom/lanes.h"
 #include "prob/distance_cdf.h"
+#include "spatial/batch.h"
 #include "spatial/traverse.h"
 #include "util/check.h"
 
@@ -101,6 +103,63 @@ DeltaEnvelope QuantTree::MaxDistEnvelope(geom::Vec2 q,
   return env;
 }
 
+void QuantTree::MaxDistEnvelopeBatch(std::span<const geom::Vec2> queries,
+                                     std::span<DeltaEnvelope> out,
+                                     spatial::BatchStats* stats) const {
+  constexpr int kW = geom::kLaneWidth;
+  for (size_t base = 0; base < queries.size(); base += kW) {
+    int count = static_cast<int>(std::min<size_t>(kW, queries.size() - base));
+    geom::Vec2 qv[kW];
+    double qx[kW], qy[kW];
+    for (int l = 0; l < kW; ++l) {
+      qv[l] = queries[base + std::min(l, count - 1)];  // Pad ragged packs.
+      qx[l] = qv[l].x;
+      qy[l] = qv[l].y;
+    }
+    DeltaEnvelope env[kW];
+    for (int l = 0; l < kW; ++l) {
+      env[l].best = kInf;
+      env[l].second = kInf;
+    }
+    // Per-lane MaxDistLowerBound with the scalar's exact arithmetic:
+    // sqrt of the squared box distance (SIMD, correctly rounded), the
+    // all-disk r_min added with the scalar's rounding, and the
+    // radius-dominant term r_min - MaxDistTo(q) — which is at most
+    // r_min, so the max can only bite while the lane's bound is still
+    // below r_min; the per-lane hypot stays off the common path.
+    auto key = spatial::MakeLaneKeyCache([&](int n, double* k) {
+      double dsq[kW];
+      geom::BoxDistSqLanes(qx, qy, tree_.box(n), dsq);
+      geom::SqrtLanes(dsq, k);
+      const double rmin = tree_.aug().first.min(n);
+      if (tree_.aug().second.all_disk(n)) geom::AddScalarLanes(k, rmin, k);
+      for (int l = 0; l < kW; ++l) {
+        if (k[l] < rmin) {
+          k[l] = std::max(k[l], rmin - tree_.box(n).MaxDistTo(qv[l]));
+        }
+      }
+    });
+    spatial::BatchBestFirstScan(
+        tree_, spatial::FullMask(count),
+        [&](int l, int n) { return key(l, n); },
+        [&](int l, double lb) { return EnvelopePrunable(lb, env[l]); },
+        [&](int n, spatial::LaneMask m) {
+          if (!tree_.is_leaf(n)) return;
+          for (int j = tree_.begin(n); j < tree_.end(n); ++j) {
+            int id = tree_.item(j);
+            for (int l = 0; l < kW; ++l) {
+              if ((m >> l & 1u) == 0) continue;
+              if (stats != nullptr) ++stats->lane_points_evaluated;
+              env[l].Insert((*points_)[id].MaxDist(qv[l]), id);
+            }
+          }
+        },
+        stats);
+    if (stats != nullptr) ++stats->packs;
+    for (int l = 0; l < count; ++l) out[base + l] = env[l];
+  }
+}
+
 double QuantTree::LogSurvival(geom::Vec2 q, double r,
                               QueryStats* stats) const {
   double acc = 0.0;
@@ -126,6 +185,71 @@ double QuantTree::LogSurvival(geom::Vec2 q, double r,
       },
       stats);
   return acc;
+}
+
+void QuantTree::LogSurvivalBatch(std::span<const geom::Vec2> queries,
+                                 std::span<const double> radii,
+                                 std::span<double> out,
+                                 spatial::BatchStats* stats) const {
+  constexpr int kW = geom::kLaneWidth;
+  for (size_t base = 0; base < queries.size(); base += kW) {
+    int count = static_cast<int>(std::min<size_t>(kW, queries.size() - base));
+    geom::Vec2 qv[kW];
+    double qx[kW], qy[kW], r[kW];
+    for (int l = 0; l < kW; ++l) {
+      size_t i = base + std::min(l, count - 1);  // Pad ragged packs.
+      qv[l] = queries[i];
+      qx[l] = qv[l].x;
+      qy[l] = qv[l].y;
+      r[l] = radii[i];
+    }
+    double acc[kW];
+    bool dead[kW];  // Lane hit a certain point: answer is -inf, stop.
+    for (int l = 0; l < kW; ++l) {
+      acc[l] = 0.0;
+      dead[l] = false;
+    }
+    spatial::BatchPrunedVisit(
+        tree_, spatial::FullMask(count),
+        [&](int n, spatial::LaneMask m) {
+          double dsq[kW], s[kW];
+          geom::BoxDistSqLanes(qx, qy, tree_.box(n), dsq);
+          geom::SqrtLanes(dsq, s);
+          const double rmax = tree_.aug().first.max(n);
+          spatial::LaneMask keep = 0;
+          for (int l = 0; l < kW; ++l) {
+            if ((m >> l & 1u) == 0 || dead[l]) continue;
+            // The scalar MinDistLowerBound(n, q) > r prune, per lane and
+            // state-independent, so each lane's node sequence (and with
+            // it the log-space accumulation order) is exactly the
+            // scalar left-first walk.
+            if (std::max(s[l] - rmax, 0.0) > r[l]) continue;
+            keep |= static_cast<spatial::LaneMask>(1u << l);
+          }
+          return keep;
+        },
+        [&](int n, spatial::LaneMask m) {
+          for (int j = tree_.begin(n); j < tree_.end(n); ++j) {
+            int id = tree_.item(j);
+            const UncertainPoint& p = (*points_)[id];
+            for (int l = 0; l < kW; ++l) {
+              if ((m >> l & 1u) == 0 || dead[l]) continue;
+              if (p.MinDist(qv[l]) > r[l]) continue;
+              if (stats != nullptr) ++stats->lane_points_evaluated;
+              double cdf = prob::DistanceCdf(p, qv[l], r[l]);
+              if (cdf >= 1.0) {  // Certainly within r: survival 0.
+                acc[l] = -kInf;
+                dead[l] = true;
+                continue;
+              }
+              acc[l] += std::log1p(-cdf);
+            }
+          }
+        },
+        stats);
+    if (stats != nullptr) ++stats->packs;
+    for (int l = 0; l < count; ++l) out[base + l] = acc[l];
+  }
 }
 
 double QuantTree::LogSurvivalScan(const std::vector<UncertainPoint>& points,
@@ -165,6 +289,89 @@ int QuantTree::ArgminPointwise(geom::Vec2 q,
       },
       stats);
   return best_id;
+}
+
+void QuantTree::ArgminPointwiseBatch(
+    std::span<const geom::Vec2> queries,
+    const std::function<double(int, int)>& value, double slack,
+    std::span<int> out, spatial::BatchStats* stats) const {
+  constexpr int kW = geom::kLaneWidth;
+  UNN_CHECK(slack >= 0.0);
+  // An approximate value may undershoot its lane's lower bound by up to
+  // `slack`, so the strict scalar prune and the pack's prune can resolve
+  // candidates within that margin differently. Pruning with a 2*slack
+  // band keeps every point whose value can come within `slack` of the
+  // minimum, and a runner-up inside the band flags the lane for scalar
+  // replay; an unflagged lane's minimizer wins by more than the total
+  // error, so the scalar walk must have found the same one.
+  const double band = 2.0 * slack;
+  for (size_t base = 0; base < queries.size(); base += kW) {
+    int count = static_cast<int>(std::min<size_t>(kW, queries.size() - base));
+    geom::Vec2 qv[kW];
+    double qx[kW], qy[kW];
+    int qi[kW];
+    for (int l = 0; l < kW; ++l) {
+      size_t i = base + std::min(l, count - 1);  // Pad ragged packs.
+      qv[l] = queries[i];
+      qx[l] = qv[l].x;
+      qy[l] = qv[l].y;
+      qi[l] = static_cast<int>(i);
+    }
+    double best_v[kW], second_v[kW];
+    int best_id[kW];
+    for (int l = 0; l < kW; ++l) {
+      best_v[l] = kInf;
+      second_v[l] = kInf;
+      best_id[l] = -1;
+    }
+    // Per-lane MinDistLowerBound, scalar arithmetic per lane.
+    auto key = spatial::MakeLaneKeyCache([&](int n, double* k) {
+      double dsq[kW];
+      geom::BoxDistSqLanes(qx, qy, tree_.box(n), dsq);
+      geom::SqrtLanes(dsq, k);
+      const double rmax = tree_.aug().first.max(n);
+      for (int l = 0; l < kW; ++l) k[l] = std::max(k[l] - rmax, 0.0);
+    });
+    spatial::BatchBestFirstScan(
+        tree_, spatial::FullMask(count),
+        [&](int l, int n) { return key(l, n); },
+        [&](int l, double lb) { return lb > best_v[l] + band; },
+        [&](int n, spatial::LaneMask m) {
+          if (!tree_.is_leaf(n)) return;
+          for (int j = tree_.begin(n); j < tree_.end(n); ++j) {
+            int id = tree_.item(j);
+            for (int l = 0; l < kW; ++l) {
+              if ((m >> l & 1u) == 0) continue;
+              if (stats != nullptr) ++stats->lane_points_evaluated;
+              double v = value(id, qi[l]);
+              if (v < best_v[l]) {
+                second_v[l] = best_v[l];
+                best_v[l] = v;
+                best_id[l] = id;
+              } else if (v == best_v[l]) {
+                // A tie always lands the runner-up on the minimum, so
+                // the end-of-pack band check flags the lane.
+                second_v[l] = v;
+                if (id < best_id[l]) best_id[l] = id;
+              } else {
+                second_v[l] = std::min(second_v[l], v);
+              }
+            }
+          }
+        },
+        stats);
+    if (stats != nullptr) ++stats->packs;
+    for (int l = 0; l < count; ++l) {
+      int id = best_id[l];
+      if (second_v[l] - best_v[l] <= band) {
+        if (stats != nullptr) ++stats->scalar_replays;
+        const int i = qi[l];
+        id = ArgminPointwise(queries[base + l],
+                             [&](int pid) { return value(pid, i); });
+      }
+      out[base + l] = id;
+    }
+  }
 }
 
 }  // namespace core

@@ -2,10 +2,12 @@
 #define UNN_CORE_QUANT_TREE_H_
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "core/uncertain_point.h"
 #include "geom/vec2.h"
+#include "spatial/batch.h"
 #include "spatial/flat_tree.h"
 #include "spatial/traverse.h"
 
@@ -105,12 +107,35 @@ class QuantTree {
   DeltaEnvelope MaxDistEnvelope(geom::Vec2 q,
                                 QueryStats* stats = nullptr) const;
 
+  /// Batched MaxDistEnvelope: `out[i]` is bit-identical to
+  /// `MaxDistEnvelope(queries[i])`, geom::kLaneWidth queries per shared
+  /// best-first walk with SIMD bound evaluation. No scalar replay is
+  /// ever needed: DeltaEnvelope::Insert is order-independent (argmin
+  /// ties resolve toward the smaller id regardless of insertion order)
+  /// and the per-lane prune is the scalar EnvelopePrunable over
+  /// bit-identical bounds, so any sound traversal — scalar order or the
+  /// pack's shared order — produces the same envelope.
+  void MaxDistEnvelopeBatch(std::span<const geom::Vec2> queries,
+                            std::span<DeltaEnvelope> out,
+                            spatial::BatchStats* stats = nullptr) const;
+
   /// log prod_i (1 - G_{q,i}(r)) = sum_i log1p(-G_{q,i}(r)), accumulated
   /// in log space so products over 10^5+ points do not underflow;
   /// -infinity when some point is certainly within r. Only points whose
   /// support intersects ball(q, r) are evaluated. O(log n + k) for k
   /// intersecting supports.
   double LogSurvival(geom::Vec2 q, double r, QueryStats* stats = nullptr) const;
+
+  /// Batched LogSurvival: `out[i]` is bit-identical to
+  /// `LogSurvival(queries[i], radii[i])`. The ball prune is
+  /// state-independent, so every lane's node sequence — and therefore
+  /// its floating-point accumulation order — is exactly the scalar
+  /// left-first walk; a lane that hits a certain point (-infinity) goes
+  /// dead and skips the rest of its walk, which cannot change its
+  /// answer. No scalar replay.
+  void LogSurvivalBatch(std::span<const geom::Vec2> queries,
+                        std::span<const double> radii, std::span<double> out,
+                        spatial::BatchStats* stats = nullptr) const;
 
   /// The O(n) linear-scan oracle for LogSurvival: the same per-point
   /// terms accumulated in id order. The one definition tests and
@@ -131,6 +156,19 @@ class QuantTree {
   /// expected-distance API already carries).
   int ArgminPointwise(geom::Vec2 q, const std::function<double(int)>& value,
                       QueryStats* stats = nullptr) const;
+
+  /// Batched ArgminPointwise: `out[i]` is bit-identical to
+  /// `ArgminPointwise(queries[i], value(., i))`. `slack` bounds how far
+  /// `value(id, i)` may undershoot delta_id(queries[i]) (0 for exact
+  /// values; the quadrature tolerance for expected distances). The pack
+  /// prunes with a 2*slack guard band so no candidate the scalar walk
+  /// could have reached is skipped, and any lane whose runner-up lands
+  /// within that band of its minimum — where prune order can decide the
+  /// argmin — replays the scalar query (spatial/batch.h idiom).
+  void ArgminPointwiseBatch(std::span<const geom::Vec2> queries,
+                            const std::function<double(int, int)>& value,
+                            double slack, std::span<int> out,
+                            spatial::BatchStats* stats = nullptr) const;
 
  private:
   using Augment = spatial::PairAugment<spatial::MinMaxAugment, AllDiskAugment>;

@@ -214,8 +214,35 @@ std::vector<std::pair<int, double>> Engine::Probabilities(
   }
 }
 
-int Engine::MostProbableNn(geom::Vec2 q) const {
-  auto est = Probabilities(q);
+std::vector<std::vector<std::pair<int, double>>> Engine::ProbabilitiesMany(
+    std::span<const geom::Vec2> queries, double eps_needed,
+    spatial::BatchStats* stats) const {
+  double eps = eps_needed > 0 ? std::min(eps_needed, config_.eps)
+                              : config_.eps;
+  switch (EffectiveProbBackend()) {
+    case Backend::kSpiralSearch:
+      if (all_discrete_) return GetSpiralSearch().QueryBatch(queries, eps, stats);
+      return GetContinuousSpiral(eps / 2)->QueryBatch(queries, eps / 2, stats);
+    case Backend::kMonteCarlo:
+      return GetMonteCarlo(eps)->QueryBatch(queries, stats);
+    default: {
+      // The exact oracle has no traversal to share; the batch is the
+      // scalar definition per query.
+      std::vector<std::vector<std::pair<int, double>>> out(queries.size());
+      for (size_t i = 0; i < queries.size(); ++i) {
+        out[i] = ExactProbabilities(queries[i]);
+      }
+      return out;
+    }
+  }
+}
+
+namespace {
+
+/// The argmax rule of MostProbableNn over one estimate list: largest
+/// estimate, first-in-id-order (the list is id-sorted, so `>` keeps the
+/// smaller id on ties) — shared by the scalar and batched arms.
+int PickMostProbable(const std::vector<std::pair<int, double>>& est) {
   int best = -1;
   double best_pi = -1.0;
   for (auto [id, pi] : est) {
@@ -225,6 +252,12 @@ int Engine::MostProbableNn(geom::Vec2 q) const {
     }
   }
   return best;
+}
+
+}  // namespace
+
+int Engine::MostProbableNn(geom::Vec2 q) const {
+  return PickMostProbable(Probabilities(q));
 }
 
 std::vector<std::pair<int, double>> Engine::Threshold(geom::Vec2 q,
@@ -293,6 +326,12 @@ core::DeltaEnvelope Engine::MaxDistEnvelope(geom::Vec2 q) const {
     return env;
   }
   return GetQuantTree().MaxDistEnvelope(q);
+}
+
+void Engine::MaxDistEnvelopeMany(std::span<const geom::Vec2> queries,
+                                 std::span<core::DeltaEnvelope> out,
+                                 spatial::BatchStats* stats) const {
+  GetQuantTree().MaxDistEnvelopeBatch(queries, out, stats);
 }
 
 double Engine::SurvivalProbability(geom::Vec2 q, double r) const {
@@ -376,36 +415,98 @@ std::vector<Engine::QueryResult> Engine::QueryMany(
           [this](geom::Vec2 q) { return Probabilities(q); }, &results)) {
     return results;
   }
-  // Batchable types run the shared-traversal kernels (spatial/batch.h),
-  // bit-identical to the scalar loop below; Config::batch_traversal is
-  // the escape hatch. kExpectedDistanceNn is the batchable type today
-  // (the kBruteForce oracle keeps the scalar loop).
-  if (config_.batch_traversal && spec.type == QueryType::kExpectedDistanceNn &&
-      config_.backend != Backend::kBruteForce) {
-    std::vector<int> ids(queries.size());
-    GetExpectedNn().QueryExpectedBatch(queries, config_.tol, ids);
-    for (size_t i = 0; i < queries.size(); ++i) results[i].nn = ids[i];
+  // Config::batch_traversal gates one uniform dispatch: false is the
+  // escape hatch to the scalar per-query loop; true routes every type
+  // through its shared-traversal kernel (spatial/batch.h), bit-identical
+  // to the scalar loop (docs/ARCHITECTURE.md "Batch traversal" has the
+  // coverage matrix and per-kernel exactness argument). Backends a type
+  // has no kernel for — the definition-level NN!=0 oracles, the Voronoi
+  // and L_inf families, the all-disk nonzero index — keep the scalar
+  // loop inside their case arm.
+  if (!config_.batch_traversal) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      geom::Vec2 q = queries[i];
+      QueryResult& r = results[i];
+      switch (spec.type) {
+        case QueryType::kMostProbableNn:
+          r.nn = MostProbableNn(q);
+          break;
+        case QueryType::kExpectedDistanceNn:
+          r.nn = ExpectedDistanceNn(q);
+          break;
+        case QueryType::kThreshold:
+          r.ranked = Threshold(q, spec.tau);
+          break;
+        case QueryType::kTopK:
+          r.ranked = TopK(q, spec.k);
+          break;
+        case QueryType::kNonzeroNn:
+          r.ids = NonzeroNn(q);
+          break;
+      }
+    }
     return results;
   }
-  for (size_t i = 0; i < queries.size(); ++i) {
-    geom::Vec2 q = queries[i];
-    QueryResult& r = results[i];
-    switch (spec.type) {
-      case QueryType::kMostProbableNn:
-        r.nn = MostProbableNn(q);
-        break;
-      case QueryType::kExpectedDistanceNn:
-        r.nn = ExpectedDistanceNn(q);
-        break;
-      case QueryType::kThreshold:
-        r.ranked = Threshold(q, spec.tau);
-        break;
-      case QueryType::kTopK:
-        r.ranked = TopK(q, spec.k);
-        break;
-      case QueryType::kNonzeroNn:
-        r.ids = NonzeroNn(q);
-        break;
+  switch (spec.type) {
+    case QueryType::kMostProbableNn: {
+      auto est = ProbabilitiesMany(queries);
+      for (size_t i = 0; i < queries.size(); ++i) {
+        results[i].nn = PickMostProbable(est[i]);
+      }
+      break;
+    }
+    case QueryType::kExpectedDistanceNn: {
+      std::vector<int> ids(queries.size());
+      if (config_.backend != Backend::kBruteForce) {
+        GetExpectedNn().QueryExpectedBatch(queries, config_.tol, ids);
+      } else {
+        // The pruned definition-level scan, batched: same value function
+        // and same QuantTree bounds as the scalar path; the quadrature
+        // tolerance is the value slack the kernel's guard band covers.
+        const core::ExpectedNn& index = GetExpectedNn();
+        GetQuantTree().ArgminPointwiseBatch(
+            queries,
+            [&](int id, int qi) {
+              return index.ExpectedDistance(id, queries[qi], config_.tol);
+            },
+            /*slack=*/config_.tol, ids);
+      }
+      for (size_t i = 0; i < queries.size(); ++i) results[i].nn = ids[i];
+      break;
+    }
+    case QueryType::kThreshold: {
+      bool exact = EffectiveProbBackend() == Backend::kBruteForce;
+      double eps = exact ? 0.0 : std::min(config_.eps, spec.tau / 2);
+      auto est = ProbabilitiesMany(queries, spec.tau / 2);
+      for (size_t i = 0; i < queries.size(); ++i) {
+        for (auto [id, pi] : est[i]) {
+          if (pi + eps >= spec.tau) results[i].ranked.push_back({id, pi});
+        }
+        SortByEstimate(&results[i].ranked);
+      }
+      break;
+    }
+    case QueryType::kTopK: {
+      auto est = ProbabilitiesMany(queries);
+      for (size_t i = 0; i < queries.size(); ++i) {
+        SortByEstimate(&est[i]);
+        if (static_cast<int>(est[i].size()) > spec.k) est[i].resize(spec.k);
+        results[i].ranked = std::move(est[i]);
+      }
+      break;
+    }
+    case QueryType::kNonzeroNn: {
+      if (EffectiveNonzeroBackend() == Backend::kNonzeroIndex && !all_disk_) {
+        auto ids = GetNonzeroDiscrete().QueryBatch(queries);
+        for (size_t i = 0; i < queries.size(); ++i) {
+          results[i].ids = std::move(ids[i]);
+        }
+      } else {
+        for (size_t i = 0; i < queries.size(); ++i) {
+          results[i].ids = NonzeroNn(queries[i]);
+        }
+      }
+      break;
     }
   }
   return results;

@@ -20,6 +20,7 @@
 #include "core/spiral_search.h"
 #include "core/uncertain_point.h"
 #include "geom/vec2.h"
+#include "spatial/batch.h"
 #include "util/thread_annotations.h"
 
 /// \file engine.h
@@ -197,6 +198,18 @@ class Engine {
   std::vector<std::pair<int, double>> Probabilities(
       geom::Vec2 q, double eps_needed = 0.0) const;
 
+  /// Batched Probabilities: `out[i]` is bit-identical to
+  /// `Probabilities(queries[i], eps_needed)`. The effective estimator
+  /// answers the whole batch through its shared-traversal kernel
+  /// (spiral prefix retrieval via KNearestBatch, Monte-Carlo
+  /// instantiation NNs via NearestBatch, or the discretized spiral);
+  /// the exact-oracle fallback loops the scalar query. This is the
+  /// substrate QueryMany's batched MostProbableNn/Threshold/TopK arms
+  /// and the sharded pack fan-out share. Thread-safe.
+  std::vector<std::vector<std::pair<int, double>>> ProbabilitiesMany(
+      std::span<const geom::Vec2> queries, double eps_needed = 0.0,
+      spatial::BatchStats* stats = nullptr) const;
+
   // --- Per-point quantification hooks for cross-shard merging ----------
   // A sharded deployment partitions one logical point set across several
   // Engines and recombines per-shard answers (src/serve/sharding.h). The
@@ -221,6 +234,16 @@ class Engine {
   /// bounded-density inputs, bit-identical to the linear
   /// core::TwoSmallestMaxDist scan including tie-breaking.
   core::DeltaEnvelope MaxDistEnvelope(geom::Vec2 q) const;
+
+  /// Batched MaxDistEnvelope: `out[i]` is bit-identical to
+  /// `MaxDistEnvelope(queries[i])`, geom::kLaneWidth queries per shared
+  /// best-first walk (core::QuantTree::MaxDistEnvelopeBatch; the
+  /// envelope is traversal-order-independent, so no scalar replay
+  /// exists on this path). The sharded layer calls this once per shard
+  /// per pack when recombining batched answers. Thread-safe.
+  void MaxDistEnvelopeMany(std::span<const geom::Vec2> queries,
+                           std::span<core::DeltaEnvelope> out,
+                           spatial::BatchStats* stats = nullptr) const;
 
   /// Pr[every point of this engine is farther than r from q]
   ///   = prod_i (1 - G_{q,i}(r)),

@@ -1,6 +1,7 @@
 #ifndef UNN_GEOM_LANES_H_
 #define UNN_GEOM_LANES_H_
 
+#include <cmath>
 #include <cstddef>
 
 #include "geom/vec2.h"
@@ -117,6 +118,24 @@ inline void BoxDistSqLanes(const double* qx, const double* qy, const Box& b,
   for (int l = 0; l < kLaneWidth; ++l) {
     out[l] = b.DistSqTo({qx[l], qy[l]});
   }
+#endif
+}
+
+/// out[l] = sqrt(a[l]). IEEE-754 square root is correctly rounded on
+/// every path (VSQRTPD / SQRTPD / std::sqrt), so each lane is
+/// bit-identical to the scalar std::sqrt of the same input — sqrt joins
+/// +, -, *, min, max in the set of operations the exactness contract
+/// allows inside a batched bound.
+inline void SqrtLanes(const double* a, double* out) {
+#if defined(UNN_LANES_ISA_AVX2)
+  _mm256_storeu_pd(out, _mm256_sqrt_pd(_mm256_loadu_pd(a)));
+  _mm256_storeu_pd(out + 4, _mm256_sqrt_pd(_mm256_loadu_pd(a + 4)));
+#elif defined(UNN_LANES_ISA_SSE2)
+  for (int h = 0; h < 4; ++h) {
+    _mm_storeu_pd(out + 2 * h, _mm_sqrt_pd(_mm_loadu_pd(a + 2 * h)));
+  }
+#else
+  for (int l = 0; l < kLaneWidth; ++l) out[l] = std::sqrt(a[l]);
 #endif
 }
 

@@ -1,6 +1,9 @@
 #include "range/kdtree.h"
 
+#include <algorithm>
 #include <limits>
+#include <utility>
+#include <vector>
 
 #include "obs/profile.h"
 
@@ -76,19 +79,10 @@ void KdTree::NearestBatch(std::span<const Vec2> queries,
       arg[l] = -1;
       replay[l] = false;
     }
-    spatial::BatchPrunedVisit(
+    spatial::BatchPrunedVisitNearFirst(
         tree_, spatial::FullMask(count),
-        [&](int n, spatial::LaneMask m) {
-          double lb[kW];
-          geom::BoxDistSqLanes(qx, qy, tree_.box(n), lb);
-          spatial::LaneMask keep = 0;
-          for (int l = 0; l < kW; ++l) {
-            if ((m >> l & 1u) != 0 && !(lb[l] > best[l] * best[l] * kPruneHi)) {
-              keep |= static_cast<spatial::LaneMask>(1u << l);
-            }
-          }
-          return keep;
-        },
+        [&](int n, double* lb) { geom::BoxDistSqLanes(qx, qy, tree_.box(n), lb); },
+        [&](int l, double lb) { return lb > best[l] * best[l] * kPruneHi; },
         [&](int n, spatial::LaneMask m) {
           for (int s = tree_.begin(n); s < tree_.end(n); ++s) {
             int id = tree_.item(s);
@@ -126,6 +120,108 @@ void KdTree::NearestBatch(std::span<const Vec2> queries,
   }
 }
 
+void KdTree::KNearestBatch(std::span<const Vec2> queries, int k,
+                           std::vector<std::vector<int>>* out_ids,
+                           std::vector<std::vector<double>>* out_dists,
+                           spatial::BatchStats* stats) const {
+  constexpr int kW = geom::kLaneWidth;
+  // Same widened-prune / flag-band pairing as NearestBatch, with the
+  // evolving k-th distance playing the role of the best: the shared pass
+  // never discards a candidate at the selection boundary, and any lane
+  // that saw a candidate within the band of that boundary — or an exact
+  // tie inside its selected prefix, where the enumerator's yield order
+  // is heap order — replays the scalar enumeration verbatim.
+  constexpr double kPruneHi = 1.0 + 4e-9;
+  constexpr double kFlagBand = 1e-9;
+  out_ids->assign(queries.size(), {});
+  if (out_dists != nullptr) out_dists->assign(queries.size(), {});
+  if (k <= 0) return;
+  for (size_t base = 0; base < queries.size(); base += kW) {
+    int count = static_cast<int>(std::min<size_t>(kW, queries.size() - base));
+    Vec2 qv[kW];
+    double qx[kW], qy[kW];
+    for (int l = 0; l < kW; ++l) {
+      qv[l] = queries[base + std::min(l, count - 1)];  // Pad ragged packs.
+      qx[l] = qv[l].x;
+      qy[l] = qv[l].y;
+    }
+    // Per-lane max-heap of the k smallest (distance, id) seen so far;
+    // cand[l].front() is the k-th distance once the lane is full.
+    std::vector<std::pair<double, int>> cand[kW];
+    bool replay[kW];
+    for (int l = 0; l < kW; ++l) {
+      cand[l].reserve(k);
+      replay[l] = false;
+    }
+    auto kth = [&](int l) { return cand[l].front().first; };
+    spatial::BatchPrunedVisitNearFirst(
+        tree_, spatial::FullMask(count),
+        [&](int n, double* lb) { geom::BoxDistSqLanes(qx, qy, tree_.box(n), lb); },
+        [&](int l, double lb) {
+          return static_cast<int>(cand[l].size()) == k &&
+                 lb > kth(l) * kth(l) * kPruneHi;
+        },
+        [&](int n, spatial::LaneMask m) {
+          for (int s = tree_.begin(n); s < tree_.end(n); ++s) {
+            int id = tree_.item(s);
+            double dsq[kW];
+            geom::DistSqLanes(qx, qy, pts_[id], dsq);
+            for (int l = 0; l < kW; ++l) {
+              if ((m >> l & 1u) == 0) continue;
+              bool full = static_cast<int>(cand[l].size()) == k;
+              if (full && dsq[l] > kth(l) * kth(l) * kPruneHi) continue;
+              if (stats != nullptr) ++stats->lane_points_evaluated;
+              double d = Dist(qv[l], pts_[id]);
+              if (!full) {
+                cand[l].push_back({d, id});
+                std::push_heap(cand[l].begin(), cand[l].end());
+                continue;
+              }
+              double bound = kth(l);
+              if (d >= bound * (1.0 - kFlagBand) &&
+                  d <= bound * (1.0 + kFlagBand)) {
+                replay[l] = true;
+              }
+              if (d < bound) {
+                std::pop_heap(cand[l].begin(), cand[l].end());
+                cand[l].back() = {d, id};
+                std::push_heap(cand[l].begin(), cand[l].end());
+                // The displaced candidate ties the new k-th distance:
+                // which of the two equal values keeps the slot is
+                // enumeration order the sort cannot reproduce.
+                if (kth(l) == bound) replay[l] = true;
+              }
+            }
+          }
+        },
+        stats);
+    if (stats != nullptr) ++stats->packs;
+    for (int l = 0; l < count; ++l) {
+      std::vector<std::pair<double, int>>& c = cand[l];
+      std::sort(c.begin(), c.end());
+      for (size_t j = 0; j + 1 < c.size(); ++j) {
+        // An exact tie inside the selection: the enumerator's relative
+        // order of the tied ids is heap order, which the sort cannot
+        // reproduce.
+        if (c[j].first == c[j + 1].first) replay[l] = true;
+      }
+      std::vector<int>& ids = (*out_ids)[base + l];
+      if (replay[l]) {
+        if (stats != nullptr) ++stats->scalar_replays;
+        ids = KNearest(queries[base + l], k);
+      } else {
+        ids.reserve(c.size());
+        for (const auto& [d, id] : c) ids.push_back(id);
+      }
+      if (out_dists != nullptr) {
+        std::vector<double>& ds = (*out_dists)[base + l];
+        ds.reserve(ids.size());
+        for (int id : ids) ds.push_back(Dist(queries[base + l], pts_[id]));
+      }
+    }
+  }
+}
+
 std::vector<int> KdTree::KNearest(Vec2 q, int k) const {
   std::vector<int> out;
   Enumerator en(*this, q);
@@ -149,6 +245,72 @@ void KdTree::RangeCircle(Vec2 q, double r, std::vector<int>* out,
         }
         return true;
       });
+}
+
+void KdTree::RangeCircleBatch(std::span<const Vec2> queries,
+                              std::span<const double> radii,
+                              std::vector<std::vector<int>>* out,
+                              bool inclusive,
+                              spatial::BatchStats* stats) const {
+  constexpr int kW = geom::kLaneWidth;
+  // The node prune is the scalar test verbatim per lane (BoxDistSqLanes
+  // computes box.DistSqTo's arithmetic), so each lane's visit set and
+  // left-first report order match RangeCircle exactly. The leaf uses a
+  // widened squared-distance prefilter: dsq > r^2 * kPruneHi implies
+  // d > r by more than the hypot-vs-square rounding gap, so no accepted
+  // point (d < r, or d == r when inclusive) is ever skipped; survivors
+  // run the scalar distance and accept test unchanged.
+  constexpr double kPruneHi = 1.0 + 4e-9;
+  out->assign(queries.size(), {});
+  // Per-lane scratch reused across packs: hit lists grow into retained
+  // capacity, and each query's result gets one exact-size allocation.
+  std::vector<int> scratch[kW];
+  for (size_t base = 0; base < queries.size(); base += kW) {
+    int count = static_cast<int>(std::min<size_t>(kW, queries.size() - base));
+    Vec2 qv[kW];
+    double qx[kW], qy[kW], r[kW];
+    for (int l = 0; l < kW; ++l) {
+      qv[l] = queries[base + std::min(l, count - 1)];  // Pad ragged packs.
+      qx[l] = qv[l].x;
+      qy[l] = qv[l].y;
+      r[l] = radii[base + std::min(l, count - 1)];
+      scratch[l].clear();
+    }
+    spatial::BatchPrunedVisit(
+        tree_, spatial::FullMask(count),
+        [&](int n, spatial::LaneMask m) {
+          double bsq[kW];
+          geom::BoxDistSqLanes(qx, qy, tree_.box(n), bsq);
+          spatial::LaneMask keep = 0;
+          for (int l = 0; l < kW; ++l) {
+            if ((m >> l & 1u) != 0 && !(bsq[l] > r[l] * r[l])) {
+              keep |= static_cast<spatial::LaneMask>(1u << l);
+            }
+          }
+          return keep;
+        },
+        [&](int n, spatial::LaneMask m) {
+          for (int s = tree_.begin(n); s < tree_.end(n); ++s) {
+            int id = tree_.item(s);
+            double dsq[kW];
+            geom::DistSqLanes(qx, qy, pts_[id], dsq);
+            for (int l = 0; l < kW; ++l) {
+              if ((m >> l & 1u) == 0) continue;
+              if (dsq[l] > r[l] * r[l] * kPruneHi) continue;
+              if (stats != nullptr) ++stats->lane_points_evaluated;
+              double d = Dist(qv[l], pts_[id]);
+              if (d < r[l] || (inclusive && d == r[l])) {
+                scratch[l].push_back(id);
+              }
+            }
+          }
+        },
+        stats);
+    for (int l = 0; l < count; ++l) {
+      (*out)[base + l].assign(scratch[l].begin(), scratch[l].end());
+    }
+    if (stats != nullptr) ++stats->packs;
+  }
 }
 
 KdTree::Enumerator::Enumerator(const KdTree& tree, Vec2 q)

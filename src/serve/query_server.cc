@@ -109,7 +109,7 @@ QueryServer::QueryServer(std::shared_ptr<const ShardedEngine> engine,
     : options_(options),
       cache_(options.cache, &registry_),
       sharding_(options.sharding),
-      pool_(options.num_threads) {
+      pool_(ThreadPool::Options{options.num_threads, options.pin_cpus}) {
   InitMetrics();
   UNN_CHECK(engine != nullptr);
   // An explicitly sharded Options wins; otherwise future ReplaceDataset
@@ -120,8 +120,7 @@ QueryServer::QueryServer(std::shared_ptr<const ShardedEngine> engine,
   if (DegradeEnabled()) {
     degraded = BuildDegraded(CollectPoints(*engine), engine->config());
   }
-  state_.store(MakeSnapshot(std::move(engine), std::move(degraded), 1),
-               std::memory_order_release);
+  StoreState(MakeSnapshot(std::move(engine), std::move(degraded), 1));
 }
 
 QueryServer::QueryServer(std::shared_ptr<const Engine> engine,
@@ -137,7 +136,7 @@ QueryServer::QueryServer(std::vector<core::UncertainPoint> points,
     : options_(options),
       cache_(options.cache, &registry_),
       sharding_(options.sharding),
-      pool_(options.num_threads) {
+      pool_(ThreadPool::Options{options.num_threads, options.pin_cpus}) {
   InitMetrics();
   std::vector<core::UncertainPoint> degrade_points;
   if (DegradeEnabled()) degrade_points = points;  // Copy before the move.
@@ -148,8 +147,7 @@ QueryServer::QueryServer(std::vector<core::UncertainPoint> points,
   if (DegradeEnabled()) {
     degraded = BuildDegraded(std::move(degrade_points), config);
   }
-  state_.store(MakeSnapshot(std::move(engine), std::move(degraded), 1),
-               std::memory_order_release);
+  StoreState(MakeSnapshot(std::move(engine), std::move(degraded), 1));
 }
 
 QueryServer::QueryServer(std::vector<core::UncertainPoint> points,
@@ -275,8 +273,7 @@ void QueryServer::SubmitImpl(const Request& request,
   // Pin the snapshot at submission: the request is answered against the
   // dataset (and cache generation) that was current when the server
   // accepted it, even if a swap lands before a worker picks it up.
-  std::shared_ptr<const Snapshot> snap =
-      state_.load(std::memory_order_acquire);
+  std::shared_ptr<const Snapshot> snap = LoadState();
   CountQuery(request.spec);
 
   // Tracing: the caller's context when the request carries one, a
@@ -447,8 +444,7 @@ std::vector<Response> QueryServer::QueryBatch(
     std::span<const Request> requests) {
   InflightGuard inflight(inflight_, draining_);
   const auto t0 = std::chrono::steady_clock::now();
-  std::shared_ptr<const Snapshot> snap =
-      state_.load(std::memory_order_acquire);
+  std::shared_ptr<const Snapshot> snap = LoadState();
   batches_->Inc();
   std::vector<Response> responses(requests.size());
   if (requests.empty()) return responses;
@@ -672,7 +668,7 @@ void QueryServer::ReplaceShardedEngine(
 
 void QueryServer::InstallLocked(std::shared_ptr<const ShardedEngine> engine) {
   // Build and warm entirely off to the side; the swap itself is one
-  // atomic store. In-flight queries hold the old snapshot's shared_ptr,
+  // locked pointer swap. In-flight queries hold the old snapshot's shared_ptr,
   // so it dies only when the last of them finishes — and the generation
   // bump retires every cached result of the old snapshot without a
   // sweep.
@@ -680,10 +676,23 @@ void QueryServer::InstallLocked(std::shared_ptr<const ShardedEngine> engine) {
   if (DegradeEnabled()) {
     degraded = BuildDegraded(CollectPoints(*engine), engine->config());
   }
-  state_.store(MakeSnapshot(std::move(engine), std::move(degraded),
-                            next_generation_++),
-               std::memory_order_release);
+  StoreState(MakeSnapshot(std::move(engine), std::move(degraded),
+                          next_generation_++));
   swaps_->Inc();
+}
+
+std::shared_ptr<const QueryServer::Snapshot> QueryServer::LoadState() const {
+  MutexLock lock(&state_mu_);
+  return state_;
+}
+
+void QueryServer::StoreState(std::shared_ptr<const Snapshot> next) {
+  {
+    MutexLock lock(&state_mu_);
+    state_.swap(next);
+  }
+  // `next` now holds the displaced snapshot; it dies here — outside the
+  // lock — once no in-flight query still pins it.
 }
 
 ServerStats QueryServer::stats() const {

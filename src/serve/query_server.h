@@ -28,21 +28,20 @@
 /// \file query_server.h
 /// The serving front end: a QueryServer owns a worker pool and the current
 /// dataset as an immutable snapshot — a `std::shared_ptr<const
-/// ShardedEngine>` behind an atomic pointer (a single-Engine deployment is
-/// the one-shard case, with zero merge overhead). Readers load the pointer
-/// and query the snapshot with no further coordination (shards are
-/// thread-safe Engines and the merge layer is stateless); `ReplaceDataset`
-/// partitions and builds a fresh shard set off to the side — on the pool,
-/// in parallel — and swaps the pointer in one atomic store. In-flight
-/// queries keep the old snapshot alive through their shared_ptr and finish
-/// on the shard set they started on; the old engines are destroyed when
-/// the last such query releases them. There is no reader-writer mutex, no
-/// copy-on-read, and no pause on swap — a read is a single atomic
-/// shared_ptr load (which the standard library may implement with an
-/// internal spinlock; it is not guaranteed lock-free in the std::atomic
-/// sense). Replacements may change the shard count and partitioner
-/// mid-flight; concurrent replacements serialize on a small mutex that
-/// readers never touch.
+/// ShardedEngine>` behind a tiny mutex held only for the pointer copy (a
+/// single-Engine deployment is the one-shard case, with zero merge
+/// overhead). Readers copy the pointer once per call and query the
+/// snapshot with no further coordination (shards are thread-safe Engines
+/// and the merge layer is stateless); `ReplaceDataset` partitions and
+/// builds a fresh shard set off to the side — on the pool, in parallel —
+/// and publishes it with one locked pointer swap. In-flight queries keep
+/// the old snapshot alive through their shared_ptr and finish on the
+/// shard set they started on; the old engines are destroyed when the
+/// last such query releases them. There is no copy-on-read and no pause
+/// on swap — the snapshot mutex is held for two pointer-sized writes,
+/// never across a build or a query. Replacements may change the shard
+/// count and partitioner mid-flight; concurrent replacements serialize
+/// on a separate mutex that readers never touch.
 ///
 /// The primary serving API is `Submit(Request)` / `QueryBatch(span<
 /// Request>)` over the types in request.h; the historical `(Vec2,
@@ -84,6 +83,13 @@ class QueryServer {
   struct Options {
     /// Worker threads; <= 0 picks std::thread::hardware_concurrency().
     int num_threads = 0;
+    /// CPUs every pool worker pins itself to before serving
+    /// (ThreadPool::Options::pin_cpus) — the placement knob for
+    /// deployments that dedicate a server to one NUMA node
+    /// (util::DetectNumaTopology supplies the node CPU lists). Empty —
+    /// the default — pins nothing; pin failures degrade to unpinned
+    /// workers, never errors.
+    std::vector<int> pin_cpus;
     /// Query types warmed on every snapshot before it starts serving
     /// (construction and ReplaceDataset). Batches warm their own type
     /// anyway; listing the types Submit traffic uses keeps single-query
@@ -147,8 +153,7 @@ class QueryServer {
   /// as they like; it stays valid (and immutable) across any number of
   /// ReplaceDataset calls. O(1), thread-safe.
   std::shared_ptr<const Engine> snapshot() const {
-    std::shared_ptr<const Snapshot> s =
-        state_.load(std::memory_order_acquire);
+    std::shared_ptr<const Snapshot> s = LoadState();
     return s->engine->num_shards() == 1 ? s->engine->shard_ptr(0) : nullptr;
   }
 
@@ -156,14 +161,14 @@ class QueryServer {
   /// unsharded case). Same lifetime guarantees as snapshot(). O(1),
   /// thread-safe.
   std::shared_ptr<const ShardedEngine> sharded_snapshot() const {
-    return state_.load(std::memory_order_acquire)->engine;
+    return LoadState()->engine;
   }
 
   /// The current snapshot generation: 1 for the snapshot the server was
   /// constructed with, +1 per replacement. Result-cache keys carry it,
   /// which is the entire invalidation story. O(1), thread-safe.
   uint64_t generation() const {
-    return state_.load(std::memory_order_acquire)->generation;
+    return LoadState()->generation;
   }
 
   /// Async single query under the full QoS contract: deadline check at
@@ -323,7 +328,7 @@ class QueryServer {
   /// then InstallLocked. Takes replace_mu_.
   void ReplaceImpl(std::vector<core::UncertainPoint> points,
                    const ShardingOptions* sharding) UNN_EXCLUDES(replace_mu_);
-  /// Warm + atomic swap + swap count; the annotation is the old "replace_mu_
+  /// Warm + snapshot swap + swap count; the annotation is the old "replace_mu_
   /// must be held" comment made checkable.
   void InstallLocked(std::shared_ptr<const ShardedEngine> engine)
       UNN_REQUIRES(replace_mu_);
@@ -331,6 +336,14 @@ class QueryServer {
   /// Submit overloads differ only in what they promise).
   void SubmitImpl(const Request& request,
                   std::function<void(Response&&)> deliver);
+  /// One locked shared_ptr copy: the snapshot serving at this instant.
+  std::shared_ptr<const Snapshot> LoadState() const UNN_EXCLUDES(state_mu_);
+  /// Publishes `next` as the serving snapshot. The displaced snapshot is
+  /// released after the lock drops: in-flight queries usually keep it
+  /// alive, and when the store does hold the last reference, the engine
+  /// teardown must not run under state_mu_.
+  void StoreState(std::shared_ptr<const Snapshot> next)
+      UNN_EXCLUDES(state_mu_);
   void CountQuery(const Engine::QuerySpec& spec);
   void RecordLatency(Engine::QueryType type, std::chrono::microseconds us);
   /// Resolves every registry handle below; called once per constructor,
@@ -347,7 +360,16 @@ class QueryServer {
   /// Declared before cache_: the cache registers its metrics here.
   obs::Registry registry_;
   ResultCache cache_;
-  std::atomic<std::shared_ptr<const Snapshot>> state_;
+  /// Guards state_ alone and is held only for a shared_ptr copy or swap.
+  /// Deliberately not std::atomic<shared_ptr>: libstdc++ implements that
+  /// with a spin lock folded into the control-block pointer, and its load
+  /// path releases the spin lock with a relaxed RMW — so a reader-to-
+  /// writer lock handoff carries no release/acquire edge over the stored
+  /// pointer, a formal data race that TSan reports. A real mutex has the
+  /// intended semantics, and the cost is one uncontended lock per
+  /// Submit/QueryBatch (per batch, not per query).
+  mutable Mutex state_mu_;
+  std::shared_ptr<const Snapshot> state_ UNN_GUARDED_BY(state_mu_);
   /// Serializes replacements and guards sharding_ (readers never take it).
   Mutex replace_mu_;
   /// Replacement sharding for self-built snapshots: the most recent of

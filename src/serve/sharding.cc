@@ -6,6 +6,7 @@
 
 #include "engine/query_contract.h"
 #include "util/check.h"
+#include "util/numa.h"
 
 namespace unn {
 namespace serve {
@@ -83,11 +84,36 @@ ShardedEngine::ShardedEngine(std::vector<core::UncertainPoint> points,
   UNN_CHECK(!points.empty());
   global_ids_ = PartitionPoints(points, options);
   engines_.resize(global_ids_.size());
+  if (options_.numa_aware) {
+    // Placement activates only when there is more than one node to place
+    // across; a single-node machine (the common CI container) stays on
+    // the exact NUMA-oblivious code path.
+    util::NumaTopology topo = util::DetectNumaTopology();
+    if (topo.num_nodes() > 1) {
+      shard_nodes_.resize(global_ids_.size());
+      shard_cpus_.resize(global_ids_.size());
+      for (size_t s = 0; s < global_ids_.size(); ++s) {
+        shard_nodes_[s] = static_cast<int>(s) % topo.num_nodes();
+        shard_cpus_[s] = topo.node_cpus[shard_nodes_[s]];
+      }
+    }
+  }
   ForEachShard(build_pool, [&](int s) {
+    // With active placement, pin the building thread to the shard's node
+    // for the build so first-touch allocation lands there; restore the
+    // thread's affinity afterwards (build pools are shared). A failed pin
+    // just builds unplaced — placement never affects the result.
+    std::vector<int> saved;
+    bool pinned = false;
+    if (!shard_cpus_.empty()) {
+      saved = util::CurrentThreadCpus();
+      pinned = util::PinCurrentThreadToCpus(shard_cpus_[s]);
+    }
     std::vector<core::UncertainPoint> subset;
     subset.reserve(global_ids_[s].size());
     for (int gid : global_ids_[s]) subset.push_back(points[gid]);
     engines_[s] = std::make_shared<const Engine>(std::move(subset), config_);
+    if (pinned && !saved.empty()) util::PinCurrentThreadToCpus(saved);
   });
   views_.reserve(engines_.size());
   for (size_t s = 0; s < engines_.size(); ++s) {
@@ -346,8 +372,11 @@ Engine::QueryResult ShardedEngine::QueryOne(geom::Vec2 q,
 std::vector<Engine::QueryResult> ShardedEngine::QueryMany(
     std::span<const geom::Vec2> queries, const Engine::QuerySpec& spec,
     ThreadPool* pool, obs::TraceNode trace) const {
-  if (num_shards() == 1 && pool == nullptr) {
+  if (num_shards() == 1) {
     // Single shard: delegate wholesale (ids still need the global map).
+    // The shard's own QueryMany runs the batched kernels, and with only
+    // one shard to visit a pool buys nothing here — serve::QueryMany is
+    // the layer that spreads the pack itself across workers.
     obs::ScopedSpan span(trace, "shard_query", 0);
     auto results = engines_[0]->QueryMany(queries, spec);
     const std::vector<int>& gids = global_ids_[0];
@@ -367,39 +396,141 @@ std::vector<Engine::QueryResult> ShardedEngine::QueryMany(
           &results)) {
     return results;
   }
-  if (config_.batch_traversal &&
-      spec.type == Engine::QueryType::kExpectedDistanceNn) {
-    // Fan the whole pack to each shard once — one shard visit per shard
-    // per batch instead of per query — and min-merge per query. Each
-    // shard's QueryMany runs the batched kernels (or the scalar loop for
-    // the kBruteForce oracle), bit-identical to QueryOne's per-query
-    // fan-out, so the merged answers match the scalar path exactly.
-    size_t shards = engines_.size();
-    std::vector<std::vector<ExpectedCandidate>> cand(
-        queries.size(), std::vector<ExpectedCandidate>(shards));
-    {
-      obs::ScopedSpan fan(trace, "shard_fanout",
-                          static_cast<std::int64_t>(shards));
-      ForEachShard(
-          pool,
-          [&](int s) {
-            auto local = engines_[s]->QueryMany(queries, spec);
-            for (size_t i = 0; i < queries.size(); ++i) {
-              int lid = local[i].nn;
-              cand[i][s] = {global_ids_[s][lid],
-                            engines_[s]->ExpectedDistance(lid, queries[i])};
-            }
-          },
-          fan.node());
-    }
-    obs::ScopedSpan merge(trace, "merge");
+  if (!config_.batch_traversal) {
     for (size_t i = 0; i < queries.size(); ++i) {
-      results[i].nn = MergeExpected(cand[i]);
+      results[i] = QueryOne(queries[i], spec, pool, trace);
     }
     return results;
   }
-  for (size_t i = 0; i < queries.size(); ++i) {
-    results[i] = QueryOne(queries[i], spec, pool, trace);
+  // Fan the whole pack to each shard once — one shard visit per shard
+  // per batch instead of per query — and merge per query. Each shard
+  // answers through its Engine's batched kernels (or the scalar loop for
+  // backends without one), bit-identical to QueryOne's per-query
+  // fan-out, so the merged answers match the scalar path exactly.
+  size_t shards = engines_.size();
+  switch (spec.type) {
+    case Engine::QueryType::kExpectedDistanceNn: {
+      std::vector<std::vector<ExpectedCandidate>> cand(
+          queries.size(), std::vector<ExpectedCandidate>(shards));
+      {
+        obs::ScopedSpan fan(trace, "shard_fanout",
+                            static_cast<std::int64_t>(shards));
+        ForEachShard(
+            pool,
+            [&](int s) {
+              auto local = engines_[s]->QueryMany(queries, spec);
+              for (size_t i = 0; i < queries.size(); ++i) {
+                int lid = local[i].nn;
+                cand[i][s] = {global_ids_[s][lid],
+                              engines_[s]->ExpectedDistance(lid, queries[i])};
+              }
+            },
+            fan.node());
+      }
+      obs::ScopedSpan merge(trace, "merge");
+      for (size_t i = 0; i < queries.size(); ++i) {
+        results[i].nn = MergeExpected(cand[i]);
+      }
+      break;
+    }
+    case Engine::QueryType::kMostProbableNn:
+    case Engine::QueryType::kThreshold:
+    case Engine::QueryType::kTopK: {
+      // Per-shard batched candidate generation + envelopes, then the same
+      // candidate-union re-quantification per query as MergedProbs.
+      double eps_needed =
+          spec.type == Engine::QueryType::kThreshold ? spec.tau / 2 : 0.0;
+      std::vector<std::vector<std::vector<std::pair<int, double>>>> local(
+          shards);
+      std::vector<std::vector<core::DeltaEnvelope>> env(shards);
+      {
+        obs::ScopedSpan fan(trace, "shard_fanout",
+                            static_cast<std::int64_t>(shards));
+        ForEachShard(
+            pool,
+            [&](int s) {
+              local[s] = engines_[s]->ProbabilitiesMany(queries, eps_needed);
+              env[s].resize(queries.size());
+              engines_[s]->MaxDistEnvelopeMany(queries, env[s]);
+            },
+            fan.node());
+      }
+      obs::ScopedSpan merge(trace, "merge");
+      double eps =
+          eps_needed > 0 ? std::min(eps_needed, config_.eps) : config_.eps;
+      std::vector<std::vector<std::pair<int, double>>> q_local(shards);
+      std::vector<core::DeltaEnvelope> q_env(shards);
+      for (size_t i = 0; i < queries.size(); ++i) {
+        for (size_t s = 0; s < shards; ++s) {
+          q_local[s] = std::move(local[s][i]);
+          q_env[s] = env[s][i];
+        }
+        MergedProbabilities merged = MergeProbabilities(
+            views_, q_local, q_env, queries[i], config_, eps);
+        switch (spec.type) {
+          case Engine::QueryType::kMostProbableNn: {
+            int best = -1;
+            double best_pi = -1.0;
+            for (auto [gid, pi] : merged.probs) {
+              if (pi > best_pi) {
+                best = gid;
+                best_pi = pi;
+              }
+            }
+            results[i].nn = best;
+            break;
+          }
+          case Engine::QueryType::kThreshold: {
+            double slack = merged.requantified_exactly
+                               ? 0.0
+                               : std::min(config_.eps, spec.tau / 2);
+            for (auto [gid, pi] : merged.probs) {
+              if (pi + slack >= spec.tau) {
+                results[i].ranked.push_back({gid, pi});
+              }
+            }
+            SortByEstimate(&results[i].ranked);
+            break;
+          }
+          default: {  // kTopK
+            SortByEstimate(&merged.probs);
+            if (static_cast<int>(merged.probs.size()) > spec.k) {
+              merged.probs.resize(spec.k);
+            }
+            results[i].ranked = std::move(merged.probs);
+            break;
+          }
+        }
+      }
+      break;
+    }
+    case Engine::QueryType::kNonzeroNn: {
+      std::vector<std::vector<Engine::QueryResult>> local(shards);
+      std::vector<std::vector<core::DeltaEnvelope>> env(shards);
+      {
+        obs::ScopedSpan fan(trace, "shard_fanout",
+                            static_cast<std::int64_t>(shards));
+        ForEachShard(
+            pool,
+            [&](int s) {
+              local[s] = engines_[s]->QueryMany(queries, spec);
+              env[s].resize(queries.size());
+              engines_[s]->MaxDistEnvelopeMany(queries, env[s]);
+            },
+            fan.node());
+      }
+      obs::ScopedSpan merge(trace, "merge");
+      std::vector<std::vector<int>> q_local(shards);
+      std::vector<core::DeltaEnvelope> q_env(shards);
+      for (size_t i = 0; i < queries.size(); ++i) {
+        for (size_t s = 0; s < shards; ++s) {
+          q_local[s] = std::move(local[s][i].ids);
+          q_env[s] = env[s][i];
+        }
+        results[i].ids = MergeNonzero(views_, q_local, q_env, queries[i]);
+      }
+      break;
+    }
   }
   return results;
 }

@@ -67,6 +67,17 @@ struct ShardingOptions {
   /// requesting more shards than points yields n singleton shards.
   int num_shards = 1;
   Partitioning partitioning = Partitioning::kRoundRobin;
+  /// Off by default. When true, shard s is assigned to NUMA node
+  /// s % num_nodes (util::DetectNumaTopology), the building thread pins
+  /// itself to that node's CPUs for the duration of shard s's Engine
+  /// build so first-touch allocation lands on the node, and shard_node /
+  /// shard_cpus report the assignment so callers can co-locate each
+  /// shard's workers (ThreadPool::Options::pin_cpus) next to its data.
+  /// On a single-node machine (or without topology information) this is
+  /// a complete no-op: nothing is pinned, shard_cpus is empty, and every
+  /// answer is bit-identical either way — placement only moves memory,
+  /// never arithmetic.
+  bool numa_aware = false;
 };
 
 /// Assigns every point index in [0, points.size()) to exactly one shard;
@@ -152,10 +163,14 @@ class ShardedEngine {
 
   /// Batched entry point with Engine::QueryMany's degenerate-parameter
   /// contract (empty span / k <= 0 / tau outside (0, 1] answered
-  /// definition-level without touching any shard backend). The queries
-  /// run serially; each query's shard fan-out uses `pool` when given.
-  /// `serve::QueryMany` instead spreads the queries themselves across a
-  /// pool, which is the better fit for large batches.
+  /// definition-level without touching any shard backend). With
+  /// Config::batch_traversal on, every query type fans the whole pack
+  /// to each shard once — one shard visit per shard per batch, each
+  /// running the shard Engine's batched kernels — and merges per query,
+  /// bit-identical to the per-query fan-out; with it off, the queries
+  /// run serially and each query's shard fan-out uses `pool` when
+  /// given. `serve::QueryMany` additionally spreads the pack itself
+  /// across a pool, which is the better fit for large batches.
   std::vector<Engine::QueryResult> QueryMany(
       std::span<const geom::Vec2> queries, const Engine::QuerySpec& spec,
       ThreadPool* pool = nullptr, obs::TraceNode trace = {}) const;
@@ -185,6 +200,19 @@ class ShardedEngine {
   const Engine::Config& config() const { return config_; }
   /// The partitioning this shard set was built with.
   const ShardingOptions& options() const { return options_; }
+  /// NUMA node shard s was placed on; 0 when placement is inactive
+  /// (numa_aware off, assembled shard sets, or a single-node machine).
+  /// O(1).
+  int shard_node(int s) const {
+    return shard_nodes_.empty() ? 0 : shard_nodes_[s];
+  }
+  /// CPUs of shard s's node, for co-locating its workers
+  /// (ThreadPool::Options::pin_cpus); empty when placement is inactive.
+  /// O(1).
+  const std::vector<int>& shard_cpus(int s) const {
+    static const std::vector<int> kNone;
+    return shard_cpus_.empty() ? kNone : shard_cpus_[s];
+  }
   /// Sum of Engine::StructuresBuilt over the shards — observability for
   /// tests and serving metrics. O(K).
   int StructuresBuilt() const;
@@ -207,6 +235,10 @@ class ShardedEngine {
   std::vector<ShardView> views_;  // Parallel to engines_/global_ids_.
   Engine::Config config_;
   ShardingOptions options_;
+  /// Active NUMA placement (numa_aware on a multi-node machine): per-shard
+  /// node index and that node's CPU list. Both empty when inactive.
+  std::vector<int> shard_nodes_;
+  std::vector<std::vector<int>> shard_cpus_;
   int size_ = 0;
 };
 

@@ -1,8 +1,13 @@
 #ifndef UNN_SPATIAL_BATCH_H_
 #define UNN_SPATIAL_BATCH_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <limits>
+#include <numeric>
 #include <queue>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "geom/lanes.h"
@@ -21,6 +26,14 @@
 ///     lane alone (other lanes only interleave extra nodes the lane
 ///     ignores), so a per-lane computation over it is bit-identical to
 ///     the scalar engine by construction.
+///   * BatchPrunedVisitNearFirst — shared pruned DFS descending the child
+///     with the smaller shared bound first, the batch analogue of the
+///     scalar PrunedVisitOrdered descent: evolving per-lane bounds
+///     tighten almost as fast as in the scalar engine, so the shared
+///     walk visits scalar-like node counts instead of the left-first
+///     union. Per-lane visit ORDER is not the scalar sequence — use it
+///     only for order-robust accumulation (strict prunes plus the
+///     replay-band idiom below), never for order-sensitive sums.
 ///   * BatchBestFirstScan — shared best-first frontier ordered by the
 ///     minimum lower bound over each entry's active lanes. Per lane it
 ///     visits a superset of the scalar BestFirstScan's surviving nodes,
@@ -108,6 +121,39 @@ inline int PopCount(LaneMask m) {
 
 }  // namespace internal
 
+/// Memoizes one pack's per-lane lower bounds per node, so a
+/// BatchBestFirstScan whose bound is a SIMD evaluation over all lanes
+/// (geom/lanes.h) computes it once per node instead of once at push and
+/// once per lane at the pop re-test. The caller's `compute(node, out)`
+/// fills all kLaneWidth slots; `key_lb` then reads the cached lane.
+/// Bounds are a pure function of (node, query), so caching cannot change
+/// any per-lane decision — only how often the arithmetic runs.
+template <typename Compute>
+class LaneKeyCache {
+ public:
+  explicit LaneKeyCache(Compute compute) : compute_(std::move(compute)) {}
+
+  /// The per-lane bound for `node`, computing the node's lane vector on
+  /// first touch.
+  double operator()(int lane, int node) {
+    if (node != node_) {
+      compute_(node, keys_);
+      node_ = node;
+    }
+    return keys_[lane];
+  }
+
+ private:
+  Compute compute_;
+  int node_ = -1;
+  double keys_[geom::kLaneWidth] = {};
+};
+
+template <typename Compute>
+LaneKeyCache<Compute> MakeLaneKeyCache(Compute compute) {
+  return LaneKeyCache<Compute>(std::move(compute));
+}
+
 /// Shared pruned DFS, left child first (the batch PrunedVisit).
 /// `filter(node, mask)` returns the sub-mask of lanes that do NOT prune
 /// the node — it is called exactly once per lane per node the lane
@@ -150,6 +196,139 @@ void BatchPrunedVisit(const Tree& tree, LaneMask lanes, Filter&& filter,
   }
 }
 
+/// Shared pruned DFS descending the nearer child first (the batch
+/// PrunedVisitOrdered). `bound(node, lb)` fills all geom::kLaneWidth
+/// per-lane lower bounds for `node` (one SIMD evaluation);
+/// `prunable(lane, lb)` tests a lane's bound against its evolving state
+/// and must be monotone in lb. At every internal node both children's
+/// bounds are evaluated and the child with the smaller shared bound
+/// (min over its surviving lanes) is visited first, so per-lane bests
+/// tighten at scalar-descent speed; each frame's per-lane bounds are
+/// stored and re-tested at pop against the tightened state without
+/// recomputation. Per-lane visit order is NOT the scalar sequence: use
+/// only with order-robust accumulators (strict prune + replay band).
+template <typename Tree, typename Bound, typename Prunable, typename Leaf>
+void BatchPrunedVisitNearFirst(const Tree& tree, LaneMask lanes, Bound&& bound,
+                               Prunable&& prunable, Leaf&& leaf,
+                               BatchStats* stats = nullptr) {
+  if (tree.root() < 0 || lanes == 0) return;
+  constexpr int kW = geom::kLaneWidth;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  struct Frame {
+    double lb[kW];
+    double key;  ///< min over surviving lanes of lb (the descent order).
+    int node;
+    LaneMask mask;
+  };
+  // Evaluates `node` for the lanes in `m`; false when every lane prunes.
+  auto make = [&](int node, LaneMask m, Frame* f) {
+    bound(node, f->lb);
+    LaneMask keep = 0;
+    double key = kInf;
+    for (int l = 0; l < kW; ++l) {
+      if ((m >> l & 1u) == 0 || prunable(l, f->lb[l])) continue;
+      keep |= static_cast<LaneMask>(1u << l);
+      key = std::min(key, f->lb[l]);
+    }
+    if (keep == 0) {
+      if (stats != nullptr) ++stats->prunes;
+      return false;
+    }
+    f->node = node;
+    f->mask = keep;
+    f->key = key;
+    return true;
+  };
+  std::vector<Frame> stack;
+  stack.reserve(64);
+  {
+    Frame root;
+    if (!make(tree.root(), lanes, &root)) return;
+    stack.push_back(root);
+  }
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    // Re-test the stored bounds against state tightened since the push.
+    LaneMask m = 0;
+    for (int l = 0; l < kW; ++l) {
+      if ((f.mask >> l & 1u) != 0 && !prunable(l, f.lb[l])) {
+        m |= static_cast<LaneMask>(1u << l);
+      }
+    }
+    if (m == 0) {
+      if (stats != nullptr) ++stats->prunes;
+      continue;
+    }
+    internal::PrefetchChildren(tree, f.node);
+    if (stats != nullptr) {
+      ++stats->nodes_visited;
+      stats->lane_nodes_visited += internal::PopCount(m);
+    }
+    if (tree.is_leaf(f.node)) {
+      if (stats != nullptr) ++stats->leaves_scanned;
+      leaf(f.node, m);
+      continue;
+    }
+    Frame lf, rf;
+    bool lok = make(tree.left(f.node), m, &lf);
+    bool rok = make(tree.right(f.node), m, &rf);
+    if (lok && rok) {
+      // Far child below near child, so the near child pops first.
+      if (lf.key <= rf.key) {
+        stack.push_back(rf);
+        stack.push_back(lf);
+      } else {
+        stack.push_back(lf);
+        stack.push_back(rf);
+      }
+    } else if (lok) {
+      stack.push_back(lf);
+    } else if (rok) {
+      stack.push_back(rf);
+    }
+  }
+}
+
+/// Pack-coherence ordering: indices of `queries` sorted along a Morton
+/// (Z-order) curve of the batch's own bounding box, so consecutive
+/// kLaneWidth-sized packs hold spatially adjacent queries and a shared
+/// traversal prunes the same subtrees for every lane. Reordering is
+/// free: a lane's result never depends on which queries share its pack
+/// (the per-lane bit-identity contract every batch kernel carries), so
+/// callers may process in this order and scatter results back by index.
+/// Deterministic; stable for equal codes.
+inline std::vector<int> PackCoherentOrder(std::span<const geom::Vec2> queries) {
+  const size_t m = queries.size();
+  std::vector<int> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  if (m <= static_cast<size_t>(geom::kLaneWidth)) return order;  // One pack.
+  double lox = queries[0].x, hix = queries[0].x;
+  double loy = queries[0].y, hiy = queries[0].y;
+  for (const geom::Vec2& q : queries) {
+    lox = std::min(lox, q.x);
+    hix = std::max(hix, q.x);
+    loy = std::min(loy, q.y);
+    hiy = std::max(hiy, q.y);
+  }
+  const double sx = hix > lox ? 65535.0 / (hix - lox) : 0.0;
+  const double sy = hiy > loy ? 65535.0 / (hiy - loy) : 0.0;
+  std::vector<std::uint32_t> code(m);
+  for (size_t i = 0; i < m; ++i) {
+    auto xi = static_cast<std::uint32_t>((queries[i].x - lox) * sx);
+    auto yi = static_cast<std::uint32_t>((queries[i].y - loy) * sy);
+    std::uint32_t z = 0;
+    for (int b = 0; b < 16; ++b) {
+      z |= ((xi >> b) & 1u) << (2 * b);
+      z |= ((yi >> b) & 1u) << (2 * b + 1);
+    }
+    code[i] = z;
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return code[a] < code[b]; });
+  return order;
+}
+
 /// Shared best-first scan (the batch BestFirstScan). The frontier is
 /// ordered by the minimum of `key_lb(lane, node)` over the entry's
 /// active lanes; `prunable(lane, key)` must be monotone in key per lane.
@@ -190,17 +369,27 @@ void BatchBestFirstScan(const Tree& tree, LaneMask lanes, KeyLb&& key_lb,
     heap.pop();
     // Re-test each lane against its own (possibly tightened) bound.
     LaneMask m = 0;
-    bool all_dead_at_shared_key = true;
     for (int l = 0; l < geom::kLaneWidth; ++l) {
       if ((e.mask & (1u << l)) == 0) continue;
-      if (!prunable(l, e.key)) all_dead_at_shared_key = false;
       if (!prunable(l, key_lb(l, e.node))) {
         m |= static_cast<LaneMask>(1u << l);
       }
     }
+    // Early exit must consider every lane of the PACK, not just this
+    // entry's mask: remaining heap entries can carry lanes absent here,
+    // and a lane's own entries are the only ones that can finish its
+    // accumulation. Only when all pack lanes prune at e.key is every
+    // remaining entry (shared key >= e.key, per-lane keys >= the shared
+    // key) dead for every lane by monotonicity.
+    bool all_dead_at_shared_key = true;
+    for (int l = 0; l < geom::kLaneWidth; ++l) {
+      if ((lanes & (1u << l)) == 0) continue;
+      if (!prunable(l, e.key)) {
+        all_dead_at_shared_key = false;
+        break;
+      }
+    }
     if (all_dead_at_shared_key) {
-      // Every remaining entry has a shared key >= e.key and per-lane keys
-      // >= the shared key, so by monotonicity nothing left can survive.
       if (stats != nullptr) ++stats->prunes;
       break;
     }

@@ -1,0 +1,128 @@
+#include "util/numa.h"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <string_view>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace unn {
+namespace util {
+
+namespace {
+
+bool ParseNonNegativeInt(std::string_view s, int* out) {
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, *out);
+  return ec == std::errc() && ptr == last && *out >= 0;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\n' ||
+          s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::string ReadFirstLine(const std::string& path) {
+  std::ifstream f(path);
+  std::string line;
+  if (f.is_open()) std::getline(f, line);
+  return line;
+}
+
+}  // namespace
+
+std::vector<int> ParseCpuList(const std::string& text) {
+  std::vector<int> cpus;
+  std::string_view rest = Trim(text);
+  while (!rest.empty()) {
+    size_t comma = rest.find(',');
+    std::string_view token = Trim(rest.substr(0, comma));
+    rest = comma == std::string_view::npos ? std::string_view()
+                                           : rest.substr(comma + 1);
+    if (token.empty()) return {};
+    size_t dash = token.find('-');
+    int lo = 0;
+    int hi = 0;
+    if (dash == std::string_view::npos) {
+      if (!ParseNonNegativeInt(token, &lo)) return {};
+      hi = lo;
+    } else {
+      if (!ParseNonNegativeInt(token.substr(0, dash), &lo) ||
+          !ParseNonNegativeInt(token.substr(dash + 1), &hi) || hi < lo) {
+        return {};
+      }
+    }
+    for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+NumaTopology DetectNumaTopology() {
+  NumaTopology topo;
+#if defined(__linux__)
+  // `online` lists node ids in the same range syntax as a cpulist, which
+  // also covers sparse numbering (node0, node2, ...).
+  const std::string root = "/sys/devices/system/node/";
+  for (int n : ParseCpuList(ReadFirstLine(root + "online"))) {
+    std::vector<int> cpus =
+        ParseCpuList(ReadFirstLine(root + "node" + std::to_string(n) +
+                                   "/cpulist"));
+    if (!cpus.empty()) topo.node_cpus.push_back(std::move(cpus));
+  }
+#endif
+  if (topo.node_cpus.empty()) {
+    int n = static_cast<int>(std::thread::hardware_concurrency());
+    if (n <= 0) n = 1;
+    std::vector<int> all(n);
+    for (int c = 0; c < n; ++c) all[c] = c;
+    topo.node_cpus.push_back(std::move(all));
+  }
+  return topo;
+}
+
+bool PinCurrentThreadToCpus(const std::vector<int>& cpus) {
+  if (cpus.empty()) return false;
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (int c : cpus) {
+    if (c < 0 || c >= CPU_SETSIZE) return false;
+    CPU_SET(c, &set);
+  }
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  return false;
+#endif
+}
+
+std::vector<int> CurrentThreadCpus() {
+  std::vector<int> cpus;
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (pthread_getaffinity_np(pthread_self(), sizeof(set), &set) == 0) {
+    for (int c = 0; c < CPU_SETSIZE; ++c) {
+      if (CPU_ISSET(c, &set)) cpus.push_back(c);
+    }
+  }
+#endif
+  return cpus;
+}
+
+}  // namespace util
+}  // namespace unn

@@ -1,0 +1,56 @@
+#ifndef UNN_UTIL_NUMA_H_
+#define UNN_UTIL_NUMA_H_
+
+#include <string>
+#include <vector>
+
+/// \file numa.h
+/// Minimal NUMA topology probe and thread placement with no libnuma
+/// dependency: topology comes from /sys/devices/system/node (Linux) and
+/// placement from pthread affinity. On single-node machines — and on any
+/// platform without the sysfs tree — DetectNumaTopology() reports one
+/// node holding every online CPU and the placement call sites skip
+/// pinning entirely, so NUMA-aware configurations behave identically to
+/// NUMA-oblivious ones there (the off-by-default contract of
+/// docs/ARCHITECTURE.md, "NUMA-aware placement"). Placement is always a
+/// hint: a failed pin leaves the thread on its inherited affinity and is
+/// never an error, because placement can only change memory locality,
+/// never arithmetic.
+
+namespace unn {
+namespace util {
+
+struct NumaTopology {
+  /// node_cpus[n] = sorted online CPU ids of the n-th NUMA node that has
+  /// CPUs (memory-only nodes are dropped). Never empty: the fallback is
+  /// one node holding every online CPU.
+  std::vector<std::vector<int>> node_cpus;
+
+  int num_nodes() const { return static_cast<int>(node_cpus.size()); }
+};
+
+/// Probes /sys/devices/system/node/{online,node*/cpulist}. Fallback (no
+/// sysfs, non-Linux, or unparseable contents): one node with CPUs
+/// 0 .. hardware_concurrency-1. Deterministic for a fixed machine; never
+/// fails.
+NumaTopology DetectNumaTopology();
+
+/// Parses a sysfs cpulist string ("0-3,8,10-11") into sorted, deduplicated
+/// CPU ids. Returns empty on malformed input. Exposed for tests.
+std::vector<int> ParseCpuList(const std::string& text);
+
+/// Pins the calling thread to the given CPUs. Returns true on success;
+/// false (leaving the affinity untouched) on an empty list, an
+/// out-of-range CPU id, unsupported platforms, or kernel rejection —
+/// callers treat placement as a hint, never a correctness requirement.
+bool PinCurrentThreadToCpus(const std::vector<int>& cpus);
+
+/// The calling thread's current allowed-CPU set, for scoping a temporary
+/// pin (save, pin, work, restore — ShardedEngine's first-touch shard
+/// builds). Empty when the platform cannot report it.
+std::vector<int> CurrentThreadCpus();
+
+}  // namespace util
+}  // namespace unn
+
+#endif  // UNN_UTIL_NUMA_H_

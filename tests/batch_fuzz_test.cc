@@ -16,6 +16,10 @@
 #include <gtest/gtest.h>
 
 #include "core/expected_nn.h"
+#include "core/monte_carlo_pnn.h"
+#include "core/nn_nonzero_discrete_index.h"
+#include "core/quant_tree.h"
+#include "core/spiral_search.h"
 #include "core/uncertain_point.h"
 #include "engine/engine.h"
 #include "geom/lanes.h"
@@ -208,6 +212,247 @@ TEST(BatchFuzz, KdNearestBatchBitIdentical) {
         int want = tree.Nearest(qs[i], &want_d);
         EXPECT_EQ(ids[i], want) << "it=" << it << " m=" << m << " i=" << i;
         EXPECT_EQ(dists[i], want_d)
+            << "it=" << it << " m=" << m << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(BatchFuzz, QuantTreeEnvelopeBatchBitIdentical) {
+  int iters = FuzzIters(8);
+  for (int it = 0; it < iters; ++it) {
+    uint64_t seed = 5000 + 19 * static_cast<uint64_t>(it);
+    auto pts = AdversarialSet(it, 40 + (it % 5) * 21, seed);
+    core::QuantTree qt(&pts);
+    for (int m = 1; m <= 2 * geom::kLaneWidth + 1; ++m) {
+      auto qs = AdversarialQueries(m, seed + m);
+      std::vector<core::DeltaEnvelope> got(qs.size());
+      spatial::BatchStats stats;
+      qt.MaxDistEnvelopeBatch(qs, got, &stats);
+      EXPECT_GT(stats.packs, 0);
+      // The envelope kernel needs no replay (order-independent inserts);
+      // the differential must hold with none taken.
+      EXPECT_EQ(stats.scalar_replays, 0);
+      for (size_t i = 0; i < qs.size(); ++i) {
+        auto want = qt.MaxDistEnvelope(qs[i]);
+        EXPECT_EQ(got[i].best, want.best)
+            << "it=" << it << " m=" << m << " i=" << i;
+        EXPECT_EQ(got[i].second, want.second)
+            << "it=" << it << " m=" << m << " i=" << i;
+        EXPECT_EQ(got[i].argbest, want.argbest)
+            << "it=" << it << " m=" << m << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(BatchFuzz, QuantTreeLogSurvivalBatchBitIdentical) {
+  int iters = FuzzIters(6);
+  for (int it = 0; it < iters; ++it) {
+    uint64_t seed = 6000 + 23 * static_cast<uint64_t>(it);
+    auto pts = AdversarialSet(it, 36 + (it % 4) * 19, seed);
+    core::QuantTree qt(&pts);
+    for (int m = 1; m <= 2 * geom::kLaneWidth + 1; ++m) {
+      auto qs = AdversarialQueries(m, seed + m);
+      // Radii stress every branch: zero (empty ball), exact MaxDist
+      // boundaries (the support-intersection test ties exactly), radii
+      // inside a support (certain point, -infinity), and large radii
+      // covering everything.
+      std::vector<double> radii(qs.size());
+      for (size_t i = 0; i < qs.size(); ++i) {
+        switch (i % 4) {
+          case 0:
+            radii[i] = 0.0;
+            break;
+          case 1:
+            radii[i] = pts[i % pts.size()].MaxDist(qs[i]);
+            break;
+          case 2:
+            radii[i] = 0.5;
+            break;
+          default:
+            radii[i] = 25.0;
+        }
+      }
+      std::vector<double> got(qs.size());
+      spatial::BatchStats stats;
+      qt.LogSurvivalBatch(qs, radii, got, &stats);
+      EXPECT_EQ(stats.scalar_replays, 0);
+      for (size_t i = 0; i < qs.size(); ++i) {
+        // Bit-identical contract: the pack walk is the scalar walk, so
+        // exact equality holds — including -infinity.
+        EXPECT_EQ(got[i], qt.LogSurvival(qs[i], radii[i]))
+            << "it=" << it << " m=" << m << " i=" << i << " r=" << radii[i];
+      }
+    }
+  }
+}
+
+TEST(BatchFuzz, QuantTreeArgminBatchBitIdentical) {
+  int iters = FuzzIters(6);
+  for (int it = 0; it < iters; ++it) {
+    uint64_t seed = 7000 + 29 * static_cast<uint64_t>(it);
+    auto pts = AdversarialSet(it, 30 + (it % 4) * 17, seed);
+    core::QuantTree qt(&pts);
+    core::ExpectedNn index(pts);
+    for (int m = 1; m <= 2 * geom::kLaneWidth + 1; ++m) {
+      auto qs = AdversarialQueries(m, seed + m);
+      // Approximate value (quadrature): slack = the tolerance, as the
+      // engine's brute-force expected-distance arm uses it.
+      {
+        std::vector<int> got(qs.size());
+        spatial::BatchStats stats;
+        qt.ArgminPointwiseBatch(
+            qs,
+            [&](int id, int qi) {
+              return index.ExpectedDistance(id, qs[qi], 1e-8);
+            },
+            /*slack=*/1e-8, got, &stats);
+        for (size_t i = 0; i < qs.size(); ++i) {
+          int want = qt.ArgminPointwise(qs[i], [&](int id) {
+            return index.ExpectedDistance(id, qs[i], 1e-8);
+          });
+          EXPECT_EQ(got[i], want) << "it=" << it << " m=" << m << " i=" << i;
+        }
+      }
+      // Exact value (min-distance itself, slack 0): the coincident /
+      // duplicated sets produce exact minimum ties, so the zero-width
+      // band must still trigger replay on true ties.
+      {
+        std::vector<int> got(qs.size());
+        qt.ArgminPointwiseBatch(
+            qs, [&](int id, int qi) { return pts[id].MinDist(qs[qi]); },
+            /*slack=*/0.0, got);
+        for (size_t i = 0; i < qs.size(); ++i) {
+          int want = qt.ArgminPointwise(
+              qs[i], [&](int id) { return pts[id].MinDist(qs[i]); });
+          EXPECT_EQ(got[i], want) << "it=" << it << " m=" << m << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchFuzz, NonzeroDiscreteBatchBitIdentical) {
+  int iters = FuzzIters(6);
+  for (int it = 0; it < iters; ++it) {
+    uint64_t seed = 8000 + 37 * static_cast<uint64_t>(it);
+    // Discrete-only corpora: the index CHECKs against disk models.
+    int which = it % 3;
+    auto pts = which == 0   ? ClusteredDiscrete(32 + it * 7, seed)
+               : which == 1 ? CoincidentAnchors(32 + it * 7, seed)
+                            : workload::RandomDiscrete(32 + it * 7, 3, seed);
+    core::NnNonzeroDiscreteIndex index(pts);
+    for (int m = 1; m <= 2 * geom::kLaneWidth + 1; ++m) {
+      auto qs = AdversarialQueries(m, seed + m);
+      std::vector<core::DeltaEnvelope> env(qs.size());
+      spatial::BatchStats stats;
+      index.DeltaPairBatch(qs, env, &stats);
+      EXPECT_GT(stats.packs, 0);
+      for (size_t i = 0; i < qs.size(); ++i) {
+        auto want = index.DeltaPair(qs[i]);
+        EXPECT_EQ(env[i].best, want.best)
+            << "it=" << it << " m=" << m << " i=" << i;
+        EXPECT_EQ(env[i].second, want.second)
+            << "it=" << it << " m=" << m << " i=" << i;
+        EXPECT_EQ(env[i].argbest, want.argbest)
+            << "it=" << it << " m=" << m << " i=" << i;
+      }
+      auto sets = index.QueryBatch(qs);
+      ASSERT_EQ(sets.size(), qs.size());
+      for (size_t i = 0; i < qs.size(); ++i) {
+        EXPECT_EQ(sets[i], index.Query(qs[i]))
+            << "it=" << it << " m=" << m << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(BatchFuzz, KdKNearestBatchBitIdentical) {
+  int iters = FuzzIters(6);
+  for (int it = 0; it < iters; ++it) {
+    uint64_t seed = 9000 + 41 * static_cast<uint64_t>(it);
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<int> grid(-12, 12);
+    std::uniform_real_distribution<double> u(-10, 10);
+    int n = 40 + (it % 5) * 23;
+    std::vector<Vec2> pts(n);
+    for (int i = 0; i < n; ++i) {
+      // Duplicate coordinates on purpose, as in NearestBatch's fuzz.
+      if (i % 7 == 3 && i > 0) {
+        pts[i] = pts[rng() % i];
+      } else if (i % 2 == 0) {
+        pts[i] = {grid(rng) * 0.5, grid(rng) * 0.5};
+      } else {
+        pts[i] = {u(rng), u(rng)};
+      }
+    }
+    range::KdTree tree(pts);
+    for (int k : {1, 3, n / 2, n}) {
+      for (int m = 1; m <= 2 * geom::kLaneWidth + 1; ++m) {
+        auto qs = AdversarialQueries(m, seed + 100 * k + m);
+        std::vector<std::vector<int>> ids;
+        std::vector<std::vector<double>> dists;
+        tree.KNearestBatch(qs, k, &ids, &dists);
+        ASSERT_EQ(ids.size(), qs.size());
+        for (size_t i = 0; i < qs.size(); ++i) {
+          EXPECT_EQ(ids[i], tree.KNearest(qs[i], k))
+              << "it=" << it << " k=" << k << " m=" << m << " i=" << i;
+          ASSERT_EQ(dists[i].size(), ids[i].size());
+          for (size_t j = 0; j < ids[i].size(); ++j) {
+            EXPECT_EQ(dists[i][j], geom::Dist(qs[i], pts[ids[i][j]]))
+                << "it=" << it << " k=" << k << " m=" << m << " i=" << i
+                << " j=" << j;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchFuzz, SpiralQueryBatchBitIdentical) {
+  int iters = FuzzIters(4);
+  for (int it = 0; it < iters; ++it) {
+    uint64_t seed = 11000 + 43 * static_cast<uint64_t>(it);
+    int which = it % 3;  // Discrete-only: spiral search rejects disks.
+    auto pts = which == 0   ? ClusteredDiscrete(28 + it * 9, seed)
+               : which == 1 ? CoincidentAnchors(28 + it * 9, seed)
+                            : workload::RandomDiscrete(28 + it * 9, 3, seed);
+    core::SpiralSearch spiral(pts);
+    for (double eps : {0.5, 0.1, 0.02}) {
+      for (int m = 1; m <= 2 * geom::kLaneWidth + 1; m += 3) {
+        auto qs = AdversarialQueries(m, seed + m);
+        spatial::BatchStats stats;
+        auto got = spiral.QueryBatch(qs, eps, &stats);
+        ASSERT_EQ(got.size(), qs.size());
+        for (size_t i = 0; i < qs.size(); ++i) {
+          EXPECT_EQ(got[i], spiral.Query(qs[i], eps))
+              << "it=" << it << " eps=" << eps << " m=" << m << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchFuzz, MonteCarloQueryBatchBitIdentical) {
+  int iters = FuzzIters(4);
+  for (int it = 0; it < iters; ++it) {
+    uint64_t seed = 12000 + 47 * static_cast<uint64_t>(it);
+    // Includes the disk sets: instantiation draws are per-structure, so
+    // both paths see the same trees regardless of model.
+    auto pts = AdversarialSet(it, 24 + it * 7, seed);
+    core::MonteCarloPnnOptions opts;
+    opts.s_override = 16;
+    opts.seed = seed;
+    core::MonteCarloPnn mc(pts, opts);
+    for (int m = 1; m <= 2 * geom::kLaneWidth + 1; m += 2) {
+      auto qs = AdversarialQueries(m, seed + m);
+      spatial::BatchStats stats;
+      auto got = mc.QueryBatch(qs, &stats);
+      ASSERT_EQ(got.size(), qs.size());
+      EXPECT_GT(stats.packs, 0);
+      for (size_t i = 0; i < qs.size(); ++i) {
+        EXPECT_EQ(got[i], mc.Query(qs[i]))
             << "it=" << it << " m=" << m << " i=" << i;
       }
     }

@@ -224,6 +224,81 @@ TEST(QueryServerStress, BatchedPacksRacingSnapshotSwap) {
   }
 }
 
+// All five query types' batched kernels racing ReplaceDataset with
+// worker pinning on: clients fire ragged, varying-length packs of every
+// type while the snapshot swaps underneath. Each answer must be
+// bit-identical to one of the two snapshots' scalar-oracle runs — a
+// batch runs entirely on the snapshot it pinned on entry, batching
+// never changes results, and per-query answers are independent of pack
+// composition (the prefix of a longer batch equals the full batch).
+// pin_cpus exercises the ThreadPool affinity path under TSan; pinning
+// is a placement hint and must be invisible in results.
+TEST(QueryServerStress, MixedTypeRaggedPacksRacingSwapWithPinnedWorkers) {
+  auto pts_a = workload::RandomDiscrete(32, 3, 107);
+  auto pts_b = workload::RandomDiscrete(28, 2, 108);
+  auto qs = StressQueries(33);  // 33 = 4 packs + a ragged singleton.
+
+  const std::vector<Engine::QuerySpec> specs = {
+      {Engine::QueryType::kMostProbableNn, 0.5, 1},
+      {Engine::QueryType::kExpectedDistanceNn, 0.5, 1},
+      {Engine::QueryType::kThreshold, 0.25, 1},
+      {Engine::QueryType::kTopK, 0.5, 3},
+      {Engine::QueryType::kNonzeroNn, 0.5, 1},
+  };
+
+  Engine::Config cfg;
+  cfg.batch_traversal = false;  // The oracles are the scalar engines.
+  Engine oracle_a(pts_a, cfg);
+  Engine oracle_b(pts_b, cfg);
+  std::vector<std::vector<Engine::QueryResult>> ans_a, ans_b;
+  for (const auto& spec : specs) {
+    ans_a.push_back(oracle_a.QueryMany(qs, spec));
+    ans_b.push_back(oracle_b.QueryMany(qs, spec));
+  }
+  auto same = [](const Engine::QueryResult& x, const Engine::QueryResult& y) {
+    return x.nn == y.nn && x.ranked == y.ranked && x.ids == y.ids;
+  };
+
+  serve::QueryServer::Options options;
+  options.num_threads = 4;
+  options.pin_cpus = {0};  // CPU 0 always exists; failure degrades.
+  for (const auto& spec : specs) options.warm.push_back(spec.type);
+  serve::QueryServer server(pts_a, Engine::Config{}, options);
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int round = 0; round < 5; ++round) {
+        size_t s = static_cast<size_t>(t + round) % specs.size();
+        // Varying batch length: every pack boundary and ragged tail in
+        // [1, 33] shows up across threads and rounds.
+        size_t len = qs.size() - static_cast<size_t>(t * 4 + round) % 9;
+        std::vector<Vec2> sub(qs.begin(), qs.begin() + len);
+        auto results = server.QueryBatch(sub, specs[s]);
+        for (size_t i = 0; i < sub.size(); ++i) {
+          if (!same(results[i], ans_a[s][i]) &&
+              !same(results[i], ans_b[s][i])) {
+            ++mismatches;
+          }
+        }
+      }
+    });
+  }
+  server.ReplaceDataset(pts_b);
+  for (auto& th : clients) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // Settled: dataset B only, every type still scalar-oracle-identical.
+  for (size_t s = 0; s < specs.size(); ++s) {
+    auto results = server.QueryBatch(qs, specs[s]);
+    for (size_t i = 0; i < qs.size(); ++i) {
+      EXPECT_TRUE(same(results[i], ans_b[s][i]))
+          << "type " << static_cast<int>(specs[s].type) << " query " << i;
+    }
+  }
+}
+
 TEST(QueryServerStress, SubmitRacingShutdownAnswersInline) {
   // Regression for the shutdown race: a Submit that lands after the
   // server's pool has flipped to stopping used to hard-abort in
